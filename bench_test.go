@@ -1,0 +1,208 @@
+// Package redi's root benchmark harness: one testing.B benchmark per
+// experiment table (E1–E18, see DESIGN.md and EXPERIMENTS.md) plus
+// throughput micro-benchmarks for the performance-critical substrates.
+// Regenerate every table with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks report the wall time of regenerating the full
+// table; the table contents themselves are printed by cmd/experiments.
+package redi
+
+import (
+	"testing"
+
+	"redi/internal/coverage"
+	"redi/internal/discovery"
+	"redi/internal/dt"
+	"redi/internal/experiments"
+	"redi/internal/joinsample"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+func benchExperiment(b *testing.B, run func(seed uint64) *experiments.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := run(uint64(i) + 1)
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1DTKnown(b *testing.B)      { benchExperiment(b, experiments.E1DTKnown) }
+func BenchmarkE2DTUnknown(b *testing.B)    { benchExperiment(b, experiments.E2DTUnknown) }
+func BenchmarkE3Coverage(b *testing.B)     { benchExperiment(b, experiments.E3Coverage) }
+func BenchmarkE4JoinSampling(b *testing.B) { benchExperiment(b, experiments.E4JoinSampling) }
+func BenchmarkE5OnlineAgg(b *testing.B)    { benchExperiment(b, experiments.E5OnlineAgg) }
+func BenchmarkE6Discovery(b *testing.B)    { benchExperiment(b, experiments.E6Discovery) }
+func BenchmarkE7Imputation(b *testing.B)   { benchExperiment(b, experiments.E7Imputation) }
+func BenchmarkE8FairRange(b *testing.B)    { benchExperiment(b, experiments.E8FairRange) }
+func BenchmarkE9SliceTuner(b *testing.B)   { benchExperiment(b, experiments.E9SliceTuner) }
+func BenchmarkE10Crowd(b *testing.B)       { benchExperiment(b, experiments.E10Crowd) }
+func BenchmarkE11Market(b *testing.B)      { benchExperiment(b, experiments.E11Market) }
+func BenchmarkE12EndToEnd(b *testing.B)    { benchExperiment(b, experiments.E12EndToEnd) }
+func BenchmarkE13Remedy(b *testing.B)      { benchExperiment(b, experiments.E13Remedy) }
+func BenchmarkE14ER(b *testing.B)          { benchExperiment(b, experiments.E14ER) }
+func BenchmarkE15Overlap(b *testing.B)     { benchExperiment(b, experiments.E15Overlap) }
+func BenchmarkE16Debias(b *testing.B)      { benchExperiment(b, experiments.E16Debias) }
+func BenchmarkE17FairPrep(b *testing.B)    { benchExperiment(b, experiments.E17FairPrep) }
+func BenchmarkE18JoinCoverage(b *testing.B) {
+	benchExperiment(b, experiments.E18JoinCoverage)
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkDTDraw measures tailoring throughput: draws per second under the
+// RatioColl strategy on a 8-source instance.
+func BenchmarkDTDraw(b *testing.B) {
+	r := rng.New(1)
+	var probs [][]float64
+	var costs []float64
+	var sources []dt.Source
+	for i := 0; i < 8; i++ {
+		f := 0.05 + 0.1*r.Float64()
+		probs = append(probs, []float64{1 - f, f})
+		costs = append(costs, 1)
+		sources = append(sources, dt.NewDistSource(probs[i], 1))
+	}
+	e := &dt.Engine{Sources: sources}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(dt.NewRatioColl(probs, costs), []int{10, 10}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMUPs measures pattern-breaker MUP enumeration on a 5-attribute
+// dataset.
+func BenchmarkMUPs(b *testing.B) {
+	cfg := synth.DefaultPopulation(5000)
+	p := synth.Generate(cfg, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := coverage.NewSpace(p.Data, []string{"race", "sex", "label"}, 25)
+		if mups := s.MUPs(); len(mups) > 1000 {
+			b.Fatal("unexpected MUP explosion")
+		}
+	}
+}
+
+// BenchmarkExactJoinSample measures uniform join-result samples per second.
+func BenchmarkExactJoinSample(b *testing.B) {
+	r := rng.New(1)
+	var rt, st []joinsample.Tuple
+	for k := 0; k < 1000; k++ {
+		rt = append(rt, joinsample.Tuple{Right: int64(k), Value: 1})
+	}
+	cat := rng.NewCategorical(rng.ZipfWeights(1000, 1.2))
+	for i := 0; i < 100000; i++ {
+		st = append(st, joinsample.Tuple{Left: int64(cat.Draw(r)), Value: 1})
+	}
+	chain, err := joinsample.NewChain(joinsample.NewRelation("R", rt), joinsample.NewRelation("S", st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := chain.ExactSample(r); !ok {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+// BenchmarkWanderSample measures wander-join walks per second on the same
+// skewed join.
+func BenchmarkWanderSample(b *testing.B) {
+	r := rng.New(2)
+	var rt, st []joinsample.Tuple
+	for k := 0; k < 1000; k++ {
+		rt = append(rt, joinsample.Tuple{Right: int64(k), Value: 1})
+	}
+	cat := rng.NewCategorical(rng.ZipfWeights(1000, 1.2))
+	for i := 0; i < 100000; i++ {
+		st = append(st, joinsample.Tuple{Left: int64(cat.Draw(r)), Value: 1})
+	}
+	chain, err := joinsample.NewChain(joinsample.NewRelation("R", rt), joinsample.NewRelation("S", st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain.WanderSample(r)
+	}
+}
+
+// BenchmarkInvertedTopK and BenchmarkLinearScanJoinable compare the two
+// exact joinability search paths against the same corpus as the LSH bench.
+func BenchmarkInvertedTopK(b *testing.B) {
+	repo, query := discoveryCorpus(b)
+	ix := discovery.NewInvertedIndex(repo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopKJoinable(query, 10)
+	}
+}
+
+func BenchmarkLinearScanJoinable(b *testing.B) {
+	repo, query := discoveryCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repo.JoinableColumns(query, 0.5)
+	}
+}
+
+func discoveryCorpus(b *testing.B) (*discovery.Repository, map[string]bool) {
+	b.Helper()
+	c := synth.GenerateCorpus(synth.CorpusConfig{
+		NumTables: 200, RowsPerTable: 200, KeyUniverse: 50000, QueryKeys: 200,
+	}, rng.New(3))
+	repo := discovery.NewRepository()
+	for _, tbl := range c.Tables {
+		if err := repo.Add(tbl.Name, tbl.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return repo, discovery.DomainOf(c.Query, "key")
+}
+
+// BenchmarkLSHQuery measures containment queries per second against a
+// 200-column index.
+func BenchmarkLSHQuery(b *testing.B) {
+	c := synth.GenerateCorpus(synth.CorpusConfig{
+		NumTables: 200, RowsPerTable: 200, KeyUniverse: 50000, QueryKeys: 200,
+	}, rng.New(3))
+	repo := discovery.NewRepository()
+	for _, tbl := range c.Tables {
+		if err := repo.Add(tbl.Name, tbl.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var refs []discovery.ColumnRef
+	var domains []map[string]bool
+	for _, ref := range repo.Columns() {
+		if ref.Column == "key" {
+			refs = append(refs, ref)
+			domains = append(domains, repo.Domain(ref))
+		}
+	}
+	ens, err := discovery.NewLSHEnsemble(128, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ens.Index(refs, domains)
+	query := discovery.DomainOf(c.Query, "key")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens.Query(query, 0.5)
+	}
+}

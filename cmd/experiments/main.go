@@ -1,0 +1,55 @@
+// Command experiments regenerates the evaluation tables of DESIGN.md
+// (E1–E18). With no arguments it runs everything; pass experiment ids to
+// run a subset.
+//
+//	go run ./cmd/experiments            # all tables
+//	go run ./cmd/experiments E1 E12     # selected tables
+//	go run ./cmd/experiments -seed 7 E4 # alternate seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"redi/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "base seed for all experiments")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, id := range flag.Args() {
+		want[id] = true
+	}
+	all := experiments.All()
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.ID] = true
+	}
+	for id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: E1..E18\n", id)
+			os.Exit(2)
+		}
+	}
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table := e.Run(*seed)
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

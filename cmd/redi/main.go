@@ -1,0 +1,320 @@
+// Command redi is the REDI command-line tool: profile, label, audit, and
+// tailor datasets from CSV files.
+//
+// Usage:
+//
+//	redi profile  -schema <spec> <file.csv>
+//	redi label    -schema <spec> <file.csv>
+//	redi audit    -schema <spec> -sensitive a,b -threshold 25 -maxnull 0.05 <file.csv>
+//	redi tailor   -schema <spec> -sensitive a,b -need "k=v;k=v:COUNT,..." -out out.csv <src1.csv> <src2.csv> ...
+//	redi sample   -schema <spec> -n 100 -seed 1 <file.csv>
+//
+// A schema spec is a comma-separated list of name:kind[:role] entries,
+// e.g. "id:cat:id,race:cat:sensitive,age:num,label:cat:target".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"redi/internal/core"
+	"redi/internal/dataset"
+	"redi/internal/profile"
+	"redi/internal/rng"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "label":
+		err = cmdLabel(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
+	case "tailor":
+		err = cmdTailor(os.Args[2:])
+	case "sample":
+		err = cmdSample(os.Args[2:])
+	case "drift":
+		err = cmdDrift(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "redi: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `redi <command> [flags] <files>
+
+commands:
+  profile   per-column statistics of a CSV dataset
+  label     nutritional label (JSON) of a CSV dataset
+  audit     responsible-data audit (coverage + completeness)
+  tailor    integrate multiple CSV sources to meet group counts
+  sample    uniform random sample of a CSV dataset
+  drift     distribution drift between a baseline and a candidate CSV
+
+run "redi <command> -h" for flags; every command needs -schema
+  name:kind[:role],...   kind: cat|num   role: feature|sensitive|target|id`)
+}
+
+// parseSchema parses "name:kind[:role],..." into a schema.
+func parseSchema(spec string) (*dataset.Schema, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("missing -schema")
+	}
+	var attrs []dataset.Attribute
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("bad schema entry %q", part)
+		}
+		a := dataset.Attribute{Name: fields[0]}
+		switch fields[1] {
+		case "cat":
+			a.Kind = dataset.Categorical
+		case "num":
+			a.Kind = dataset.Numeric
+		default:
+			return nil, fmt.Errorf("bad kind %q in %q (want cat|num)", fields[1], part)
+		}
+		if len(fields) == 3 {
+			switch fields[2] {
+			case "feature":
+				a.Role = dataset.Feature
+			case "sensitive":
+				a.Role = dataset.Sensitive
+			case "target":
+				a.Role = dataset.Target
+			case "id":
+				a.Role = dataset.ID
+			default:
+				return nil, fmt.Errorf("bad role %q in %q", fields[2], part)
+			}
+		}
+		attrs = append(attrs, a)
+	}
+	return dataset.NewSchema(attrs...), nil
+}
+
+func loadCSV(path string, schema *dataset.Schema) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, schema)
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("profile needs exactly one CSV file")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	d, err := loadCSV(fs.Arg(0), schema)
+	if err != nil {
+		return err
+	}
+	fmt.Print(profile.FormatProfile(profile.Profile(d)))
+	return nil
+}
+
+func cmdLabel(args []string) error {
+	fs := flag.NewFlagSet("label", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	threshold := fs.Int("threshold", 0, "coverage threshold (0 = auto)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("label needs exactly one CSV file")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	d, err := loadCSV(fs.Arg(0), schema)
+	if err != nil {
+		return err
+	}
+	l := profile.BuildLabel(d, profile.LabelConfig{CoverageThreshold: *threshold})
+	b, err := l.JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	sensitive := fs.String("sensitive", "", "comma-separated sensitive attributes (default: schema roles)")
+	threshold := fs.Int("threshold", 10, "coverage threshold")
+	maxNull := fs.Float64("maxnull", 0.05, "maximum tolerated null rate")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("audit needs exactly one CSV file")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	d, err := loadCSV(fs.Arg(0), schema)
+	if err != nil {
+		return err
+	}
+	sens := schema.ByRole(dataset.Sensitive)
+	if *sensitive != "" {
+		sens = strings.Split(*sensitive, ",")
+	}
+	if len(sens) == 0 {
+		return fmt.Errorf("no sensitive attributes (set -sensitive or schema roles)")
+	}
+	rep := core.Audit(d, []core.Requirement{
+		core.CoverageRequirement{Attrs: sens, Threshold: *threshold},
+		core.CompletenessRequirement{Sensitive: sens, MaxNullRate: *maxNull},
+	})
+	fmt.Print(rep.String())
+	if !rep.Satisfied() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// parseNeed parses "race=black;sex=F:100,race=white;sex=M:50".
+func parseNeed(spec string) (map[dataset.GroupKey]int, error) {
+	out := map[dataset.GroupKey]int{}
+	if spec == "" {
+		return nil, fmt.Errorf("missing -need")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		i := strings.LastIndex(part, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("bad need entry %q (want key:count)", part)
+		}
+		n, err := strconv.Atoi(part[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("bad count in %q: %v", part, err)
+		}
+		out[dataset.GroupKey(part[:i])] = n
+	}
+	return out, nil
+}
+
+func cmdTailor(args []string) error {
+	fs := flag.NewFlagSet("tailor", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	sensitive := fs.String("sensitive", "", "comma-separated sensitive attributes (default: schema roles)")
+	needSpec := fs.String("need", "", "group count requirements, e.g. race=b;sex=F:100,...")
+	outPath := fs.String("out", "", "output CSV path (default stdout)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	known := fs.Bool("known", true, "use known source distributions (RatioColl); false = UCB")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("tailor needs at least one source CSV")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	need, err := parseNeed(*needSpec)
+	if err != nil {
+		return err
+	}
+	var sources []*dataset.Dataset
+	for _, path := range fs.Args() {
+		d, err := loadCSV(path, schema)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		sources = append(sources, d)
+	}
+	sens := schema.ByRole(dataset.Sensitive)
+	if *sensitive != "" {
+		sens = strings.Split(*sensitive, ",")
+	}
+	p := &core.Pipeline{Sources: sources, Sensitive: sens, KnownDistributions: *known}
+	res, err := p.Run(need, nil, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tailored %d rows in %d draws, cost %.2f (strategy %s)\n",
+		res.Data.NumRows(), res.Tailor.Draws, res.Tailor.TotalCost, res.Tailor.Strategy)
+	w := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return res.Data.WriteCSV(w)
+}
+
+func cmdDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	bins := fs.Int("bins", 10, "histogram bins for numeric attributes")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("drift needs exactly two CSV files: baseline candidate")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	baseline, err := loadCSV(fs.Arg(0), schema)
+	if err != nil {
+		return err
+	}
+	candidate, err := loadCSV(fs.Arg(1), schema)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %10s %8s %10s %10s\n", "attribute", "PSI", "TV", "W1", "level")
+	for _, d := range profile.Drift(baseline, candidate, *bins) {
+		fmt.Printf("%-14s %10.4f %8.4f %10.4f %10s\n", d.Attr, d.PSI, d.TV, d.W1, d.DriftLevel())
+	}
+	return nil
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	n := fs.Int("n", 10, "sample size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("sample needs exactly one CSV file")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	d, err := loadCSV(fs.Arg(0), schema)
+	if err != nil {
+		return err
+	}
+	return d.SampleRows(rng.New(*seed), *n).WriteCSV(os.Stdout)
+}

@@ -1,0 +1,12 @@
+// Package redi is the root of REDI, a stdlib-only Go implementation of the
+// systems surveyed in "Responsible Data Integration: Next-generation
+// Challenges" (Nargesian, Asudeh, Jagadish — SIGMOD 2022): distribution
+// tailoring, coverage analysis, sampling over joins, dataset discovery,
+// fairness-aware profiling/cleaning/querying, selective acquisition, and
+// the end-to-end responsible-integration pipeline tying them together.
+//
+// The root package holds only the benchmark harness (bench_test.go), one
+// testing.B benchmark per experiment table E1–E18. The library lives under
+// internal/ (see README.md for the package map), executables under cmd/,
+// and runnable scenarios under examples/.
+package redi

@@ -1,0 +1,66 @@
+// Fairquery: fairness-aware range queries (tutorial §5). A scholarship
+// committee selects students with "score BETWEEN 70 AND 100"; because one
+// group's scores are systematically depressed, the result is demographically
+// one-sided. The example rewrites the range minimally until the group-count
+// disparity is within bounds, and separately relaxes a query until every
+// group reaches a required count (coverage-based rewriting).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redi/internal/dataset"
+	"redi/internal/rangequery"
+	"redi/internal/rng"
+)
+
+func main() {
+	r := rng.New(31)
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "score", Kind: dataset.Numeric, Role: dataset.Feature},
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical, Role: dataset.Sensitive},
+	))
+	for i := 0; i < 800; i++ {
+		grp, mean := "a", 72.0
+		if i%3 == 0 {
+			grp, mean = "b", 58.0
+		}
+		d.MustAppendRow(dataset.Num(r.Normal(mean, 9)), dataset.Cat(grp))
+	}
+	ix, err := rangequery.NewIndex(d, "score", []string{"grp"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	orig := ix.Query(70, 100)
+	fmt.Println("original query: score BETWEEN 70 AND 100")
+	printResult(ix, orig)
+
+	fmt.Println("\nfairest similar ranges under tightening disparity bounds:")
+	for _, eps := range []int{50, 20, 5, 0} {
+		res, err := ix.FairestSimilarRange(70, 100, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  eps=%3d -> score BETWEEN %.1f AND %.1f  similarity %.3f\n",
+			eps, res.Lo, res.Hi, res.Similarity)
+		printResult(ix, res)
+	}
+
+	fmt.Println("\ncoverage-based rewriting: require at least 60 rows per group")
+	res, err := ix.CoverageRelax(70, 100, []int{60, 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  relaxed to score BETWEEN %.1f AND %.1f (similarity %.3f)\n",
+		res.Lo, res.Hi, res.Similarity)
+	printResult(ix, res)
+}
+
+func printResult(ix *rangequery.Index, res rangequery.Result) {
+	for gi, k := range ix.Groups {
+		fmt.Printf("    %-8s %4d rows\n", k, res.Counts[gi])
+	}
+	fmt.Printf("    disparity %d, result size %d\n", res.Disparity, res.Size)
+}

@@ -1,0 +1,104 @@
+// Featurediscovery: unbiased feature discovery over a data lake (tutorial
+// §3.1 and §5). A query table holds patient ids, a sensitive attribute, and
+// a numeric health outcome; the repository holds joinable tables whose
+// numeric columns are candidate model features. The example first finds
+// joinable tables through the LSH-ensemble domain index, then ranks
+// candidate features by target correlation penalized by association with
+// the sensitive attribute — surfacing informative features while demoting
+// demographic proxies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redi/internal/dataset"
+	"redi/internal/discovery"
+	"redi/internal/rng"
+)
+
+func main() {
+	r := rng.New(21)
+
+	// Query table: patient id, neighborhood group, outcome severity.
+	q := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "patient", Kind: dataset.Categorical, Role: dataset.ID},
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical, Role: dataset.Sensitive},
+		dataset.Attribute{Name: "severity", Kind: dataset.Numeric, Role: dataset.Target},
+	))
+	// Candidate tables in the lake.
+	labs := newTable("patient", "lab_score")     // informative, unbiased
+	zipcode := newTable("patient", "zip_income") // demographic proxy
+	noise := newTable("patient", "shoe_size")    // uninformative
+	stale := newTable("subject", "lab_score")    // wrong key domain
+
+	for i := 0; i < 3000; i++ {
+		id := fmt.Sprintf("p%05d", i)
+		grp, shift := "east", 0.0
+		if i%4 == 0 {
+			grp, shift = "west", 2.5
+		}
+		signal := r.Normal(0, 1)
+		q.MustAppendRow(dataset.Cat(id), dataset.Cat(grp),
+			dataset.Num(signal+0.6*shift+r.Normal(0, 0.4)))
+		labs.MustAppendRow(dataset.Cat(id), dataset.Num(signal+r.Normal(0, 0.4)))
+		zipcode.MustAppendRow(dataset.Cat(id), dataset.Num(shift+r.Normal(0, 0.3)))
+		noise.MustAppendRow(dataset.Cat(id), dataset.Num(r.Normal(0, 1)))
+		stale.MustAppendRow(dataset.Cat(fmt.Sprintf("s%05d", i)), dataset.Num(r.Normal(0, 1)))
+	}
+
+	repo := discovery.NewRepository()
+	for name, tbl := range map[string]*dataset.Dataset{
+		"labs": labs, "zipcode": zipcode, "noise": noise, "stale": stale,
+	} {
+		if err := repo.Add(name, tbl); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Step 1: find joinable tables via the LSH ensemble.
+	var refs []discovery.ColumnRef
+	var domains []map[string]bool
+	for _, ref := range repo.Columns() {
+		refs = append(refs, ref)
+		domains = append(domains, repo.Domain(ref))
+	}
+	ens, err := discovery.NewLSHEnsemble(128, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ens.Index(refs, domains)
+	joinable := ens.Query(discovery.DomainOf(q, "patient"), 0.8)
+	fmt.Println("joinable columns (estimated containment >= 0.8):")
+	for _, m := range joinable {
+		fmt.Printf("  %-18s %.3f\n", m.Ref, m.Score)
+	}
+
+	// Step 2: rank candidate features, penalizing sensitive association.
+	hits, err := discovery.DiscoverFeatures(repo, discovery.FeatureQuery{
+		Query:       q,
+		JoinAttr:    "patient",
+		TargetAttr:  "severity",
+		Sensitive:   []string{"grp"},
+		BiasPenalty: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nranked features (score = target-corr − λ·sensitive-assoc):")
+	fmt.Printf("  %-22s %8s %12s %14s %8s\n", "feature", "score", "target-corr", "sens-assoc", "rows")
+	for _, h := range hits {
+		fmt.Printf("  %-22s %8.3f %12.3f %14.3f %8d\n",
+			h.Column, h.Score, h.TargetCorr, h.SensitiveAssoc, h.Rows)
+	}
+	if len(hits) > 0 {
+		fmt.Printf("\nrecommended feature: %s\n", hits[0].Column)
+	}
+}
+
+func newTable(key, val string) *dataset.Dataset {
+	return dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: key, Kind: dataset.Categorical, Role: dataset.ID},
+		dataset.Attribute{Name: val, Kind: dataset.Numeric, Role: dataset.Feature},
+	))
+}

@@ -1,0 +1,102 @@
+// Interventions: auditing a trained model by demographic slice and
+// comparing fairness interventions under the FairPrep protocol. A lending
+// model is trained on skewed data; the slice finder pinpoints exactly which
+// intersectional subpopulations it fails; the study then quantifies what
+// each downstream intervention buys and costs — the §2.3 trade-off in
+// numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redi/internal/acquisition"
+	"redi/internal/fairness"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+func main() {
+	cfg := synth.DefaultPopulation(6000)
+	cfg.GroupEffect = 1.3
+	pop := synth.Generate(cfg, rng.New(3))
+	prob, err := fairness.InferProblem(pop.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainD, testD := pop.Data.Split(rng.New(4), 0.6)
+	train, err := fairness.BuildDesign(trainD, prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := fairness.BuildDesign(testD, prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	means, scales := train.Standardize()
+	test.ApplyStandardize(means, scales)
+
+	m, err := fairness.TrainLogistic(train.X, train.Y, nil, fairness.LogisticConfig{}, rng.New(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := fairness.Evaluate(m, test)
+	fmt.Printf("model: accuracy %.3f, AUC %.3f, DP diff %.3f, accuracy gap %.3f\n",
+		rep.Accuracy, fairness.AUC(m, test), rep.DemographicParityDiff, rep.AccuracyGap)
+
+	// Which slices does the model actually fail?
+	slices, err := acquisition.FindProblemSlices(m, test, testD, acquisition.SliceFinderConfig{
+		Attrs: []string{"race", "sex"},
+		TopK:  5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nproblem slices (loss vs overall):")
+	for _, s := range slices {
+		fmt.Printf("  %-28s n=%4d loss %.3f (gap %+.3f)\n", s.Description, s.N, s.Loss, s.Gap)
+	}
+
+	// What can downstream interventions do about it?
+	data := func(seed uint64) (tr, val, te *fairness.Design, err error) {
+		p := synth.Generate(cfg, rng.New(seed))
+		trD, rest := p.Data.Split(rng.New(seed+1), 0.6)
+		valD, teD := rest.Split(rng.New(seed+2), 0.5)
+		if tr, err = fairness.BuildDesign(trD, prob); err != nil {
+			return
+		}
+		if val, err = fairness.BuildDesign(valD, prob); err != nil {
+			return
+		}
+		if te, err = fairness.BuildDesign(teD, prob); err != nil {
+			return
+		}
+		mm, ss := tr.Standardize()
+		val.ApplyStandardize(mm, ss)
+		te.ApplyStandardize(mm, ss)
+		return tr, val, te, nil
+	}
+	lcfg := fairness.LogisticConfig{Epochs: 25}
+	rows, err := fairness.RunStudy(fairness.StudyConfig{
+		Seeds: []uint64{11, 22, 33},
+		Data:  data,
+	}, []fairness.Intervention{
+		fairness.Baseline(lcfg),
+		fairness.ReweighIntervention(lcfg),
+		fairness.ParityPostProcess(lcfg, 0.5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nintervention study (mean±std over 3 seeds):")
+	fmt.Printf("  %-18s %14s %14s %14s\n", "intervention", "accuracy", "DP diff", "acc gap")
+	for _, r := range rows {
+		fmt.Printf("  %-18s %7.3f±%.3f %7.3f±%.3f %7.3f±%.3f\n",
+			r.Intervention,
+			r.Accuracy.Mean, r.Accuracy.Std,
+			r.DPDiff.Mean, r.DPDiff.Std,
+			r.AccuracyGap.Mean, r.AccuracyGap.Std)
+	}
+	fmt.Println("\nthe data-side alternative: see examples/healthcare, where tailored")
+	fmt.Println("collection lifts worst-group accuracy without sacrificing the rest.")
+}

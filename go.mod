@@ -1,0 +1,3 @@
+module redi
+
+go 1.22

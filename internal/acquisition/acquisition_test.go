@@ -1,0 +1,423 @@
+package acquisition
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/rng"
+)
+
+func TestFitLearningCurve(t *testing.T) {
+	// Exact power law loss = 2 n^-0.5.
+	ns := []float64{10, 100, 1000, 10000}
+	losses := make([]float64, len(ns))
+	for i, n := range ns {
+		losses[i] = 2 * math.Pow(n, -0.5)
+	}
+	c, err := FitLearningCurve(ns, losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.A-2) > 1e-6 || math.Abs(c.B-0.5) > 1e-6 {
+		t.Fatalf("curve = %+v", c)
+	}
+	if math.Abs(c.Loss(400)-0.1) > 1e-9 {
+		t.Fatalf("Loss(400) = %v", c.Loss(400))
+	}
+}
+
+func TestFitLearningCurveErrors(t *testing.T) {
+	if _, err := FitLearningCurve([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitLearningCurve([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Rising curve clamps to flat.
+	c, err := FitLearningCurve([]float64{10, 100}, []float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.B != 0 {
+		t.Fatalf("rising curve B = %v, want clamped 0", c.B)
+	}
+}
+
+func TestUniformAllocate(t *testing.T) {
+	a := UniformAllocate(3, 10)
+	if a.Total() != 10 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	if a[0] != 4 || a[1] != 3 || a[2] != 3 {
+		t.Fatalf("allocation = %v", a)
+	}
+	if UniformAllocate(0, 10).Total() != 0 {
+		t.Fatal("zero slices should allocate nothing")
+	}
+}
+
+func TestWaterfillingAllocate(t *testing.T) {
+	a := WaterfillingAllocate([]int{100, 10, 10}, 60, 5)
+	if a.Total() != 60 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	if a[0] != 0 {
+		t.Fatalf("waterfilling fed the largest slice: %v", a)
+	}
+	if a[1]+a[2] != 60 || absInt(a[1]-a[2]) > 5 {
+		t.Fatalf("allocation unbalanced: %v", a)
+	}
+}
+
+func TestCurveAllocatePrefersImprovableSlice(t *testing.T) {
+	curves := []LearningCurve{
+		{A: 1, B: 0.5}, // steep: much to gain
+		{A: 1, B: 0.0}, // flat: no gain
+	}
+	a := CurveAllocate(curves, []int{100, 100}, 50, 10, 0)
+	if a[0] != 50 || a[1] != 0 {
+		t.Fatalf("allocation = %v, want all to the steep slice", a)
+	}
+}
+
+func TestCurveAllocateUnfairnessTerm(t *testing.T) {
+	// Slice 1 has much higher current loss but a flat curve; lambda
+	// pushes budget toward it anyway.
+	curves := []LearningCurve{
+		{A: 0.1, B: 0.3},
+		{A: 5, B: 0.01},
+	}
+	fair := CurveAllocate(curves, []int{50, 50}, 40, 10, 10)
+	if fair[1] == 0 {
+		t.Fatalf("lambda ignored: %v", fair)
+	}
+}
+
+func TestSubsetSizes(t *testing.T) {
+	got := SubsetSizes(80, 4)
+	want := []float64{10, 20, 40, 80}
+	if len(got) != len(want) {
+		t.Fatalf("SubsetSizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SubsetSizes = %v", got)
+		}
+	}
+	if got := SubsetSizes(3, 4); len(got) != 2 || got[0] != 3/2 {
+		// 3>>2 = 0 (skipped), 3>>1 = 1 (<2 skipped), 3>>0 = 3.
+		if len(got) != 1 || got[0] != 3 {
+			t.Fatalf("SubsetSizes(3,4) = %v", got)
+		}
+	}
+}
+
+func TestZeroOneLossAndMaxLoss(t *testing.T) {
+	if l := ZeroOneLoss([]int{1, 0, 1}, []int{1, 1, 1}); math.Abs(l-1.0/3) > 1e-12 {
+		t.Fatalf("loss = %v", l)
+	}
+	if ZeroOneLoss(nil, nil) != 0 {
+		t.Fatal("empty loss")
+	}
+	if MaxLoss([]float64{0.1, 0.5, 0.2}) != 0.5 {
+		t.Fatal("MaxLoss")
+	}
+}
+
+// syntheticSlices builds a 2-slice classification pool where slice 1 is
+// harder (noisier boundary), so equal loss needs more slice-1 data.
+func syntheticSlices(n int, r *rng.RNG) (X [][]float64, y, slice []int) {
+	for i := 0; i < n; i++ {
+		sl := 0
+		noise := 0.4
+		if i%2 == 1 {
+			sl = 1
+			noise = 1.5
+		}
+		cls := r.Intn(2)
+		mean := -1.0
+		if cls == 1 {
+			mean = 1
+		}
+		X = append(X, []float64{r.Normal(mean, noise), r.Normal(float64(sl), 0.5)})
+		y = append(y, cls)
+		slice = append(slice, sl)
+	}
+	return X, y, slice
+}
+
+func newSim(t *testing.T, seed uint64, initial []int) *SliceSim {
+	t.Helper()
+	r := rng.New(seed)
+	px, py, ps := syntheticSlices(6000, r)
+	tx, ty, ts := syntheticSlices(2000, r)
+	sim, err := NewSliceSim(2, px, py, ps, tx, ty, ts, initial, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestSliceSimBasics(t *testing.T) {
+	sim := newSim(t, 1, []int{100, 100})
+	sizes := sim.SliceSizes()
+	if sizes[0] != 100 || sizes[1] != 100 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	per, overall, err := sim.TrainAndEval(rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall <= 0 || overall >= 0.5 {
+		t.Fatalf("overall loss = %v", overall)
+	}
+	// Slice 1 is harder by construction.
+	if per[1] <= per[0] {
+		t.Fatalf("per-slice losses = %v, slice 1 should be harder", per)
+	}
+	sim.Acquire(Allocation{50, 150}, rng.New(3))
+	sizes = sim.SliceSizes()
+	if sizes[0] != 150 || sizes[1] != 250 {
+		t.Fatalf("sizes after acquire = %v", sizes)
+	}
+}
+
+func TestSliceSimValidation(t *testing.T) {
+	r := rng.New(4)
+	px, py, ps := syntheticSlices(100, r)
+	tx, ty, ts := syntheticSlices(10, r)
+	if _, err := NewSliceSim(2, px, py, ps, tx, ty, ts, []int{1000, 0}, r); err == nil {
+		t.Fatal("oversized initial accepted")
+	}
+	bad := append([]int(nil), ps...)
+	bad[0] = 9
+	if _, err := NewSliceSim(2, px, py, bad, tx, ty, ts, []int{1, 1}, r); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+}
+
+func TestCollectHistoryAndCurves(t *testing.T) {
+	sim := newSim(t, 5, []int{400, 400})
+	hist, err := sim.CollectHistory(4, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := EstimateCurves(hist)
+	if len(curves) != 2 {
+		t.Fatalf("curves = %v", curves)
+	}
+	for sl, c := range curves {
+		if c.A <= 0 {
+			t.Fatalf("slice %d curve = %+v", sl, c)
+		}
+	}
+}
+
+func TestSliceTunerBeatsUniformOnMaxLoss(t *testing.T) {
+	run := func(mk func(sim *SliceSim) Allocation, seed uint64) float64 {
+		sim := newSim(t, seed, []int{600, 150})
+		a := mk(sim)
+		sim.Acquire(a, rng.New(seed+1))
+		worst := 0.0
+		const evals = 3
+		for e := uint64(0); e < evals; e++ {
+			per, _, err := sim.TrainAndEval(rng.New(seed + 2 + e))
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst += MaxLoss(per)
+		}
+		return worst / evals
+	}
+	const budget = 900
+	var tuner, uniform float64
+	const trials = 3
+	for s := uint64(0); s < trials; s++ {
+		tuner += run(func(sim *SliceSim) Allocation {
+			hist, err := sim.CollectHistory(4, rng.New(100+s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return CurveAllocate(EstimateCurves(hist), sim.SliceSizes(), budget, 50, 1)
+		}, 10*s)
+		uniform += run(func(*SliceSim) Allocation {
+			return UniformAllocate(2, budget)
+		}, 10*s)
+	}
+	if tuner > uniform*1.05 {
+		t.Fatalf("SliceTuner max loss %v clearly worse than uniform %v", tuner/trials, uniform/trials)
+	}
+}
+
+func TestProviderAndConsumer(t *testing.T) {
+	r := rng.New(7)
+	px, py, ps := syntheticSlices(4000, r)
+	prov, err := NewProvider(2, px, py, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.NumPredicates() != 2 {
+		t.Fatal("predicates")
+	}
+	before := prov.Remaining(0)
+	X, y := prov.Query(0, 10, r)
+	if len(X) != 10 || len(y) != 10 {
+		t.Fatalf("query returned %d", len(X))
+	}
+	if prov.Remaining(0) != before-10 {
+		t.Fatal("sampling with replacement detected")
+	}
+
+	// Consumer seeded only with slice-0 data.
+	var initX [][]float64
+	var initY []int
+	for i := range px {
+		if ps[i] == 0 && len(initX) < 100 {
+			initX = append(initX, px[i])
+			initY = append(initY, py[i])
+		}
+	}
+	vx, vy, _ := syntheticSlices(800, r)
+	cons := NewConsumer(initX, initY, vx, vy, 2, 0.1)
+	accs, err := MarketRun(prov, cons, 10, 40, cons.ChoosePredicate, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 10 {
+		t.Fatalf("accs = %v", accs)
+	}
+	if accs[len(accs)-1] < 0.5 {
+		t.Fatalf("final accuracy = %v", accs[len(accs)-1])
+	}
+}
+
+func TestNoveltyGuidedPrefersUnseenPredicate(t *testing.T) {
+	r := rng.New(9)
+	px, py, ps := syntheticSlices(4000, r)
+	prov, err := NewProvider(2, px, py, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var initX [][]float64
+	var initY []int
+	for i := range px {
+		if ps[i] == 0 && len(initX) < 200 {
+			initX = append(initX, px[i])
+			initY = append(initY, py[i])
+		}
+	}
+	vx, vy, _ := syntheticSlices(500, r)
+	cons := NewConsumer(initX, initY, vx, vy, 2, 0)
+	if _, err := MarketRun(prov, cons, 6, 30, cons.ChoosePredicate, rng.New(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Predicate 1 (unseen slice) should have higher novelty and more
+	// queries after the initial exploration.
+	if cons.novelty[1] <= cons.novelty[0] {
+		t.Fatalf("novelty = %v, predicate 1 should dominate", cons.novelty)
+	}
+	if cons.queries[1] <= cons.queries[0] {
+		t.Fatalf("queries = %v, predicate 1 should dominate", cons.queries)
+	}
+}
+
+func TestCrowdCollectorAdaptiveBeatsRandom(t *testing.T) {
+	// 12 workers: 8 biased toward value 0, 4 covering the tail values.
+	target := []float64{0.25, 0.25, 0.25, 0.25}
+	mkWorkers := func() []*Worker {
+		var ws []*Worker
+		for i := 0; i < 8; i++ {
+			ws = append(ws, NewWorker([]float64{0.85, 0.05, 0.05, 0.05}))
+		}
+		for i := 0; i < 4; i++ {
+			ws = append(ws, NewWorker([]float64{0.04, 0.32, 0.32, 0.32}))
+		}
+		return ws
+	}
+	runKL := func(adaptive bool, seed uint64) float64 {
+		c, err := NewCrowdCollector(mkWorkers(), target, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(seed)
+		for round := 0; round < 50; round++ {
+			if adaptive {
+				c.AdaptiveRound(r)
+			} else {
+				c.RandomRound(r)
+			}
+		}
+		if c.Total() != 200 {
+			t.Fatalf("collected %v", c.Total())
+		}
+		return c.KL()
+	}
+	var adaptive, random float64
+	for s := uint64(0); s < 5; s++ {
+		adaptive += runKL(true, 20+s)
+		random += runKL(false, 40+s)
+	}
+	if adaptive >= random {
+		t.Fatalf("adaptive KL %v should beat random %v", adaptive/5, random/5)
+	}
+}
+
+func TestBudgetedRoundRespectsBudget(t *testing.T) {
+	target := []float64{0.25, 0.25, 0.25, 0.25}
+	workers := []*Worker{
+		NewWorker([]float64{0.85, 0.05, 0.05, 0.05}),
+		NewWorker([]float64{0.05, 0.85, 0.05, 0.05}),
+		NewWorker([]float64{0.05, 0.05, 0.85, 0.05}),
+		NewWorker([]float64{0.05, 0.05, 0.05, 0.85}),
+	}
+	c, err := NewCrowdCollector(workers, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []float64{1, 2, 3, 4}
+	r := rng.New(50)
+	spent := c.BudgetedRound(costs, 5, r)
+	if spent > 5 {
+		t.Fatalf("spent %v over budget 5", spent)
+	}
+	if c.Total() == 0 {
+		t.Fatal("no entities collected")
+	}
+	// Many rounds under budget should still converge toward the target.
+	for i := 0; i < 60; i++ {
+		c.BudgetedRound(costs, 6, r)
+	}
+	if kl := c.KL(); kl > 0.2 {
+		t.Fatalf("budgeted collection KL = %v", kl)
+	}
+}
+
+func TestBudgetedRoundPanicsOnMismatch(t *testing.T) {
+	c, err := NewCrowdCollector([]*Worker{NewWorker([]float64{1})}, []float64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cost mismatch did not panic")
+		}
+	}()
+	c.BudgetedRound([]float64{1, 2}, 5, rng.New(51))
+}
+
+func TestCrowdCollectorValidation(t *testing.T) {
+	if _, err := NewCrowdCollector(nil, []float64{1}, 1); err == nil {
+		t.Fatal("no workers accepted")
+	}
+	w := []*Worker{NewWorker([]float64{1})}
+	if _, err := NewCrowdCollector(w, []float64{1}, 2); err == nil {
+		t.Fatal("perRound > workers accepted")
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,196 @@
+package acquisition
+
+import (
+	"errors"
+
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// Worker is a simulated crowd worker with a hidden entity distribution over
+// domain values (Fan et al., TKDE 2019): asked to contribute, the worker
+// submits one entity drawn from that distribution.
+type Worker struct {
+	dist *rng.Categorical
+}
+
+// NewWorker creates a worker over the given (hidden) value weights.
+func NewWorker(weights []float64) *Worker {
+	return &Worker{dist: rng.NewCategorical(weights)}
+}
+
+// Submit draws one entity value index.
+func (w *Worker) Submit(r *rng.RNG) int { return w.dist.Draw(r) }
+
+// CrowdCollector runs distribution-aware crowdsourced entity collection:
+// each round it selects PerRound workers, collects one entity from each,
+// and tracks how far the collected distribution sits from the target
+// (KL divergence with Laplace smoothing). The adaptive policy estimates
+// each worker's distribution from their submission history and selects the
+// workers expected to shrink the gap most.
+type CrowdCollector struct {
+	Workers  []*Worker
+	Target   []float64 // normalized target distribution over values
+	PerRound int
+
+	collected []float64 // counts per value
+	total     float64
+	// Per-worker Dirichlet-smoothed submission histories.
+	hist  [][]float64
+	histN []float64
+}
+
+// NewCrowdCollector validates and builds a collector. Target is normalized
+// internally.
+func NewCrowdCollector(workers []*Worker, target []float64, perRound int) (*CrowdCollector, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("acquisition: no workers")
+	}
+	if perRound <= 0 || perRound > len(workers) {
+		return nil, errors.New("acquisition: perRound out of range")
+	}
+	c := &CrowdCollector{
+		Workers:   workers,
+		Target:    stats.Normalize(target),
+		PerRound:  perRound,
+		collected: make([]float64, len(target)),
+		hist:      make([][]float64, len(workers)),
+		histN:     make([]float64, len(workers)),
+	}
+	for i := range c.hist {
+		c.hist[i] = make([]float64, len(target))
+	}
+	return c, nil
+}
+
+// Collected returns the smoothed empirical distribution of collected
+// entities.
+func (c *CrowdCollector) Collected() []float64 {
+	return stats.Smooth(c.collected, 0.5)
+}
+
+// KL returns KL(target ‖ collected) on the smoothed collected distribution
+// — the objective of Fan et al.
+func (c *CrowdCollector) KL() float64 {
+	return stats.KLDivergence(c.Target, c.Collected())
+}
+
+// estimate returns worker w's smoothed distribution estimate.
+func (c *CrowdCollector) estimate(w int) []float64 {
+	k := float64(len(c.Target))
+	out := make([]float64, len(c.Target))
+	for v := range out {
+		out[v] = (c.hist[w][v] + 1) / (c.histN[w] + k)
+	}
+	return out
+}
+
+// deficiency returns max(0, target_v − collectedShare_v) per value: the
+// mass still missing.
+func (c *CrowdCollector) deficiency() []float64 {
+	out := make([]float64, len(c.Target))
+	for v := range out {
+		share := 0.0
+		if c.total > 0 {
+			share = c.collected[v] / c.total
+		}
+		if d := c.Target[v] - share; d > 0 {
+			out[v] = d
+		}
+	}
+	return out
+}
+
+// AdaptiveRound selects the PerRound workers whose estimated distributions
+// best match the current deficiency (highest expected contribution to
+// missing mass), collects one entity from each, and updates all estimates.
+func (c *CrowdCollector) AdaptiveRound(r *rng.RNG) {
+	def := c.deficiency()
+	type scored struct {
+		w     int
+		score float64
+	}
+	best := make([]scored, 0, len(c.Workers))
+	for w := range c.Workers {
+		est := c.estimate(w)
+		s := 0.0
+		for v := range est {
+			s += est[v] * def[v]
+		}
+		best = append(best, scored{w: w, score: s})
+	}
+	// Partial selection of the top PerRound scores.
+	for i := 0; i < c.PerRound; i++ {
+		top := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].score > best[top].score {
+				top = j
+			}
+		}
+		best[i], best[top] = best[top], best[i]
+		c.collectFrom(best[i].w, r)
+	}
+}
+
+// RandomRound selects PerRound uniformly random distinct workers — the
+// baseline policy.
+func (c *CrowdCollector) RandomRound(r *rng.RNG) {
+	perm := r.Perm(len(c.Workers))
+	for i := 0; i < c.PerRound; i++ {
+		c.collectFrom(perm[i], r)
+	}
+}
+
+func (c *CrowdCollector) collectFrom(w int, r *rng.RNG) {
+	v := c.Workers[w].Submit(r)
+	c.collected[v]++
+	c.total++
+	c.hist[w][v]++
+	c.histN[w]++
+}
+
+// Total returns the number of collected entities.
+func (c *CrowdCollector) Total() float64 { return c.total }
+
+// BudgetedRound extends the adaptive policy with worker costs
+// (incentive-based collection, Chai et al. ICDE 2018): it selects workers
+// in decreasing score-per-cost order until the round budget is exhausted,
+// collecting one entity from each selected worker. It returns the budget
+// actually spent. costs must be positive and parallel to Workers.
+func (c *CrowdCollector) BudgetedRound(costs []float64, budget float64, r *rng.RNG) float64 {
+	if len(costs) != len(c.Workers) {
+		panic("acquisition: costs length mismatch")
+	}
+	def := c.deficiency()
+	type scored struct {
+		w     int
+		value float64
+	}
+	cand := make([]scored, 0, len(c.Workers))
+	for w := range c.Workers {
+		est := c.estimate(w)
+		s := 0.0
+		for v := range est {
+			s += est[v] * def[v]
+		}
+		cand = append(cand, scored{w: w, value: s / costs[w]})
+	}
+	// Selection sort over the candidates, spending greedily.
+	spent := 0.0
+	for i := 0; i < len(cand); i++ {
+		top := i
+		for j := i + 1; j < len(cand); j++ {
+			if cand[j].value > cand[top].value {
+				top = j
+			}
+		}
+		cand[i], cand[top] = cand[top], cand[i]
+		w := cand[i].w
+		if spent+costs[w] > budget {
+			continue
+		}
+		spent += costs[w]
+		c.collectFrom(w, r)
+	}
+	return spent
+}

@@ -1,0 +1,184 @@
+package acquisition
+
+import (
+	"errors"
+	"math"
+
+	"redi/internal/fairness"
+	"redi/internal/rng"
+)
+
+// Provider simulates a data-market provider (Li, Yu, Koudas, VLDB 2021):
+// it holds a hidden pool of labeled examples and answers predicate queries
+// with random samples without replacement. The consumer never sees the
+// pool, only query results.
+type Provider struct {
+	X     [][]float64
+	Y     []int
+	Pred  []int   // predicate id of each example
+	pools [][]int // per-predicate remaining indices
+}
+
+// NewProvider builds a provider whose examples are partitioned into
+// numPredicates disjoint query predicates (e.g. demographic slices or
+// filter ranges).
+func NewProvider(numPredicates int, X [][]float64, y, pred []int) (*Provider, error) {
+	if len(X) != len(y) || len(X) != len(pred) {
+		return nil, errors.New("acquisition: provider input length mismatch")
+	}
+	p := &Provider{X: X, Y: y, Pred: pred, pools: make([][]int, numPredicates)}
+	for i, q := range pred {
+		if q < 0 || q >= numPredicates {
+			return nil, errors.New("acquisition: predicate id out of range")
+		}
+		p.pools[q] = append(p.pools[q], i)
+	}
+	return p, nil
+}
+
+// NumPredicates returns the number of queryable predicates.
+func (p *Provider) NumPredicates() int { return len(p.pools) }
+
+// Remaining returns how many examples predicate q can still return.
+func (p *Provider) Remaining(q int) int { return len(p.pools[q]) }
+
+// Query returns up to n examples matching predicate q, sampled without
+// replacement.
+func (p *Provider) Query(q, n int, r *rng.RNG) (X [][]float64, y []int) {
+	idx := reservoirDraw(&p.pools[q], n, r)
+	for _, i := range idx {
+		X = append(X, p.X[i])
+		y = append(y, p.Y[i])
+	}
+	return X, y
+}
+
+// Consumer runs the acquisition loop: it owns training data, a validation
+// set, and a per-predicate utility estimate based on novelty — the mean
+// distance of a query's returned batch from the consumer's current data
+// centroid, the proxy Li et al. use for anticipated accuracy improvement.
+type Consumer struct {
+	TrainX [][]float64
+	TrainY []int
+	ValX   [][]float64
+	ValY   []int
+
+	Eps float64 // exploration rate for predicate choice
+
+	novelty   []float64 // running mean novelty per predicate
+	queries   []float64 // queries issued per predicate
+	centroid  []float64
+	nCentroid float64
+}
+
+// NewConsumer starts a consumer with initial (possibly unrepresentative)
+// training data and a validation set.
+func NewConsumer(trainX [][]float64, trainY []int, valX [][]float64, valY []int, numPredicates int, eps float64) *Consumer {
+	c := &Consumer{
+		TrainX:  trainX,
+		TrainY:  trainY,
+		ValX:    valX,
+		ValY:    valY,
+		Eps:     eps,
+		novelty: make([]float64, numPredicates),
+		queries: make([]float64, numPredicates),
+	}
+	if len(trainX) > 0 {
+		c.centroid = make([]float64, len(trainX[0]))
+		for _, x := range trainX {
+			c.absorb(x)
+		}
+	}
+	return c
+}
+
+func (c *Consumer) absorb(x []float64) {
+	c.nCentroid++
+	for j, v := range x {
+		c.centroid[j] += (v - c.centroid[j]) / c.nCentroid
+	}
+}
+
+func (c *Consumer) distance(x []float64) float64 {
+	s := 0.0
+	for j, v := range x {
+		d := v - c.centroid[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// ChoosePredicate picks the next predicate: with probability Eps a uniform
+// exploration, otherwise the predicate with the highest mean novelty
+// (unqueried predicates first).
+func (c *Consumer) ChoosePredicate(r *rng.RNG) int {
+	if r.Bool(c.Eps) {
+		return r.Intn(len(c.novelty))
+	}
+	for q, n := range c.queries {
+		if n == 0 {
+			return q
+		}
+	}
+	best := 0
+	for q := range c.novelty {
+		if c.novelty[q] > c.novelty[best] {
+			best = q
+		}
+	}
+	return best
+}
+
+// Absorb folds a query result into the training data and updates the
+// predicate's novelty estimate.
+func (c *Consumer) Absorb(q int, X [][]float64, y []int) {
+	batchNovelty := 0.0
+	for _, x := range X {
+		batchNovelty += c.distance(x)
+	}
+	if len(X) > 0 {
+		batchNovelty /= float64(len(X))
+	}
+	c.queries[q]++
+	c.novelty[q] += (batchNovelty - c.novelty[q]) / c.queries[q]
+	for i, x := range X {
+		c.TrainX = append(c.TrainX, x)
+		c.TrainY = append(c.TrainY, y[i])
+		c.absorb(x)
+	}
+}
+
+// Accuracy trains a logistic model on the current training data and
+// returns validation accuracy.
+func (c *Consumer) Accuracy(r *rng.RNG) (float64, error) {
+	m, err := fairness.TrainLogistic(c.TrainX, c.TrainY, nil, fairness.LogisticConfig{Epochs: 20}, r)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, x := range c.ValX {
+		if m.Predict(x) == c.ValY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(c.ValX)), nil
+}
+
+// MarketRun executes rounds of acquisition with batch size per query and
+// returns validation accuracy after each round. choose selects the
+// predicate per round; use Consumer.ChoosePredicate for the novelty-guided
+// strategy or a closure over rng for the random baseline.
+func MarketRun(p *Provider, c *Consumer, rounds, batch int, choose func(r *rng.RNG) int, r *rng.RNG) ([]float64, error) {
+	accs := make([]float64, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		q := choose(r)
+		X, y := p.Query(q, batch, r)
+		c.Absorb(q, X, y)
+		acc, err := c.Accuracy(r)
+		if err != nil {
+			return accs, err
+		}
+		accs = append(accs, acc)
+	}
+	return accs, nil
+}

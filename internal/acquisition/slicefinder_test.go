@@ -1,0 +1,149 @@
+package acquisition
+
+import (
+	"strings"
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/fairness"
+	"redi/internal/rng"
+)
+
+// plantedSliceData: the model will be perfect except on grp=b;region=x,
+// where labels are flipped half the time.
+func plantedSliceData(t *testing.T, n int, seed uint64) (*dataset.Dataset, *fairness.Design, fairness.Model) {
+	t.Helper()
+	r := rng.New(seed)
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical, Role: dataset.Sensitive},
+		dataset.Attribute{Name: "region", Kind: dataset.Categorical, Role: dataset.Sensitive},
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Feature},
+		dataset.Attribute{Name: "label", Kind: dataset.Categorical, Role: dataset.Target},
+	))
+	for i := 0; i < n; i++ {
+		grp := "a"
+		if r.Bool(0.25) {
+			grp = "b"
+		}
+		region := "x"
+		if r.Bool(0.5) {
+			region = "y"
+		}
+		x := r.Normal(0, 1)
+		label := "neg"
+		if x > 0 {
+			label = "pos"
+		}
+		// Poison the planted slice: half its labels disagree with x.
+		if grp == "b" && region == "x" && r.Bool(0.5) {
+			if label == "pos" {
+				label = "neg"
+			} else {
+				label = "pos"
+			}
+		}
+		d.MustAppendRow(dataset.Cat(grp), dataset.Cat(region), dataset.Num(x), dataset.Cat(label))
+	}
+	prob := fairness.Problem{Features: []string{"x"}, Label: "label", Positive: "pos", Sensitive: []string{"grp", "region"}}
+	des, err := fairness.BuildDesign(d, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "model" is the Bayes rule of the clean process: sign(x).
+	return d, des, signModel{}
+}
+
+type signModel struct{}
+
+func (signModel) Score(x []float64) float64 { return x[0] }
+func (signModel) Predict(x []float64) int {
+	if x[0] > 0 {
+		return 1
+	}
+	return 0
+}
+
+func TestFindProblemSlices(t *testing.T) {
+	d, des, m := plantedSliceData(t, 4000, 1)
+	slices, err := FindProblemSlices(m, des, d, SliceFinderConfig{
+		Attrs: []string{"grp", "region"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) == 0 {
+		t.Fatal("planted slice not found")
+	}
+	top := slices[0]
+	if !strings.Contains(top.Description, "grp=b") || !strings.Contains(top.Description, "region=x") {
+		t.Fatalf("top slice = %+v", top)
+	}
+	if top.Loss < 0.3 {
+		t.Fatalf("top slice loss = %v, want ~0.5", top.Loss)
+	}
+	// No near-duplicate refinements of the top slice.
+	for _, s := range slices[1:] {
+		if top.Pattern.Dominates(s.Pattern) && s.Loss <= top.Loss {
+			t.Fatalf("dominated slice kept: %+v", s)
+		}
+	}
+}
+
+func TestFindProblemSlicesCleanModel(t *testing.T) {
+	// Without poisoning, no slice should clear the gap threshold.
+	r := rng.New(2)
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical, Role: dataset.Sensitive},
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Feature},
+		dataset.Attribute{Name: "label", Kind: dataset.Categorical, Role: dataset.Target},
+	))
+	for i := 0; i < 2000; i++ {
+		grp := "a"
+		if i%3 == 0 {
+			grp = "b"
+		}
+		x := r.Normal(0, 1)
+		label := "neg"
+		if x > 0 {
+			label = "pos"
+		}
+		d.MustAppendRow(dataset.Cat(grp), dataset.Num(x), dataset.Cat(label))
+	}
+	des, err := fairness.BuildDesign(d, fairness.Problem{
+		Features: []string{"x"}, Label: "label", Positive: "pos", Sensitive: []string{"grp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices, err := FindProblemSlices(signModel{}, des, d, SliceFinderConfig{Attrs: []string{"grp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 0 {
+		t.Fatalf("clean model produced slices: %+v", slices)
+	}
+}
+
+func TestFindProblemSlicesValidation(t *testing.T) {
+	d, des, m := plantedSliceData(t, 100, 3)
+	if _, err := FindProblemSlices(m, des, d, SliceFinderConfig{}); err == nil {
+		t.Fatal("no attrs accepted")
+	}
+}
+
+func TestFindProblemSlicesMinSize(t *testing.T) {
+	d, des, m := plantedSliceData(t, 4000, 4)
+	// A MinSize larger than the planted slice suppresses it.
+	slices, err := FindProblemSlices(m, des, d, SliceFinderConfig{
+		Attrs:   []string{"grp", "region"},
+		MinSize: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slices {
+		if s.N < 3000 {
+			t.Fatalf("undersized slice kept: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package acquisition
+
+import (
+	"errors"
+
+	"redi/internal/fairness"
+	"redi/internal/rng"
+)
+
+// SliceSim simulates selective data acquisition for model fairness
+// (experiment E9): a labeled example pool partitioned into slices
+// (demographic groups), a training set that grows as allocations are
+// executed, and a fixed test set evaluated per slice.
+type SliceSim struct {
+	NumSlices int
+
+	poolX     [][]float64
+	poolY     []int
+	poolSlice []int
+	pools     [][]int // per-slice indices still acquirable
+
+	trainIdx []int
+
+	testX     [][]float64
+	testY     []int
+	testSlice []int
+}
+
+// NewSliceSim builds a simulator from pool and test examples with slice
+// labels in [0, numSlices). initial gives the number of starting training
+// examples drawn from each slice's pool. It returns an error if a slice's
+// pool cannot cover its initial size.
+func NewSliceSim(numSlices int, poolX [][]float64, poolY, poolSlice []int,
+	testX [][]float64, testY, testSlice []int, initial []int, r *rng.RNG) (*SliceSim, error) {
+	s := &SliceSim{
+		NumSlices: numSlices,
+		poolX:     poolX,
+		poolY:     poolY,
+		poolSlice: poolSlice,
+		pools:     make([][]int, numSlices),
+		testX:     testX,
+		testY:     testY,
+		testSlice: testSlice,
+	}
+	for i, sl := range poolSlice {
+		if sl < 0 || sl >= numSlices {
+			return nil, errors.New("acquisition: pool slice out of range")
+		}
+		s.pools[sl] = append(s.pools[sl], i)
+	}
+	for sl, n := range initial {
+		if n > len(s.pools[sl]) {
+			return nil, errors.New("acquisition: initial size exceeds slice pool")
+		}
+		s.trainIdx = append(s.trainIdx, reservoirDraw(&s.pools[sl], n, r)...)
+	}
+	return s, nil
+}
+
+// SliceSizes returns the current per-slice training counts.
+func (s *SliceSim) SliceSizes() []int {
+	out := make([]int, s.NumSlices)
+	for _, i := range s.trainIdx {
+		out[s.poolSlice[i]]++
+	}
+	return out
+}
+
+// PoolSizes returns the per-slice counts still acquirable.
+func (s *SliceSim) PoolSizes() []int {
+	out := make([]int, s.NumSlices)
+	for sl := range s.pools {
+		out[sl] = len(s.pools[sl])
+	}
+	return out
+}
+
+// Acquire executes an allocation, drawing new examples from the slice
+// pools (clamped to availability).
+func (s *SliceSim) Acquire(a Allocation, r *rng.RNG) {
+	for sl, n := range a {
+		s.trainIdx = append(s.trainIdx, reservoirDraw(&s.pools[sl], n, r)...)
+	}
+}
+
+// TrainAndEval trains a logistic model on the current training set and
+// returns the per-slice 0/1 loss on the test set plus the overall loss.
+func (s *SliceSim) TrainAndEval(r *rng.RNG) (perSlice []float64, overall float64, err error) {
+	return s.evalSubset(s.trainIdx, r)
+}
+
+func (s *SliceSim) evalSubset(idx []int, r *rng.RNG) (perSlice []float64, overall float64, err error) {
+	if len(idx) == 0 {
+		return nil, 0, errors.New("acquisition: empty training set")
+	}
+	X := make([][]float64, len(idx))
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		X[i] = s.poolX[j]
+		y[i] = s.poolY[j]
+	}
+	m, err := fairness.TrainLogistic(X, y, nil, fairness.LogisticConfig{Epochs: 20}, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	wrong := make([]float64, s.NumSlices)
+	n := make([]float64, s.NumSlices)
+	totalWrong := 0.0
+	for i, x := range s.testX {
+		pred := m.Predict(x)
+		sl := s.testSlice[i]
+		n[sl]++
+		if pred != s.testY[i] {
+			wrong[sl]++
+			totalWrong++
+		}
+	}
+	perSlice = make([]float64, s.NumSlices)
+	for sl := range perSlice {
+		if n[sl] > 0 {
+			perSlice[sl] = wrong[sl] / n[sl]
+		}
+	}
+	return perSlice, totalWrong / float64(len(s.testX)), nil
+}
+
+// CollectHistory probes the learning curves: for each geometric subset
+// level, it trains on a random subset of the current training data and
+// records each slice's (slice-subset-size, slice-loss) point. levels is the
+// number of halvings (e.g. 4 probes at n/8, n/4, n/2, n).
+func (s *SliceSim) CollectHistory(levels int, r *rng.RNG) ([][]CurvePoint, error) {
+	history := make([][]CurvePoint, s.NumSlices)
+	total := len(s.trainIdx)
+	for _, size := range SubsetSizes(total, levels) {
+		// Random subset of the training set.
+		perm := r.Perm(total)
+		idx := make([]int, int(size))
+		for i := range idx {
+			idx[i] = s.trainIdx[perm[i]]
+		}
+		perSlice, _, err := s.evalSubset(idx, r)
+		if err != nil {
+			continue
+		}
+		counts := make([]float64, s.NumSlices)
+		for _, j := range idx {
+			counts[s.poolSlice[j]]++
+		}
+		for sl := 0; sl < s.NumSlices; sl++ {
+			if counts[sl] >= 2 && perSlice[sl] > 0 {
+				history[sl] = append(history[sl], CurvePoint{N: counts[sl], Loss: perSlice[sl]})
+			}
+		}
+	}
+	for sl := range history {
+		if len(history[sl]) == 0 {
+			return history, errors.New("acquisition: a slice produced no curve points")
+		}
+	}
+	return history, nil
+}

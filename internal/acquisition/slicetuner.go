@@ -1,0 +1,261 @@
+// Package acquisition implements the selective data-collection strategies
+// surveyed in §3.1 and §4 of the tutorial: Slice Tuner's learning-curve
+// driven acquisition (Tae & Whang, SIGMOD 2021), data-market acquisition
+// with novelty-guided predicate exploration (Li, Yu, Koudas, VLDB 2021),
+// and distribution-aware crowdsourced entity collection with adaptive
+// worker selection (Fan et al., TKDE 2019).
+package acquisition
+
+import (
+	"errors"
+	"math"
+
+	"redi/internal/rng"
+)
+
+// LearningCurve is a power-law loss model loss(n) = A · n^(−B), the form
+// Slice Tuner fits per slice.
+type LearningCurve struct {
+	A, B float64
+}
+
+// FitLearningCurve fits the power law to (n, loss) observations by least
+// squares in log-log space. Points with non-positive n or loss are skipped.
+// It returns an error with fewer than two usable points.
+func FitLearningCurve(ns []float64, losses []float64) (LearningCurve, error) {
+	if len(ns) != len(losses) {
+		return LearningCurve{}, errors.New("acquisition: curve input length mismatch")
+	}
+	var xs, ys []float64
+	for i := range ns {
+		if ns[i] > 0 && losses[i] > 0 {
+			xs = append(xs, math.Log(ns[i]))
+			ys = append(ys, math.Log(losses[i]))
+		}
+	}
+	if len(xs) < 2 {
+		return LearningCurve{}, errors.New("acquisition: need at least two curve points")
+	}
+	// Least squares y = a + b x.
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LearningCurve{}, errors.New("acquisition: degenerate curve points")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	curve := LearningCurve{A: math.Exp(a), B: -b}
+	if curve.B < 0 {
+		// A rising "learning" curve is noise; clamp to flat so the
+		// allocator treats the slice as not improvable.
+		curve.B = 0
+	}
+	return curve, nil
+}
+
+// Loss predicts the loss at n examples.
+func (c LearningCurve) Loss(n float64) float64 {
+	if n <= 0 {
+		return c.A
+	}
+	return c.A * math.Pow(n, -c.B)
+}
+
+// Allocation is the number of new examples to acquire per slice.
+type Allocation []int
+
+// Total returns the allocated example count.
+func (a Allocation) Total() int {
+	t := 0
+	for _, n := range a {
+		t += n
+	}
+	return t
+}
+
+// UniformAllocate splits the budget evenly across slices (remainder to the
+// first slices) — the baseline Slice Tuner is compared against.
+func UniformAllocate(numSlices, budget int) Allocation {
+	a := make(Allocation, numSlices)
+	if numSlices == 0 {
+		return a
+	}
+	for i := range a {
+		a[i] = budget / numSlices
+	}
+	for i := 0; i < budget%numSlices; i++ {
+		a[i]++
+	}
+	return a
+}
+
+// WaterfillingAllocate repeatedly gives chunks to the slice that currently
+// has the fewest examples, equalizing slice sizes — the second baseline.
+func WaterfillingAllocate(current []int, budget, chunk int) Allocation {
+	a := make(Allocation, len(current))
+	sizes := append([]int(nil), current...)
+	if chunk <= 0 {
+		chunk = 1
+	}
+	for spent := 0; spent < budget; {
+		min := 0
+		for i, s := range sizes {
+			if s < sizes[min] {
+				min = i
+			}
+		}
+		take := chunk
+		if spent+take > budget {
+			take = budget - spent
+		}
+		a[min] += take
+		sizes[min] += take
+		spent += take
+	}
+	return a
+}
+
+// CurveAllocate is Slice Tuner's allocator: given fitted per-slice curves
+// and current sizes, it assigns the budget in chunks, each to the slice
+// with the highest predicted marginal loss reduction, weighted by Lambda
+// times the slice's imbalance (how far its predicted loss sits above the
+// mean) — the paper's joint loss/unfairness objective.
+func CurveAllocate(curves []LearningCurve, current []int, budget, chunk int, lambda float64) Allocation {
+	a := make(Allocation, len(curves))
+	if len(curves) == 0 {
+		return a
+	}
+	sizes := make([]float64, len(current))
+	for i, c := range current {
+		sizes[i] = float64(c)
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	for spent := 0; spent < budget; {
+		take := chunk
+		if spent+take > budget {
+			take = budget - spent
+		}
+		// Mean predicted loss for the unfairness term.
+		mean := 0.0
+		for i, c := range curves {
+			mean += c.Loss(sizes[i])
+		}
+		mean /= float64(len(curves))
+
+		best, bestGain := 0, math.Inf(-1)
+		for i, c := range curves {
+			now := c.Loss(sizes[i])
+			after := c.Loss(sizes[i] + float64(take))
+			gain := now - after
+			if excess := now - mean; excess > 0 {
+				gain += lambda * excess
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		a[best] += take
+		sizes[best] += float64(take)
+		spent += take
+	}
+	return a
+}
+
+// EstimateCurves fits one learning curve per slice from observed
+// (size, loss) histories. Slices whose history cannot be fitted get a flat
+// curve at their last observed loss (never allocated to by CurveAllocate
+// unless imbalanced).
+func EstimateCurves(history [][]CurvePoint) []LearningCurve {
+	out := make([]LearningCurve, len(history))
+	for i, pts := range history {
+		ns := make([]float64, len(pts))
+		ls := make([]float64, len(pts))
+		for j, p := range pts {
+			ns[j] = p.N
+			ls[j] = p.Loss
+		}
+		c, err := FitLearningCurve(ns, ls)
+		if err != nil {
+			last := 1.0
+			if len(pts) > 0 {
+				last = pts[len(pts)-1].Loss
+			}
+			c = LearningCurve{A: last, B: 0}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// CurvePoint is one observation of a slice's loss at a training-set size.
+type CurvePoint struct {
+	N    float64
+	Loss float64
+}
+
+// SubsetSizes returns the geometric grid of training sizes Slice Tuner
+// probes to fit curves: fractions 1/2^(levels-1) ... 1/2, 1 of n, deduped
+// and >= 2.
+func SubsetSizes(n, levels int) []float64 {
+	var out []float64
+	seen := map[int]bool{}
+	for l := levels - 1; l >= 0; l-- {
+		s := n >> uint(l)
+		if s >= 2 && !seen[s] {
+			seen[s] = true
+			out = append(out, float64(s))
+		}
+	}
+	return out
+}
+
+// ZeroOneLoss is the error rate of predictions against labels, the loss
+// the experiments track per slice.
+func ZeroOneLoss(pred, truth []int) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	wrong := 0
+	for i := range pred {
+		if pred[i] != truth[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(pred))
+}
+
+// maxLoss returns the largest per-slice loss, Slice Tuner's fairness
+// criterion ("maximum slice loss").
+func MaxLoss(losses []float64) float64 {
+	m := 0.0
+	for _, l := range losses {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// reservoirDraw removes and returns up to n random items from pool.
+func reservoirDraw(pool *[]int, n int, r *rng.RNG) []int {
+	if n > len(*pool) {
+		n = len(*pool)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		j := r.Intn(len(*pool))
+		out = append(out, (*pool)[j])
+		(*pool)[j] = (*pool)[len(*pool)-1]
+		*pool = (*pool)[:len(*pool)-1]
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package cleaning
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+func maskedPopulation(t *testing.T, mech synth.Mechanism, seed uint64) (truth, masked *dataset.Dataset) {
+	t.Helper()
+	cfg := synth.DefaultPopulation(4000)
+	cfg.GroupEffect = 2 // strong group-dependent feature means
+	p := synth.Generate(cfg, rng.New(seed))
+	mc := synth.MissingConfig{Attr: "f0", Rate: 0.25, Mech: mech, CondAttr: "race", CondValue: "black"}
+	return p.Data, synth.InjectMissing(p.Data, mc, rng.New(seed+1))
+}
+
+func TestMeanImputerFillsAll(t *testing.T) {
+	truth, masked := maskedPopulation(t, synth.MCAR, 1)
+	imp, err := MeanImputer{}.Impute(masked, "f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < imp.NumRows(); r++ {
+		if imp.IsNull(r, "f0") {
+			t.Fatalf("null left at row %d", r)
+		}
+	}
+	// Non-null cells must be untouched.
+	for r := 0; r < imp.NumRows(); r++ {
+		if !masked.IsNull(r, "f0") {
+			if imp.Value(r, "f0").Num != masked.Value(r, "f0").Num {
+				t.Fatalf("observed cell changed at row %d", r)
+			}
+		}
+	}
+	_ = truth
+}
+
+func TestDropRowsShrinks(t *testing.T) {
+	_, masked := maskedPopulation(t, synth.MCAR, 2)
+	out, err := DropRows{}.Impute(masked, "f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() >= masked.NumRows() {
+		t.Fatal("DropRows did not remove rows")
+	}
+	for r := 0; r < out.NumRows(); r++ {
+		if out.IsNull(r, "f0") {
+			t.Fatal("DropRows left a null")
+		}
+	}
+}
+
+func TestCoverageLossSkewedUnderMAR(t *testing.T) {
+	_, masked := maskedPopulation(t, synth.MAR, 3)
+	dropped, err := DropRows{}.Impute(masked, "f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := CoverageLoss(masked, dropped, []string{"race"})
+	// MAR boosted missingness for race=black, so its coverage loss must
+	// exceed the others'.
+	black := loss["race=black"]
+	for k, l := range loss {
+		if k != "race=black" && black <= l {
+			t.Fatalf("coverage loss not skewed: black=%v %s=%v", black, k, l)
+		}
+	}
+}
+
+func TestGroupMeanBeatsMeanOnParity(t *testing.T) {
+	truth, masked := maskedPopulation(t, synth.MCAR, 4)
+	sens := []string{"race", "sex"}
+
+	mean, err := MeanImputer{}.Impute(masked, "f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := GroupMeanImputer{Sensitive: sens}.Impute(masked, "f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aMean, err := AuditImputation("mean", truth, masked, mean, "f0", sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aGroup, err := AuditImputation("group-mean", truth, masked, group, "f0", sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aMean.N == 0 || aGroup.N == 0 {
+		t.Fatal("no audited cells")
+	}
+	if aGroup.RMSE >= aMean.RMSE {
+		t.Fatalf("group-mean RMSE %v should beat mean %v under group effects", aGroup.RMSE, aMean.RMSE)
+	}
+	if aGroup.ParityDiff >= aMean.ParityDiff {
+		t.Fatalf("group-mean parity %v should beat mean %v", aGroup.ParityDiff, aMean.ParityDiff)
+	}
+}
+
+func TestMedianAndHotDeckAndKNN(t *testing.T) {
+	truth, masked := maskedPopulation(t, synth.MCAR, 5)
+	sens := []string{"race", "sex"}
+	imputers := []Imputer{
+		MedianImputer{},
+		HotDeckImputer{Sensitive: sens, R: rng.New(6)},
+		KNNImputer{K: 5, Features: []string{"f1", "f2", "f3"}},
+	}
+	for _, imp := range imputers {
+		out, err := imp.Impute(masked, "f0")
+		if err != nil {
+			t.Fatalf("%s: %v", imp.Name(), err)
+		}
+		audit, err := AuditImputation(imp.Name(), truth, masked, out, "f0", sens)
+		if err != nil {
+			t.Fatalf("%s: %v", imp.Name(), err)
+		}
+		if audit.N == 0 {
+			t.Fatalf("%s audited no cells", imp.Name())
+		}
+		if math.IsNaN(audit.RMSE) || audit.RMSE <= 0 {
+			t.Fatalf("%s RMSE = %v", imp.Name(), audit.RMSE)
+		}
+		// All imputers should beat a wild guess: RMSE below 5 sigma.
+		if audit.RMSE > 5 {
+			t.Fatalf("%s RMSE implausibly high: %v", imp.Name(), audit.RMSE)
+		}
+	}
+}
+
+func TestKNNImputerValidation(t *testing.T) {
+	_, masked := maskedPopulation(t, synth.MCAR, 7)
+	if _, err := (KNNImputer{K: 0}).Impute(masked, "f0"); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestImputeEmptyColumn(t *testing.T) {
+	d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric}))
+	d.MustAppendRow(dataset.NullValue(dataset.Numeric))
+	if _, err := (MeanImputer{}).Impute(d, "x"); err == nil {
+		t.Fatal("all-null column accepted")
+	}
+}
+
+func TestAuditAlignment(t *testing.T) {
+	truth, masked := maskedPopulation(t, synth.MCAR, 8)
+	short := truth.Head(10)
+	if _, err := AuditImputation("x", short, masked, masked, "f0", []string{"race"}); err == nil {
+		t.Fatal("misaligned audit accepted")
+	}
+}
+
+func TestZScoreDetector(t *testing.T) {
+	p := synth.Generate(synth.DefaultPopulation(3000), rng.New(9))
+	corrupted, truth := synth.InjectOutliers(p.Data, "f0", 0.02, 10, rng.New(10))
+	flagged := ZScoreDetector{}.Detect(corrupted, "f0")
+	prec, rec, f1 := DetectionQuality(flagged, truth)
+	if prec < 0.7 || rec < 0.7 {
+		t.Fatalf("zscore precision=%v recall=%v f1=%v", prec, rec, f1)
+	}
+}
+
+func TestIQRDetector(t *testing.T) {
+	p := synth.Generate(synth.DefaultPopulation(3000), rng.New(11))
+	corrupted, truth := synth.InjectOutliers(p.Data, "f0", 0.02, 10, rng.New(12))
+	flagged := IQRDetector{}.Detect(corrupted, "f0")
+	_, rec, _ := DetectionQuality(flagged, truth)
+	if rec < 0.8 {
+		t.Fatalf("iqr recall = %v", rec)
+	}
+}
+
+func TestDetectorsDegenerate(t *testing.T) {
+	d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric}))
+	d.MustAppendRow(dataset.Num(1))
+	if got := (ZScoreDetector{}).Detect(d, "x"); got != nil {
+		t.Fatalf("tiny input flagged %v", got)
+	}
+	if got := (IQRDetector{}).Detect(d, "x"); got != nil {
+		t.Fatalf("tiny input flagged %v", got)
+	}
+	p, r, f := DetectionQuality(nil, nil)
+	if p != 0 || r != 0 || f != 0 {
+		t.Fatal("empty quality should be zeros")
+	}
+}
+
+func TestStringSimilarities(t *testing.T) {
+	if Jaro("martha", "marhta") < 0.94 || Jaro("martha", "marhta") > 0.95 {
+		t.Fatalf("Jaro(martha, marhta) = %v, want ~0.944", Jaro("martha", "marhta"))
+	}
+	if JaroWinkler("martha", "marhta") < 0.96 {
+		t.Fatalf("JW = %v", JaroWinkler("martha", "marhta"))
+	}
+	if Jaro("abc", "abc") != 1 || Jaro("", "abc") != 0 {
+		t.Fatal("Jaro edge cases wrong")
+	}
+	if Levenshtein("kitten", "sitting") != 3 {
+		t.Fatalf("Levenshtein = %d", Levenshtein("kitten", "sitting"))
+	}
+	if NormalizedLevenshtein("", "") != 1 {
+		t.Fatal("empty strings should be identical")
+	}
+	if NormalizedLevenshtein("abcd", "abcx") != 0.75 {
+		t.Fatalf("NL = %v", NormalizedLevenshtein("abcd", "abcx"))
+	}
+}
+
+// erDataset builds duplicated records with typos: each entity appears 2-3
+// times; group attribute alternates.
+func erDataset(t *testing.T, seed uint64) *dataset.Dataset {
+	t.Helper()
+	r := rng.New(seed)
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "entity", Kind: dataset.Categorical, Role: dataset.ID},
+		dataset.Attribute{Name: "name", Kind: dataset.Categorical, Role: dataset.Feature},
+		dataset.Attribute{Name: "group", Kind: dataset.Categorical, Role: dataset.Sensitive},
+	))
+	names := []string{"anderson", "baptiste", "carmichael", "dimitriou", "eastwood",
+		"fitzgerald", "gonzalez", "harrington", "ibrahimov", "jankowski"}
+	for e, base := range names {
+		group := "maj"
+		if e%3 == 0 {
+			group = "min"
+		}
+		copies := 2 + r.Intn(2)
+		for c := 0; c < copies; c++ {
+			name := base
+			if c > 0 {
+				// One-character perturbation.
+				b := []byte(name)
+				pos := 1 + r.Intn(len(b)-1)
+				b[pos] = byte('a' + r.Intn(26))
+				name = string(b)
+			}
+			d.MustAppendRow(dataset.Cat(names[e]), dataset.Cat(name), dataset.Cat(group))
+		}
+	}
+	return d
+}
+
+func TestResolveEntities(t *testing.T) {
+	d := erDataset(t, 13)
+	cfg := ERConfig{NameAttr: "name", TruthAttr: "entity", BlockPrefix: 1, Threshold: 0.85}
+	res, err := ResolveEntities(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairsCompared == 0 {
+		t.Fatal("no pairs compared")
+	}
+	overall, byGroup, err := EvaluateER(d, cfg, res, []string{"group"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall.F1 < 0.8 {
+		t.Fatalf("overall F1 = %v", overall.F1)
+	}
+	if len(byGroup) == 0 {
+		t.Fatal("no per-group quality")
+	}
+}
+
+func TestBlockingAggressivenessHurtsRecall(t *testing.T) {
+	d := erDataset(t, 14)
+	loose := ERConfig{NameAttr: "name", TruthAttr: "entity", BlockPrefix: 0, Threshold: 0.85}
+	tight := ERConfig{NameAttr: "name", TruthAttr: "entity", BlockPrefix: 4, Threshold: 0.85}
+	resL, err := ResolveEntities(d, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resT, err := ResolveEntities(d, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resT.PairsCompared >= resL.PairsCompared {
+		t.Fatal("tighter blocking should compare fewer pairs")
+	}
+	qL, _, err := EvaluateER(d, loose, resL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qT, _, err := EvaluateER(d, tight, resT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qT.Recall > qL.Recall {
+		t.Fatalf("tight blocking recall %v > loose %v", qT.Recall, qL.Recall)
+	}
+}
+
+func TestERValidation(t *testing.T) {
+	d := erDataset(t, 15)
+	if _, err := ResolveEntities(d, ERConfig{}); err == nil {
+		t.Fatal("missing NameAttr accepted")
+	}
+	res, err := ResolveEntities(d, ERConfig{NameAttr: "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EvaluateER(d, ERConfig{NameAttr: "name"}, res, nil); err == nil {
+		t.Fatal("missing TruthAttr accepted")
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	res := &ERResult{Cluster: []int{0, 0, 1, 2, 2, 2}}
+	sizes := ClusterSizes(res)
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}

@@ -1,0 +1,331 @@
+package cleaning
+
+import (
+	"fmt"
+	"sort"
+
+	"redi/internal/dataset"
+)
+
+// ERConfig parameterizes entity resolution over a dataset of records.
+type ERConfig struct {
+	// NameAttr is the categorical attribute compared for similarity.
+	NameAttr string
+	// TruthAttr optionally names the attribute holding the true entity
+	// id (for evaluation only; resolution never reads it).
+	TruthAttr string
+	// BlockPrefix is the number of leading characters records must
+	// share to be compared; larger values are more aggressive blocking
+	// (cheaper, but recall suffers — unevenly across groups, which is
+	// what experiment E14 measures). 0 compares all pairs.
+	BlockPrefix int
+	// Threshold is the minimum Jaro–Winkler similarity to declare a
+	// match (default 0.9).
+	Threshold float64
+}
+
+// ERResult is the outcome of entity resolution: a cluster id per row and
+// the number of candidate pairs compared.
+type ERResult struct {
+	Cluster       []int
+	PairsCompared int
+}
+
+// ResolveEntities clusters the rows of d whose NameAttr values are similar:
+// records are blocked by name prefix, pairs within a block are scored with
+// Jaro–Winkler, and matching pairs are merged with union-find.
+func ResolveEntities(d *dataset.Dataset, cfg ERConfig) (*ERResult, error) {
+	if cfg.NameAttr == "" {
+		return nil, fmt.Errorf("cleaning: ERConfig.NameAttr is required")
+	}
+	thresh := cfg.Threshold
+	if thresh == 0 {
+		thresh = 0.9
+	}
+	names := d.Strings(cfg.NameAttr)
+	uf := newUnionFind(len(names))
+
+	blocks := map[string][]int{}
+	for i, n := range names {
+		if n == "" {
+			continue
+		}
+		key := ""
+		if cfg.BlockPrefix > 0 {
+			if len(n) < cfg.BlockPrefix {
+				key = n
+			} else {
+				key = n[:cfg.BlockPrefix]
+			}
+		}
+		blocks[key] = append(blocks[key], i)
+	}
+	res := &ERResult{}
+	for _, rows := range blocks {
+		for a := 0; a < len(rows); a++ {
+			for b := a + 1; b < len(rows); b++ {
+				res.PairsCompared++
+				if JaroWinkler(names[rows[a]], names[rows[b]]) >= thresh {
+					uf.union(rows[a], rows[b])
+				}
+			}
+		}
+	}
+	res.Cluster = make([]int, len(names))
+	for i := range names {
+		res.Cluster[i] = uf.find(i)
+	}
+	return res, nil
+}
+
+// ERQuality is pairwise match quality, overall or within a group.
+type ERQuality struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TruePairs int
+}
+
+// EvaluateER computes pairwise precision/recall/F1 of the clustering
+// against the true entity ids in cfg.TruthAttr, overall and per demographic
+// group (a pair belongs to a group when both records do). This is the
+// fairness-aware ER audit of tutorial §5 ("Data Cleaning").
+func EvaluateER(d *dataset.Dataset, cfg ERConfig, res *ERResult, sensitive []string) (overall ERQuality, byGroup map[dataset.GroupKey]ERQuality, err error) {
+	if cfg.TruthAttr == "" {
+		return overall, nil, fmt.Errorf("cleaning: EvaluateER requires TruthAttr")
+	}
+	truth := d.Strings(cfg.TruthAttr)
+	var groups *dataset.Groups
+	if len(sensitive) > 0 {
+		groups = d.GroupBy(sensitive...)
+	}
+	type counts struct{ tp, fp, fn int }
+	tally := map[int]*counts{} // -1 = overall, else group index
+	get := func(g int) *counts {
+		c := tally[g]
+		if c == nil {
+			c = &counts{}
+			tally[g] = c
+		}
+		return c
+	}
+	n := d.NumRows()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			same := truth[a] != "" && truth[a] == truth[b]
+			pred := res.Cluster[a] == res.Cluster[b]
+			if !same && !pred {
+				continue
+			}
+			gs := []int{-1}
+			if groups != nil && groups.ByRow[a] >= 0 && groups.ByRow[a] == groups.ByRow[b] {
+				gs = append(gs, groups.ByRow[a])
+			}
+			for _, g := range gs {
+				c := get(g)
+				switch {
+				case same && pred:
+					c.tp++
+				case pred:
+					c.fp++
+				default:
+					c.fn++
+				}
+			}
+		}
+	}
+	quality := func(c *counts) ERQuality {
+		var q ERQuality
+		q.TruePairs = c.tp + c.fn
+		if c.tp+c.fp > 0 {
+			q.Precision = float64(c.tp) / float64(c.tp+c.fp)
+		}
+		if c.tp+c.fn > 0 {
+			q.Recall = float64(c.tp) / float64(c.tp+c.fn)
+		}
+		if q.Precision+q.Recall > 0 {
+			q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+		}
+		return q
+	}
+	overall = quality(get(-1))
+	byGroup = map[dataset.GroupKey]ERQuality{}
+	if groups != nil {
+		for gi, k := range groups.Keys {
+			if c, ok := tally[gi]; ok {
+				byGroup[k] = quality(c)
+			}
+		}
+	}
+	return overall, byGroup, nil
+}
+
+// unionFind is a standard disjoint-set forest with path halving.
+type unionFind struct{ parent, rank []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Jaro returns the Jaro similarity of two strings in [0, 1].
+func Jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && a[i] == b[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro–Winkler similarity: Jaro boosted by shared
+// prefix length (up to 4) with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Levenshtein returns the edit distance between two strings.
+func Levenshtein(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// NormalizedLevenshtein returns 1 - edit distance / max length, a [0,1]
+// similarity.
+func NormalizedLevenshtein(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// ClusterSizes summarizes a resolution as sorted descending cluster sizes,
+// useful in example output.
+func ClusterSizes(res *ERResult) []int {
+	count := map[int]int{}
+	for _, c := range res.Cluster {
+		count[c]++
+	}
+	sizes := make([]int, 0, len(count))
+	for _, n := range count {
+		sizes = append(sizes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

@@ -1,0 +1,116 @@
+package cleaning
+
+import (
+	"math"
+	"sort"
+
+	"redi/internal/dataset"
+)
+
+// Detector flags suspicious rows of one numeric attribute.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Detect returns the row indices it flags, ascending.
+	Detect(d *dataset.Dataset, attr string) []int
+}
+
+// ZScoreDetector flags values more than Threshold standard deviations from
+// the mean (default 3).
+type ZScoreDetector struct {
+	Threshold float64
+}
+
+// Name implements Detector.
+func (z ZScoreDetector) Name() string { return "zscore" }
+
+// Detect implements Detector.
+func (z ZScoreDetector) Detect(d *dataset.Dataset, attr string) []int {
+	t := z.Threshold
+	if t == 0 {
+		t = 3
+	}
+	vals, rows := d.Numeric(attr)
+	if len(vals) < 2 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	sd := 0.0
+	for _, v := range vals {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(vals)))
+	if sd == 0 {
+		return nil
+	}
+	var out []int
+	for i, v := range vals {
+		if math.Abs(v-mean)/sd > t {
+			out = append(out, rows[i])
+		}
+	}
+	return out
+}
+
+// IQRDetector flags values outside [Q1 - k·IQR, Q3 + k·IQR] (Tukey fences,
+// default k = 1.5).
+type IQRDetector struct {
+	K float64
+}
+
+// Name implements Detector.
+func (q IQRDetector) Name() string { return "iqr" }
+
+// Detect implements Detector.
+func (q IQRDetector) Detect(d *dataset.Dataset, attr string) []int {
+	k := q.K
+	if k == 0 {
+		k = 1.5
+	}
+	vals, rows := d.Numeric(attr)
+	if len(vals) < 4 {
+		return nil
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	q1 := sorted[len(sorted)/4]
+	q3 := sorted[3*len(sorted)/4]
+	iqr := q3 - q1
+	lo, hi := q1-k*iqr, q3+k*iqr
+	var out []int
+	for i, v := range vals {
+		if v < lo || v > hi {
+			out = append(out, rows[i])
+		}
+	}
+	return out
+}
+
+// DetectionQuality scores a detector's flagged rows against ground-truth
+// corrupted rows: precision, recall, and F1. Empty denominators yield 0.
+func DetectionQuality(flagged, truth []int) (precision, recall, f1 float64) {
+	tset := make(map[int]bool, len(truth))
+	for _, r := range truth {
+		tset[r] = true
+	}
+	tp := 0
+	for _, r := range flagged {
+		if tset[r] {
+			tp++
+		}
+	}
+	if len(flagged) > 0 {
+		precision = float64(tp) / float64(len(flagged))
+	}
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"redi/internal/dataset"
+)
+
+func TestNeedForDistributionExactTotal(t *testing.T) {
+	target := map[dataset.GroupKey]float64{
+		"g=a": 0.5, "g=b": 0.3, "g=c": 0.2,
+	}
+	need := NeedForDistribution(target, 100)
+	if need["g=a"] != 50 || need["g=b"] != 30 || need["g=c"] != 20 {
+		t.Fatalf("need = %v", need)
+	}
+}
+
+func TestNeedForDistributionRounding(t *testing.T) {
+	// Thirds of 100: largest-remainder must hand out the extra row
+	// deterministically and total exactly 100.
+	target := map[dataset.GroupKey]float64{
+		"g=a": 1, "g=b": 1, "g=c": 1,
+	}
+	need := NeedForDistribution(target, 100)
+	total := 0
+	for _, n := range need {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+	// Deterministic: repeated calls agree.
+	again := NeedForDistribution(target, 100)
+	for k, n := range need {
+		if again[k] != n {
+			t.Fatalf("nondeterministic rounding: %v vs %v", need, again)
+		}
+	}
+}
+
+func TestNeedForDistributionDegenerate(t *testing.T) {
+	if got := NeedForDistribution(nil, 100); len(got) != 0 {
+		t.Fatalf("nil target = %v", got)
+	}
+	if got := NeedForDistribution(map[dataset.GroupKey]float64{"g=a": 1}, 0); len(got) != 0 {
+		t.Fatalf("zero rows = %v", got)
+	}
+	// Zero and negative shares get no rows.
+	need := NeedForDistribution(map[dataset.GroupKey]float64{"g=a": 1, "g=b": 0}, 10)
+	if need["g=a"] != 10 || need["g=b"] != 0 {
+		t.Fatalf("need = %v", need)
+	}
+}
+
+func TestNeedForDistributionFeedsPipeline(t *testing.T) {
+	// The rounded counts must satisfy a DistributionRequirement with a
+	// small TV budget.
+	target := map[dataset.GroupKey]float64{
+		"g=a": 0.62, "g=b": 0.27, "g=c": 0.11,
+	}
+	need := NeedForDistribution(target, 173)
+	total := 0
+	for _, n := range need {
+		total += n
+	}
+	if total != 173 {
+		t.Fatalf("total = %d", total)
+	}
+	var p, q []float64
+	for k, share := range target {
+		p = append(p, float64(need[k])/173)
+		q = append(q, share)
+	}
+	tv := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		if d < 0 {
+			d = -d
+		}
+		tv += d / 2
+	}
+	if tv > 0.01 {
+		t.Fatalf("rounded counts deviate from target: TV = %v", tv)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"redi/internal/cleaning"
+	"redi/internal/dataset"
+	"redi/internal/dt"
+	"redi/internal/profile"
+	"redi/internal/rng"
+)
+
+// Pipeline is the end-to-end responsible data integration flow over a set
+// of candidate sources sharing one schema: tailor a dataset meeting group
+// count requirements at minimum cost, repair missing values with a
+// group-aware imputer, audit the result against responsible-data
+// requirements, and emit its nutritional label.
+type Pipeline struct {
+	// Sources are the candidate datasets (e.g. the per-institution
+	// extracts of Example 1).
+	Sources []*dataset.Dataset
+	// Costs[i] is the per-sample cost of source i (default 1).
+	Costs []float64
+	// Sensitive lists the grouping attributes (default: schema roles).
+	Sensitive []string
+	// KnownDistributions selects RatioColl (true) or UCBColl (false).
+	KnownDistributions bool
+	// MaxDraws caps tailoring; 0 uses the dt default.
+	MaxDraws int
+}
+
+// RunResult is the outcome of a pipeline run.
+type RunResult struct {
+	Data   *dataset.Dataset
+	Tailor *dt.Result
+	Audit  *AuditReport
+	Label  *profile.Label
+	// Provenance records every step the pipeline took (§5
+	// transparency); ship it with the data.
+	Provenance *Provenance
+}
+
+// Run executes the pipeline: it indexes each source's groups, runs
+// distribution tailoring for the requested counts, materializes the
+// collected rows, imputes nulls in the numeric feature attributes with
+// group-conditional means, audits the result, and builds its label.
+func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng.RNG) (*RunResult, error) {
+	if len(p.Sources) == 0 {
+		return nil, errors.New("core: pipeline has no sources")
+	}
+	sensitive := p.Sensitive
+	if len(sensitive) == 0 {
+		sensitive = p.Sources[0].Schema().ByRole(dataset.Sensitive)
+	}
+	if len(sensitive) == 0 {
+		return nil, errors.New("core: no sensitive attributes")
+	}
+
+	// Global group key order: union of source groups and requested keys.
+	seen := map[dataset.GroupKey]bool{}
+	var keys []dataset.GroupKey
+	addKey := func(k dataset.GroupKey) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sourceGroups := make([]*dataset.Groups, len(p.Sources))
+	for i, s := range p.Sources {
+		sourceGroups[i] = s.GroupBy(sensitive...)
+		for _, k := range sourceGroups[i].Keys {
+			addKey(k)
+		}
+	}
+	for k := range need {
+		addKey(k)
+	}
+
+	// Build dt sources and the need vector.
+	var sources []dt.Source
+	var costs []float64
+	probs := make([][]float64, 0, len(p.Sources))
+	for i, s := range p.Sources {
+		cost := 1.0
+		if p.Costs != nil {
+			cost = p.Costs[i]
+		}
+		src, err := dt.NewDatasetSource(s, sourceGroups[i], keys, cost)
+		if err != nil {
+			return nil, fmt.Errorf("core: source %d: %w", i, err)
+		}
+		sources = append(sources, src)
+		costs = append(costs, cost)
+		// True distribution for the known-distribution strategy.
+		dist := make([]float64, len(keys))
+		total := 0
+		for _, k := range sourceGroups[i].Keys {
+			total += sourceGroups[i].Count(k)
+		}
+		for gi, k := range keys {
+			if total > 0 {
+				dist[gi] = float64(sourceGroups[i].Count(k)) / float64(total)
+			}
+		}
+		probs = append(probs, dist)
+	}
+	needVec := make([]int, len(keys))
+	for gi, k := range keys {
+		needVec[gi] = need[k]
+		// Requests for groups absent from every source cannot be
+		// fulfilled; fail fast instead of spinning.
+		if needVec[gi] > 0 {
+			available := false
+			for _, pr := range probs {
+				if pr[gi] > 0 {
+					available = true
+					break
+				}
+			}
+			if !available {
+				return nil, fmt.Errorf("core: group %s requested but absent from all sources", k)
+			}
+		}
+	}
+
+	engine := &dt.Engine{Sources: sources, MaxDraws: p.MaxDraws}
+	var strategy dt.Strategy
+	if p.KnownDistributions {
+		strategy = dt.NewRatioColl(probs, costs)
+	} else {
+		strategy = dt.NewUCBColl(costs, len(keys))
+	}
+	prov := &Provenance{}
+	start := time.Now()
+	res, err := engine.Run(strategy, needVec, r)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{Tailor: res, Provenance: prov}
+	data := engine.Materialize(res)
+	if data == nil {
+		return nil, errors.New("core: tailoring produced no data")
+	}
+	prov.add("tailor",
+		fmt.Sprintf("collected %d rows from %d sources via %s (%d draws, cost %.2f)",
+			data.NumRows(), len(p.Sources), res.Strategy, res.Draws, res.TotalCost),
+		map[string]string{
+			"strategy": res.Strategy,
+			"groups":   fmt.Sprintf("%d", len(keys)),
+		}, data.NumRows(), time.Since(start))
+
+	// Clean: group-conditional mean imputation on numeric features.
+	s := data.Schema()
+	for i := 0; i < s.Len(); i++ {
+		a := s.Attr(i)
+		if a.Kind != dataset.Numeric {
+			continue
+		}
+		hasNull := false
+		for row := 0; row < data.NumRows(); row++ {
+			if data.IsNull(row, a.Name) {
+				hasNull = true
+				break
+			}
+		}
+		if !hasNull {
+			continue
+		}
+		start = time.Now()
+		repaired, err := cleaning.GroupMeanImputer{Sensitive: sensitive}.Impute(data, a.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: imputing %s: %w", a.Name, err)
+		}
+		data = repaired
+		prov.add("impute",
+			fmt.Sprintf("group-mean imputation on %s", a.Name),
+			map[string]string{"attr": a.Name, "imputer": "group-mean"},
+			data.NumRows(), time.Since(start))
+	}
+	out.Data = data
+
+	start = time.Now()
+	out.Audit = Audit(data, reqs)
+	pass := "passed"
+	if !out.Audit.Satisfied() {
+		pass = "FAILED"
+	}
+	prov.add("audit",
+		fmt.Sprintf("%d requirements checked: %s", len(reqs), pass),
+		nil, data.NumRows(), time.Since(start))
+
+	start = time.Now()
+	out.Label = profile.BuildLabel(data, profile.LabelConfig{Sensitive: sensitive})
+	prov.add("label", "nutritional label built", nil, data.NumRows(), time.Since(start))
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Provenance records what an integration pipeline actually did — the §5
+// "Interpretability and Transparency" opportunity (Vizier/Loki): every
+// step, its parameters, and its effect on the data, as a machine-readable
+// document that ships with the output dataset alongside its label.
+type Provenance struct {
+	Steps []ProvenanceStep `json:"steps"`
+}
+
+// ProvenanceStep is one recorded pipeline action.
+type ProvenanceStep struct {
+	// Op names the operation ("tailor", "impute", "audit", "label").
+	Op string `json:"op"`
+	// Detail is a human-readable summary.
+	Detail string `json:"detail"`
+	// Params holds machine-readable parameters.
+	Params map[string]string `json:"params,omitempty"`
+	// RowsAfter is the dataset size after the step (-1 when not
+	// applicable).
+	RowsAfter int `json:"rows_after"`
+	// Elapsed is the step's wall-clock duration.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// add appends a step.
+func (p *Provenance) add(op, detail string, params map[string]string, rows int, elapsed time.Duration) {
+	p.Steps = append(p.Steps, ProvenanceStep{
+		Op:        op,
+		Detail:    detail,
+		Params:    params,
+		RowsAfter: rows,
+		Elapsed:   elapsed,
+	})
+}
+
+// JSON renders the provenance document.
+func (p *Provenance) JSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// String renders the steps as a readable log.
+func (p *Provenance) String() string {
+	s := ""
+	for i, st := range p.Steps {
+		s += fmt.Sprintf("%d. [%s] %s", i+1, st.Op, st.Detail)
+		if st.RowsAfter >= 0 {
+			s += fmt.Sprintf(" (rows=%d)", st.RowsAfter)
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,347 @@
+// Package core ties REDI together: it defines the responsible-data
+// requirements of tutorial §2 as auditable specifications, an audit engine
+// that scores any dataset against them, and an end-to-end pipeline
+// (discover → tailor → clean → audit → label) over multiple skewed sources
+// — the system Example 1 of the paper asks for.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"redi/internal/coverage"
+	"redi/internal/dataset"
+	"redi/internal/profile"
+	"redi/internal/stats"
+)
+
+// Requirement is an auditable responsible-data requirement.
+type Requirement interface {
+	// Name identifies the requirement in audit reports.
+	Name() string
+	// Check audits d and reports the outcome.
+	Check(d *dataset.Dataset) CheckResult
+}
+
+// CheckResult is the outcome of auditing one requirement.
+type CheckResult struct {
+	Requirement string
+	Satisfied   bool
+	// Score is the requirement's measured quantity (semantics per
+	// requirement, e.g. TV distance or worst null rate).
+	Score float64
+	// Details explains the outcome for humans.
+	Details string
+}
+
+// AuditReport aggregates check results.
+type AuditReport struct {
+	Results []CheckResult
+}
+
+// Satisfied reports whether every requirement passed.
+func (r *AuditReport) Satisfied() bool {
+	for _, res := range r.Results {
+		if !res.Satisfied {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as a pass/fail table.
+func (r *AuditReport) String() string {
+	s := ""
+	for _, res := range r.Results {
+		mark := "PASS"
+		if !res.Satisfied {
+			mark = "FAIL"
+		}
+		s += fmt.Sprintf("[%s] %-28s score=%.4f  %s\n", mark, res.Requirement, res.Score, res.Details)
+	}
+	return s
+}
+
+// Audit checks d against every requirement.
+func Audit(d *dataset.Dataset, reqs []Requirement) *AuditReport {
+	rep := &AuditReport{}
+	for _, req := range reqs {
+		rep.Results = append(rep.Results, req.Check(d))
+	}
+	return rep
+}
+
+// NeedForDistribution converts a target group distribution into the count
+// requirements a tailoring run needs: counts proportional to the target
+// shares summing to totalRows (largest-remainder rounding so the total is
+// exact). It is the bridge from §2.1 distribution requirements to the DT
+// problem's count inputs.
+func NeedForDistribution(target map[dataset.GroupKey]float64, totalRows int) map[dataset.GroupKey]int {
+	total := 0.0
+	for _, p := range target {
+		if p > 0 {
+			total += p
+		}
+	}
+	out := make(map[dataset.GroupKey]int, len(target))
+	if total == 0 || totalRows <= 0 {
+		return out
+	}
+	type frac struct {
+		k dataset.GroupKey
+		f float64
+	}
+	var fracs []frac
+	assigned := 0
+	for k, p := range target {
+		if p <= 0 {
+			continue
+		}
+		exact := p / total * float64(totalRows)
+		n := int(exact)
+		out[k] = n
+		assigned += n
+		fracs = append(fracs, frac{k: k, f: exact - float64(n)})
+	}
+	// Largest remainders get the leftover rows; ties break on key for
+	// determinism.
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].f != fracs[b].f {
+			return fracs[a].f > fracs[b].f
+		}
+		return fracs[a].k < fracs[b].k
+	})
+	for i := 0; assigned < totalRows && i < len(fracs); i++ {
+		out[fracs[i].k]++
+		assigned++
+	}
+	return out
+}
+
+// NeedFromRemedy converts a coverage remedy plan into distribution-
+// tailoring count requirements: each remedy step's fully-specified value
+// combination becomes an intersectional group key over the space's
+// attributes, requiring the step's count of additional rows. This closes
+// the loop the tutorial sketches — audit finds uncovered patterns, the
+// remedy plans what to collect, and tailoring collects it from the
+// cheapest sources.
+func NeedFromRemedy(space *coverage.Space, plan []coverage.RemedyStep) map[dataset.GroupKey]int {
+	out := make(map[dataset.GroupKey]int, len(plan))
+	for _, step := range plan {
+		vals := make([]string, len(space.Attrs))
+		for i, v := range step.Combination {
+			// Remedy combinations are fully specified by construction.
+			vals[i] = space.Domains[i][v]
+		}
+		out[dataset.MakeGroupKey(space.Attrs, vals)] += step.Count
+	}
+	return out
+}
+
+// DistributionRequirement is the Underlying Distribution Representation
+// requirement (§2.1): the dataset's intersectional group distribution must
+// stay within MaxTV total-variation distance of the target distribution.
+type DistributionRequirement struct {
+	Attrs  []string
+	Target map[dataset.GroupKey]float64
+	MaxTV  float64
+}
+
+// Name implements Requirement.
+func (r DistributionRequirement) Name() string { return "distribution-representation" }
+
+// Check implements Requirement.
+func (r DistributionRequirement) Check(d *dataset.Dataset) CheckResult {
+	res := CheckResult{Requirement: r.Name()}
+	groups := d.GroupBy(r.Attrs...)
+	// Align the observed distribution with the target's key set: keys
+	// absent from the data get probability 0 and vice versa.
+	keys := map[dataset.GroupKey]bool{}
+	for k := range r.Target {
+		keys[k] = true
+	}
+	for _, k := range groups.Keys {
+		keys[k] = true
+	}
+	total := 0
+	for _, k := range groups.Keys {
+		total += groups.Count(k)
+	}
+	var p, q []float64
+	for k := range keys {
+		q = append(q, r.Target[k])
+		if total > 0 {
+			p = append(p, float64(groups.Count(k))/float64(total))
+		} else {
+			p = append(p, 0)
+		}
+	}
+	res.Score = stats.TotalVariation(p, q)
+	res.Satisfied = res.Score <= r.MaxTV
+	res.Details = fmt.Sprintf("TV distance %.4f (max %.4f)", res.Score, r.MaxTV)
+	return res
+}
+
+// CountRequirement is the Group Representation requirement (§2.2) in DT
+// form: each listed group must have at least its required count of rows.
+type CountRequirement struct {
+	Attrs []string
+	Min   map[dataset.GroupKey]int
+}
+
+// Name implements Requirement.
+func (r CountRequirement) Name() string { return "group-counts" }
+
+// Check implements Requirement.
+func (r CountRequirement) Check(d *dataset.Dataset) CheckResult {
+	res := CheckResult{Requirement: r.Name(), Satisfied: true}
+	groups := d.GroupBy(r.Attrs...)
+	worst := math.Inf(1)
+	for k, min := range r.Min {
+		got := groups.Count(k)
+		ratio := 1.0
+		if min > 0 {
+			ratio = float64(got) / float64(min)
+		}
+		if ratio < worst {
+			worst = ratio
+		}
+		if got < min {
+			res.Satisfied = false
+			res.Details += fmt.Sprintf("%s: %d/%d; ", k, got, min)
+		}
+	}
+	if math.IsInf(worst, 1) {
+		worst = 1
+	}
+	res.Score = worst
+	if res.Satisfied {
+		res.Details = "all group counts met"
+	}
+	return res
+}
+
+// CoverageRequirement is the data-coverage form of Group Representation:
+// the dataset must have no maximal uncovered patterns at the threshold.
+type CoverageRequirement struct {
+	Attrs     []string
+	Threshold int
+}
+
+// Name implements Requirement.
+func (r CoverageRequirement) Name() string { return "coverage" }
+
+// Check implements Requirement.
+func (r CoverageRequirement) Check(d *dataset.Dataset) CheckResult {
+	res := CheckResult{Requirement: r.Name()}
+	space := coverage.NewSpace(d, r.Attrs, r.Threshold)
+	mups := space.MUPs()
+	res.Score = float64(len(mups))
+	res.Satisfied = len(mups) == 0
+	if res.Satisfied {
+		res.Details = fmt.Sprintf("no uncovered patterns at threshold %d", r.Threshold)
+	} else {
+		res.Details = fmt.Sprintf("%d MUPs, e.g. %s", len(mups), space.Describe(mups[0].Pattern))
+	}
+	return res
+}
+
+// FeatureBiasRequirement is the Unbiased and Informative Features
+// requirement (§2.3): at least MinFeatures feature attributes must have
+// sensitive association at most MaxAssoc while correlating with the target
+// by at least MinCorr.
+type FeatureBiasRequirement struct {
+	Features    []string
+	Sensitive   []string
+	Target      string
+	Positive    string
+	MaxAssoc    float64
+	MinCorr     float64
+	MinFeatures int
+}
+
+// Name implements Requirement.
+func (r FeatureBiasRequirement) Name() string { return "unbiased-informative-features" }
+
+// Check implements Requirement.
+func (r FeatureBiasRequirement) Check(d *dataset.Dataset) CheckResult {
+	res := CheckResult{Requirement: r.Name()}
+	min := r.MinFeatures
+	if min == 0 {
+		min = 1
+	}
+	positive := r.Positive
+	if positive == "" {
+		positive = "pos"
+	}
+	ranked := profile.RankAttrBias(d, r.Features, r.Sensitive, r.Target, positive)
+	good := 0
+	bestCorr := 0.0
+	for _, b := range ranked {
+		if b.SensitiveAssoc <= r.MaxAssoc && b.TargetCorr >= r.MinCorr {
+			good++
+			if b.TargetCorr > bestCorr {
+				bestCorr = b.TargetCorr
+			}
+		}
+	}
+	res.Score = float64(good)
+	res.Satisfied = good >= min
+	res.Details = fmt.Sprintf("%d/%d features unbiased (assoc<=%.2f) and informative (corr>=%.2f)",
+		good, len(ranked), r.MaxAssoc, r.MinCorr)
+	return res
+}
+
+// CompletenessRequirement is the Completeness half of §2.4: every listed
+// attribute's null rate must stay at or below MaxNullRate, both overall
+// and within every demographic group (so that missingness cannot hide in a
+// minority).
+type CompletenessRequirement struct {
+	Attrs       []string // empty means every attribute
+	Sensitive   []string
+	MaxNullRate float64
+}
+
+// Name implements Requirement.
+func (r CompletenessRequirement) Name() string { return "completeness" }
+
+// Check implements Requirement.
+func (r CompletenessRequirement) Check(d *dataset.Dataset) CheckResult {
+	res := CheckResult{Requirement: r.Name(), Satisfied: true}
+	attrs := r.Attrs
+	if len(attrs) == 0 {
+		attrs = d.Schema().Names()
+	}
+	worst := 0.0
+	worstAt := ""
+	for _, a := range attrs {
+		nulls := 0
+		for row := 0; row < d.NumRows(); row++ {
+			if d.IsNull(row, a) {
+				nulls++
+			}
+		}
+		rate := 0.0
+		if d.NumRows() > 0 {
+			rate = float64(nulls) / float64(d.NumRows())
+		}
+		if rate > worst {
+			worst, worstAt = rate, a
+		}
+		if len(r.Sensitive) > 0 && nulls > 0 {
+			for k, frac := range profile.GroupMissingness(d, a, r.Sensitive) {
+				if frac > worst {
+					worst, worstAt = frac, fmt.Sprintf("%s within %s", a, k)
+				}
+			}
+		}
+	}
+	res.Score = worst
+	res.Satisfied = worst <= r.MaxNullRate
+	res.Details = fmt.Sprintf("worst null rate %.4f at %s (max %.4f)", worst, worstAt, r.MaxNullRate)
+	if worstAt == "" {
+		res.Details = "no nulls"
+	}
+	return res
+}

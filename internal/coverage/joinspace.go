@@ -1,0 +1,185 @@
+package coverage
+
+import (
+	"fmt"
+
+	"redi/internal/dataset"
+)
+
+// JoinSpace answers coverage queries over the equi-join of two relations
+// WITHOUT materializing the join (Lin, Guan, Asudeh, Jagadish, VLDB 2020:
+// "Identifying insufficient data coverage in databases with multiple
+// relations"). A pattern constrains attributes drawn from both sides; its
+// join support factorizes per join-key:
+//
+//	count(p) = Σ_key  countLeft(key, p_left) × countRight(key, p_right)
+//
+// so each Count is one pass over per-key pattern-conditioned counts rather
+// than a scan of the (possibly huge) join result.
+type JoinSpace struct {
+	// Attrs lists the pattern attributes: the left relation's first,
+	// then the right's.
+	Attrs     []string
+	Domains   [][]string
+	Threshold int
+
+	numLeft int
+	// Per-side rows grouped by join key: rows[key] -> coded attribute
+	// rows for that key.
+	leftByKey  map[string][][]int
+	rightByKey map[string][][]int
+	counts     map[string]int
+}
+
+// NewJoinSpace prepares coverage over left ⋈ right on the given join keys,
+// with pattern attributes leftAttrs from the left relation and rightAttrs
+// from the right. It panics if no pattern attributes are given or an
+// attribute is not categorical.
+func NewJoinSpace(left *dataset.Dataset, leftKey string, leftAttrs []string,
+	right *dataset.Dataset, rightKey string, rightAttrs []string, threshold int) *JoinSpace {
+	if len(leftAttrs)+len(rightAttrs) == 0 {
+		panic("coverage: NewJoinSpace requires at least one pattern attribute")
+	}
+	js := &JoinSpace{
+		Threshold:  threshold,
+		numLeft:    len(leftAttrs),
+		leftByKey:  map[string][][]int{},
+		rightByKey: map[string][][]int{},
+		counts:     map[string]int{},
+	}
+	index := func(d *dataset.Dataset, key string, attrs []string, out map[string][][]int) {
+		keys := d.Strings(key)
+		cols := make([][]int32, len(attrs))
+		for i, a := range attrs {
+			codes, dict := d.Codes(a)
+			cols[i] = codes
+			js.Domains = append(js.Domains, dict)
+			js.Attrs = append(js.Attrs, a)
+		}
+		for r := 0; r < d.NumRows(); r++ {
+			if keys[r] == "" {
+				continue
+			}
+			row := make([]int, len(attrs))
+			for i := range attrs {
+				row[i] = int(cols[i][r])
+			}
+			out[keys[r]] = append(out[keys[r]], row)
+		}
+	}
+	index(left, leftKey, leftAttrs, js.leftByKey)
+	index(right, rightKey, rightAttrs, js.rightByKey)
+	return js
+}
+
+// Root returns the all-wildcard pattern.
+func (js *JoinSpace) Root() Pattern {
+	p := make(Pattern, len(js.Attrs))
+	for i := range p {
+		p[i] = Wildcard
+	}
+	return p
+}
+
+// split separates a pattern into its left and right halves.
+func (js *JoinSpace) split(p Pattern) (Pattern, Pattern) {
+	return Pattern(p[:js.numLeft]), Pattern(p[js.numLeft:])
+}
+
+// Count returns the number of join results matching p, memoized.
+func (js *JoinSpace) Count(p Pattern) int {
+	k := p.key()
+	if c, ok := js.counts[k]; ok {
+		return c
+	}
+	pl, pr := js.split(p)
+	total := 0
+	// Iterate the smaller key set.
+	for key, lrows := range js.leftByKey {
+		rrows, ok := js.rightByKey[key]
+		if !ok {
+			continue
+		}
+		nl := 0
+		for _, row := range lrows {
+			if pl.Matches(row) {
+				nl++
+			}
+		}
+		if nl == 0 {
+			continue
+		}
+		nr := 0
+		for _, row := range rrows {
+			if pr.Matches(row) {
+				nr++
+			}
+		}
+		total += nl * nr
+	}
+	js.counts[k] = total
+	return total
+}
+
+// Covered reports whether p meets the threshold.
+func (js *JoinSpace) Covered(p Pattern) bool { return js.Count(p) >= js.Threshold }
+
+// Parents returns the immediate generalizations of p.
+func (js *JoinSpace) Parents(p Pattern) []Pattern {
+	var out []Pattern
+	for i, v := range p {
+		if v != Wildcard {
+			q := p.Clone()
+			q[i] = Wildcard
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Children returns p's canonical children (see Space.Children).
+func (js *JoinSpace) Children(p Pattern) []Pattern {
+	start := 0
+	for i, v := range p {
+		if v != Wildcard {
+			start = i + 1
+		}
+	}
+	var out []Pattern
+	for i := start; i < len(p); i++ {
+		for v := range js.Domains[i] {
+			q := p.Clone()
+			q[i] = v
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// MUPs enumerates the maximal uncovered patterns of the join.
+func (js *JoinSpace) MUPs() []MUP { return patternBreaker(js) }
+
+// Describe renders p with attribute names.
+func (js *JoinSpace) Describe(p Pattern) string {
+	s := ""
+	for i, v := range p {
+		if i > 0 {
+			s += ", "
+		}
+		s += js.Attrs[i] + "="
+		if v == Wildcard {
+			s += "*"
+		} else {
+			s += js.Domains[i][v]
+		}
+	}
+	return s
+}
+
+// Check that JoinSpace satisfies the walker interface.
+var _ patternSpace = (*JoinSpace)(nil)
+
+// String summarizes the space.
+func (js *JoinSpace) String() string {
+	return fmt.Sprintf("JoinSpace(%d attrs, threshold %d)", len(js.Attrs), js.Threshold)
+}

@@ -1,0 +1,139 @@
+package coverage
+
+// MUP is a maximal uncovered pattern with its observed count.
+type MUP struct {
+	Pattern Pattern
+	Count   int
+}
+
+// patternSpace is the lattice interface the pattern-breaker walker runs
+// over; Space (single relation) and JoinSpace (coverage over a join)
+// implement it.
+type patternSpace interface {
+	Root() Pattern
+	Count(p Pattern) int
+	Covered(p Pattern) bool
+	Children(p Pattern) []Pattern
+	Parents(p Pattern) []Pattern
+}
+
+// patternBreaker enumerates MUPs over any patternSpace: a top-down
+// traversal of the canonical pattern tree that stops descending at the
+// first uncovered pattern on each path. An uncovered pattern is reported as
+// a MUP iff all of its immediate generalizations are covered; its
+// descendants cannot be MUPs (they have an uncovered parent), so the
+// subtree is pruned. Patterns are visited at most once thanks to the
+// canonical child rule.
+func patternBreaker(s patternSpace) []MUP {
+	var out []MUP
+	var walk func(p Pattern)
+	walk = func(p Pattern) {
+		if !s.Covered(p) {
+			if allParentsCovered(s, p) {
+				out = append(out, MUP{Pattern: p, Count: s.Count(p)})
+			}
+			return
+		}
+		for _, c := range s.Children(p) {
+			walk(c)
+		}
+	}
+	root := s.Root()
+	if !s.Covered(root) {
+		// The whole dataset is smaller than the threshold: the root is
+		// the single MUP.
+		return []MUP{{Pattern: root, Count: s.Count(root)}}
+	}
+	for _, c := range s.Children(root) {
+		walk(c)
+	}
+	return out
+}
+
+// MUPs enumerates the maximal uncovered patterns of the space with the
+// pattern-breaker strategy.
+func (s *Space) MUPs() []MUP { return patternBreaker(s) }
+
+func allParentsCovered(s patternSpace, p Pattern) bool {
+	for _, parent := range s.Parents(p) {
+		if !s.Covered(parent) {
+			return false
+		}
+	}
+	return true
+}
+
+// NaiveMUPs enumerates MUPs by materializing the full pattern lattice and
+// checking the MUP condition on every pattern. It is exponentially more
+// expensive than MUPs and exists as the correctness oracle and ablation
+// baseline (experiment E3).
+func (s *Space) NaiveMUPs() []MUP {
+	var out []MUP
+	var all func(p Pattern, from int)
+	all = func(p Pattern, from int) {
+		if !s.Covered(p) && allParentsCovered(s, p) {
+			out = append(out, MUP{Pattern: p.Clone(), Count: s.Count(p)})
+		}
+		for i := from; i < len(p); i++ {
+			for v := range s.Domains[i] {
+				p[i] = v
+				all(p, i+1)
+				p[i] = Wildcard
+			}
+		}
+	}
+	all(s.Root(), 0)
+	return out
+}
+
+// UncoveredCombinations returns the fully-specified patterns (value
+// combinations) dominated by at least one of the given MUPs — the concrete
+// uncovered region the MUPs summarize.
+func (s *Space) UncoveredCombinations(mups []MUP) []Pattern {
+	var out []Pattern
+	var gen func(p Pattern, i int)
+	gen = func(p Pattern, i int) {
+		if i == len(p) {
+			for _, m := range mups {
+				if m.Pattern.Dominates(p) {
+					out = append(out, p.Clone())
+					return
+				}
+			}
+			return
+		}
+		for v := range s.Domains[i] {
+			p[i] = v
+			gen(p, i+1)
+		}
+		p[i] = Wildcard
+	}
+	gen(s.Root(), 0)
+	return out
+}
+
+// CoveragePercent returns the fraction of fully-specified value
+// combinations that are covered.
+func (s *Space) CoveragePercent() float64 {
+	total, covered := 0, 0
+	var gen func(p Pattern, i int)
+	gen = func(p Pattern, i int) {
+		if i == len(p) {
+			total++
+			if s.Covered(p) {
+				covered++
+			}
+			return
+		}
+		for v := range s.Domains[i] {
+			p[i] = v
+			gen(p, i+1)
+		}
+		p[i] = Wildcard
+	}
+	gen(s.Root(), 0)
+	if total == 0 {
+		return 1
+	}
+	return float64(covered) / float64(total)
+}

@@ -1,0 +1,150 @@
+package coverage
+
+import (
+	"math"
+
+	"redi/internal/dataset"
+)
+
+// OrdinalCoverage answers neighborhood-coverage queries over continuous
+// attributes (Asudeh et al., SIGMOD 2021): a query point q is covered when
+// at least K data points lie within L2 distance Radius of q. A uniform grid
+// with cell side Radius limits each query to the 3^d adjacent cells.
+type OrdinalCoverage struct {
+	Attrs  []string
+	Radius float64
+	K      int
+
+	dim    int
+	points [][]float64
+	grid   map[string][]int // cell key -> point indices
+}
+
+// NewOrdinalCoverage indexes the non-null rows of the given numeric
+// attributes of d. Rows with a null in any attribute are ignored. It panics
+// if radius <= 0, k <= 0, or attrs is empty.
+func NewOrdinalCoverage(d *dataset.Dataset, attrs []string, radius float64, k int) *OrdinalCoverage {
+	if radius <= 0 || k <= 0 || len(attrs) == 0 {
+		panic("coverage: NewOrdinalCoverage requires radius > 0, k > 0, attrs non-empty")
+	}
+	oc := &OrdinalCoverage{
+		Attrs:  append([]string(nil), attrs...),
+		Radius: radius,
+		K:      k,
+		dim:    len(attrs),
+		grid:   map[string][]int{},
+	}
+	cols := make([][]float64, len(attrs))
+	nulls := make([][]bool, len(attrs))
+	for i, a := range attrs {
+		cols[i], nulls[i] = d.NumericFull(a)
+	}
+	for r := 0; r < d.NumRows(); r++ {
+		ok := true
+		pt := make([]float64, oc.dim)
+		for i := range attrs {
+			if nulls[i][r] {
+				ok = false
+				break
+			}
+			pt[i] = cols[i][r]
+		}
+		if !ok {
+			continue
+		}
+		idx := len(oc.points)
+		oc.points = append(oc.points, pt)
+		oc.grid[oc.cellKey(pt)] = append(oc.grid[oc.cellKey(pt)], idx)
+	}
+	return oc
+}
+
+// NumPoints returns the number of indexed points.
+func (oc *OrdinalCoverage) NumPoints() int { return len(oc.points) }
+
+func (oc *OrdinalCoverage) cellKey(pt []float64) string {
+	key := make([]byte, 0, oc.dim*6)
+	for _, x := range pt {
+		c := int64(math.Floor(x / oc.Radius))
+		key = appendInt(key, c)
+		key = append(key, ';')
+	}
+	return string(key)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// NeighborCount returns the number of indexed points within Radius of q.
+// It panics if q's dimensionality differs from the index's.
+func (oc *OrdinalCoverage) NeighborCount(q []float64) int {
+	if len(q) != oc.dim {
+		panic("coverage: query dimensionality mismatch")
+	}
+	cells := make([]int64, oc.dim)
+	for i, x := range q {
+		cells[i] = int64(math.Floor(x / oc.Radius))
+	}
+	count := 0
+	offsets := make([]int64, oc.dim)
+	var visit func(i int)
+	visit = func(i int) {
+		if i == oc.dim {
+			key := make([]byte, 0, oc.dim*6)
+			for j := range cells {
+				key = appendInt(key, cells[j]+offsets[j])
+				key = append(key, ';')
+			}
+			for _, idx := range oc.grid[string(key)] {
+				if l2(q, oc.points[idx]) <= oc.Radius {
+					count++
+				}
+			}
+			return
+		}
+		for _, o := range []int64{-1, 0, 1} {
+			offsets[i] = o
+			visit(i + 1)
+		}
+	}
+	visit(0)
+	return count
+}
+
+func l2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Covered reports whether query point q has at least K neighbors within
+// Radius.
+func (oc *OrdinalCoverage) Covered(q []float64) bool {
+	return oc.NeighborCount(q) >= oc.K
+}
+
+// UncoveredFraction returns the fraction of the given query points that are
+// uncovered. It returns 0 for an empty query set.
+func (oc *OrdinalCoverage) UncoveredFraction(queries [][]float64) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, q := range queries {
+		if !oc.Covered(q) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(queries))
+}

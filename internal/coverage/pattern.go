@@ -1,0 +1,220 @@
+// Package coverage implements group-representation analysis for datasets:
+// maximal uncovered pattern (MUP) enumeration over categorical attributes
+// (Asudeh, Jin, Jagadish, ICDE 2019), greedy coverage remedies, and
+// neighborhood-based coverage for ordinal/continuous attributes (Asudeh et
+// al., SIGMOD 2021).
+//
+// A pattern fixes a value for some subset of the attributes of interest and
+// wildcards the rest; it is covered when at least Threshold rows match. The
+// uncovered region of a dataset is summarized by its MUPs: uncovered
+// patterns all of whose generalizations are covered.
+package coverage
+
+import (
+	"fmt"
+	"strings"
+
+	"redi/internal/dataset"
+)
+
+// Wildcard marks an unconstrained position in a pattern.
+const Wildcard = -1
+
+// Pattern constrains a subset of attributes: entry i is either Wildcard or
+// an index into the i-th attribute's domain.
+type Pattern []int
+
+// Clone returns a copy of the pattern.
+func (p Pattern) Clone() Pattern {
+	out := make(Pattern, len(p))
+	copy(out, p)
+	return out
+}
+
+// Level returns the number of non-wildcard positions.
+func (p Pattern) Level() int {
+	n := 0
+	for _, v := range p {
+		if v != Wildcard {
+			n++
+		}
+	}
+	return n
+}
+
+// Matches reports whether the coded row matches the pattern. Codes of -1
+// (null) match nothing but a wildcard.
+func (p Pattern) Matches(codes []int) bool {
+	for i, v := range p {
+		if v == Wildcard {
+			continue
+		}
+		if codes[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether p is a generalization of q (every constraint of
+// p appears in q). Every pattern dominates itself.
+func (p Pattern) Dominates(q Pattern) bool {
+	for i, v := range p {
+		if v != Wildcard && q[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// key renders the pattern as a compact map key.
+func (p Pattern) key() string {
+	var sb strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if v == Wildcard {
+			sb.WriteByte('X')
+		} else {
+			fmt.Fprintf(&sb, "%d", v)
+		}
+	}
+	return sb.String()
+}
+
+// Space is the pattern search space over a dataset's attributes of
+// interest: the per-row codes, the attribute domains, and the coverage
+// threshold.
+type Space struct {
+	Attrs     []string
+	Domains   [][]string // Domains[i] lists attribute i's values
+	Threshold int
+
+	rows   [][]int // coded rows; -1 for null
+	counts map[string]int
+}
+
+// NewSpace prepares a pattern space over the given categorical attributes of
+// d. Threshold is the minimum count for a pattern to be covered. It panics
+// if attrs is empty or an attribute is not categorical.
+func NewSpace(d *dataset.Dataset, attrs []string, threshold int) *Space {
+	if len(attrs) == 0 {
+		panic("coverage: NewSpace requires at least one attribute")
+	}
+	s := &Space{
+		Attrs:     append([]string(nil), attrs...),
+		Threshold: threshold,
+		counts:    map[string]int{},
+	}
+	cols := make([][]int32, len(attrs))
+	for i, a := range attrs {
+		codes, dict := d.Codes(a)
+		cols[i] = codes
+		s.Domains = append(s.Domains, dict)
+	}
+	s.rows = make([][]int, d.NumRows())
+	for r := range s.rows {
+		row := make([]int, len(attrs))
+		for i := range attrs {
+			row[i] = int(cols[i][r])
+		}
+		s.rows[r] = row
+	}
+	return s
+}
+
+// NumAttrs returns the number of attributes in the space.
+func (s *Space) NumAttrs() int { return len(s.Attrs) }
+
+// Root returns the all-wildcard pattern.
+func (s *Space) Root() Pattern {
+	p := make(Pattern, len(s.Attrs))
+	for i := range p {
+		p[i] = Wildcard
+	}
+	return p
+}
+
+// Count returns the number of rows matching p, memoized.
+func (s *Space) Count(p Pattern) int {
+	k := p.key()
+	if c, ok := s.counts[k]; ok {
+		return c
+	}
+	c := 0
+	for _, row := range s.rows {
+		if p.Matches(row) {
+			c++
+		}
+	}
+	s.counts[k] = c
+	return c
+}
+
+// Covered reports whether p meets the coverage threshold.
+func (s *Space) Covered(p Pattern) bool { return s.Count(p) >= s.Threshold }
+
+// Parents returns the immediate generalizations of p: each non-wildcard
+// position replaced by a wildcard.
+func (s *Space) Parents(p Pattern) []Pattern {
+	var out []Pattern
+	for i, v := range p {
+		if v != Wildcard {
+			q := p.Clone()
+			q[i] = Wildcard
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Children returns the canonical children of p: positions strictly to the
+// right of the rightmost non-wildcard are specialized with every domain
+// value. Each pattern in the lattice is generated exactly once along this
+// rule.
+func (s *Space) Children(p Pattern) []Pattern {
+	start := 0
+	for i, v := range p {
+		if v != Wildcard {
+			start = i + 1
+		}
+	}
+	var out []Pattern
+	for i := start; i < len(p); i++ {
+		for v := range s.Domains[i] {
+			q := p.Clone()
+			q[i] = v
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Describe renders p with attribute names, e.g. "race=black, sex=*".
+func (s *Space) Describe(p Pattern) string {
+	var sb strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s.Attrs[i])
+		sb.WriteByte('=')
+		if v == Wildcard {
+			sb.WriteByte('*')
+		} else {
+			sb.WriteString(s.Domains[i][v])
+		}
+	}
+	return sb.String()
+}
+
+// TotalPatterns returns the size of the pattern lattice: the product of
+// (|domain|+1) over attributes.
+func (s *Space) TotalPatterns() int {
+	n := 1
+	for _, d := range s.Domains {
+		n *= len(d) + 1
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package coverage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+)
+
+// randomTable builds a small 3-attribute categorical table from raw bytes.
+func randomTable(cells []byte) *dataset.Dataset {
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "a", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "b", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "c", Kind: dataset.Categorical},
+	))
+	vals := []string{"x", "y", "z"}
+	for i := 0; i+2 < len(cells); i += 3 {
+		d.MustAppendRow(
+			dataset.Cat(vals[int(cells[i])%3]),
+			dataset.Cat(vals[int(cells[i+1])%3]),
+			dataset.Cat(vals[int(cells[i+2])%3]),
+		)
+	}
+	return d
+}
+
+// Property: every reported MUP is uncovered, all of its parents are
+// covered, and no reported MUP dominates another.
+func TestMUPInvariantsProperty(t *testing.T) {
+	f := func(cells []byte, tau8 uint8) bool {
+		d := randomTable(cells)
+		if d.NumRows() == 0 {
+			return true
+		}
+		tau := int(tau8%20) + 1
+		s := NewSpace(d, []string{"a", "b", "c"}, tau)
+		mups := s.MUPs()
+		for i, m := range mups {
+			if s.Covered(m.Pattern) {
+				return false
+			}
+			if !allParentsCovered(s, m.Pattern) {
+				return false
+			}
+			for j, o := range mups {
+				if i != j && m.Pattern.Dominates(o.Pattern) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pattern-breaker and the naive lattice scan agree on arbitrary
+// small tables.
+func TestMUPAgreementProperty(t *testing.T) {
+	f := func(cells []byte, tau8 uint8) bool {
+		d := randomTable(cells)
+		if d.NumRows() == 0 {
+			return true
+		}
+		tau := int(tau8%15) + 1
+		s := NewSpace(d, []string{"a", "b", "c"}, tau)
+		fast := s.MUPs()
+		slow := s.NaiveMUPs()
+		if len(fast) != len(slow) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, m := range fast {
+			seen[s.Describe(m.Pattern)] = true
+		}
+		for _, m := range slow {
+			if !seen[s.Describe(m.Pattern)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a remedy plan always covers every MUP it was built for.
+func TestRemedyCoversProperty(t *testing.T) {
+	f := func(cells []byte, tau8 uint8) bool {
+		d := randomTable(cells)
+		if d.NumRows() == 0 {
+			return true
+		}
+		tau := int(tau8%10) + 1
+		s := NewSpace(d, []string{"a", "b", "c"}, tau)
+		mups := s.MUPs()
+		plan := s.Remedy(mups)
+		for _, m := range mups {
+			got := m.Count
+			for _, st := range plan {
+				if m.Pattern.Dominates(st.Combination) {
+					got += st.Count
+				}
+			}
+			if got < tau {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ordinal coverage counts never exceed the number of indexed
+// points and shrink (weakly) as the radius shrinks.
+func TestOrdinalMonotoneProperty(t *testing.T) {
+	p := rng.New(99)
+	f := func(n8 uint8) bool {
+		n := int(n8%40) + 5
+		d := dataset.New(dataset.NewSchema(
+			dataset.Attribute{Name: "x", Kind: dataset.Numeric},
+		))
+		for i := 0; i < n; i++ {
+			d.MustAppendRow(dataset.Num(p.Normal(0, 1)))
+		}
+		big := NewOrdinalCoverage(d, []string{"x"}, 2.0, 1)
+		small := NewOrdinalCoverage(d, []string{"x"}, 0.5, 1)
+		q := []float64{p.Normal(0, 1)}
+		cb, cs := big.NeighborCount(q), small.NeighborCount(q)
+		return cs <= cb && cb <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package coverage
+
+import "sort"
+
+// RemedyStep is one acquisition decision of a coverage remedy: collect
+// Count additional rows matching the fully-specified Combination.
+type RemedyStep struct {
+	Combination Pattern
+	Count       int
+}
+
+// Remedy computes an acquisition plan that covers every given MUP: a list
+// of fully-specified value combinations and how many rows of each to
+// collect. A collected row matching combination c raises the count of every
+// pattern dominating c, so one combination can repair several MUPs at once.
+// The greedy policy repeatedly picks the combination compatible with the
+// largest total remaining deficiency, matching the heuristic of Asudeh et
+// al. (ICDE'19, "coverage enhancement"). The returned plan covers all MUPs
+// exactly (never overshooting any single MUP's deficiency by more than
+// necessary for the chosen combinations).
+func (s *Space) Remedy(mups []MUP) []RemedyStep {
+	if len(mups) == 0 {
+		return nil
+	}
+	deficiency := make([]int, len(mups))
+	for i, m := range mups {
+		deficiency[i] = s.Threshold - m.Count
+		if deficiency[i] < 0 {
+			deficiency[i] = 0
+		}
+	}
+	combos := s.UncoveredCombinations(mups)
+	// compat[c] lists the MUPs that combination c repairs.
+	compat := make([][]int, len(combos))
+	for ci, c := range combos {
+		for mi, m := range mups {
+			if m.Pattern.Dominates(c) {
+				compat[ci] = append(compat[ci], mi)
+			}
+		}
+	}
+
+	var plan []RemedyStep
+	for {
+		// Pick the combination with the largest remaining total
+		// deficiency across its compatible MUPs.
+		best, bestScore := -1, 0
+		for ci := range combos {
+			score := 0
+			for _, mi := range compat[ci] {
+				score += deficiency[mi]
+			}
+			if score > bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		if best < 0 {
+			break // all deficiencies are zero
+		}
+		// Add enough rows to fully repair the smallest positive
+		// deficiency among the compatible MUPs; this keeps steps
+		// maximal without overshooting.
+		add := 0
+		for _, mi := range compat[best] {
+			if deficiency[mi] > 0 && (add == 0 || deficiency[mi] < add) {
+				add = deficiency[mi]
+			}
+		}
+		for _, mi := range compat[best] {
+			deficiency[mi] -= add
+			if deficiency[mi] < 0 {
+				deficiency[mi] = 0
+			}
+		}
+		plan = append(plan, RemedyStep{Combination: combos[best].Clone(), Count: add})
+	}
+	// Merge steps on the same combination (possible when deficiencies
+	// interleave) and sort for determinism.
+	merged := map[string]int{}
+	byKey := map[string]Pattern{}
+	for _, st := range plan {
+		k := st.Combination.key()
+		merged[k] += st.Count
+		byKey[k] = st.Combination
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]RemedyStep, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, RemedyStep{Combination: byKey[k], Count: merged[k]})
+	}
+	return out
+}
+
+// RemedyCost returns the total number of rows a plan acquires.
+func RemedyCost(plan []RemedyStep) int {
+	n := 0
+	for _, st := range plan {
+		n += st.Count
+	}
+	return n
+}
+
+// RandomRemedyCost simulates the naive alternative to Remedy used as the E13
+// baseline: acquire rows of uniformly random uncovered combinations until
+// all MUP deficiencies reach zero, and report how many rows that took.
+// next(n) must return a uniform index in [0, n); deficiencies are repaired
+// in draw order.
+func (s *Space) RandomRemedyCost(mups []MUP, next func(n int) int) int {
+	if len(mups) == 0 {
+		return 0
+	}
+	deficiency := make([]int, len(mups))
+	remaining := 0
+	for i, m := range mups {
+		deficiency[i] = s.Threshold - m.Count
+		if deficiency[i] < 0 {
+			deficiency[i] = 0
+		}
+		remaining += deficiency[i]
+	}
+	combos := s.UncoveredCombinations(mups)
+	compat := make([][]int, len(combos))
+	for ci, c := range combos {
+		for mi, m := range mups {
+			if m.Pattern.Dominates(c) {
+				compat[ci] = append(compat[ci], mi)
+			}
+		}
+	}
+	cost := 0
+	for remaining > 0 {
+		ci := next(len(combos))
+		cost++
+		for _, mi := range compat[ci] {
+			if deficiency[mi] > 0 {
+				deficiency[mi]--
+				remaining--
+			}
+		}
+	}
+	return cost
+}

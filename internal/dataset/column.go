@@ -1,0 +1,169 @@
+package dataset
+
+import "fmt"
+
+// column is the typed storage behind one attribute. Implementations are
+// append-only; mutation of existing cells goes through set, used by the
+// cleaning package's repairs.
+type column interface {
+	len() int
+	kind() Kind
+	isNull(i int) bool
+	value(i int) Value
+	appendValue(v Value) error
+	set(i int, v Value) error
+	// gather returns a new column containing the rows at idx, in order.
+	gather(idx []int) column
+	clone() column
+}
+
+// catColumn stores dictionary-encoded categorical values. Code -1 marks
+// null so the null mask is implicit.
+type catColumn struct {
+	codes []int32
+	dict  []string
+	index map[string]int32
+}
+
+func newCatColumn() *catColumn {
+	return &catColumn{index: make(map[string]int32)}
+}
+
+func (c *catColumn) len() int          { return len(c.codes) }
+func (c *catColumn) kind() Kind        { return Categorical }
+func (c *catColumn) isNull(i int) bool { return c.codes[i] < 0 }
+
+func (c *catColumn) value(i int) Value {
+	if c.codes[i] < 0 {
+		return NullValue(Categorical)
+	}
+	return Cat(c.dict[c.codes[i]])
+}
+
+func (c *catColumn) code(s string) int32 {
+	if code, ok := c.index[s]; ok {
+		return code
+	}
+	code := int32(len(c.dict))
+	c.dict = append(c.dict, s)
+	c.index[s] = code
+	return code
+}
+
+func (c *catColumn) appendValue(v Value) error {
+	if v.Null {
+		c.codes = append(c.codes, -1)
+		return nil
+	}
+	if v.Kind != Categorical {
+		return fmt.Errorf("dataset: appending %s value to categorical column", v.Kind)
+	}
+	c.codes = append(c.codes, c.code(v.Cat))
+	return nil
+}
+
+func (c *catColumn) set(i int, v Value) error {
+	if v.Null {
+		c.codes[i] = -1
+		return nil
+	}
+	if v.Kind != Categorical {
+		return fmt.Errorf("dataset: setting %s value in categorical column", v.Kind)
+	}
+	c.codes[i] = c.code(v.Cat)
+	return nil
+}
+
+func (c *catColumn) gather(idx []int) column {
+	out := newCatColumn()
+	out.dict = append(out.dict, c.dict...)
+	for s, code := range c.index {
+		out.index[s] = code
+	}
+	out.codes = make([]int32, len(idx))
+	for j, i := range idx {
+		out.codes[j] = c.codes[i]
+	}
+	return out
+}
+
+func (c *catColumn) clone() column {
+	out := newCatColumn()
+	out.codes = append(out.codes, c.codes...)
+	out.dict = append(out.dict, c.dict...)
+	for s, code := range c.index {
+		out.index[s] = code
+	}
+	return out
+}
+
+// numColumn stores float64 values with an explicit null mask.
+type numColumn struct {
+	vals  []float64
+	nulls []bool
+}
+
+func (c *numColumn) len() int          { return len(c.vals) }
+func (c *numColumn) kind() Kind        { return Numeric }
+func (c *numColumn) isNull(i int) bool { return c.nulls[i] }
+
+func (c *numColumn) value(i int) Value {
+	if c.nulls[i] {
+		return NullValue(Numeric)
+	}
+	return Num(c.vals[i])
+}
+
+func (c *numColumn) appendValue(v Value) error {
+	if v.Null {
+		c.vals = append(c.vals, 0)
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if v.Kind != Numeric {
+		return fmt.Errorf("dataset: appending %s value to numeric column", v.Kind)
+	}
+	c.vals = append(c.vals, v.Num)
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+func (c *numColumn) set(i int, v Value) error {
+	if v.Null {
+		c.vals[i] = 0
+		c.nulls[i] = true
+		return nil
+	}
+	if v.Kind != Numeric {
+		return fmt.Errorf("dataset: setting %s value in numeric column", v.Kind)
+	}
+	c.vals[i] = v.Num
+	c.nulls[i] = false
+	return nil
+}
+
+func (c *numColumn) gather(idx []int) column {
+	out := &numColumn{
+		vals:  make([]float64, len(idx)),
+		nulls: make([]bool, len(idx)),
+	}
+	for j, i := range idx {
+		out.vals[j] = c.vals[i]
+		out.nulls[j] = c.nulls[i]
+	}
+	return out
+}
+
+func (c *numColumn) clone() column {
+	return &numColumn{
+		vals:  append([]float64(nil), c.vals...),
+		nulls: append([]bool(nil), c.nulls...),
+	}
+}
+
+func newColumn(k Kind) column {
+	if k == Categorical {
+		return newCatColumn()
+	}
+	return &numColumn{}
+}

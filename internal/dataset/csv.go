@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row. Nulls are written as empty
+// fields.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, d.schema.Len())
+	for r := 0; r < d.n; r++ {
+		for c := range d.cols {
+			v := d.cols[c].value(r)
+			if v.Null {
+				rec[c] = ""
+			} else if v.Kind == Numeric {
+				rec[c] = strconv.FormatFloat(v.Num, 'g', -1, 64)
+			} else {
+				rec[c] = v.Cat
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream with a header row into a dataset conforming to
+// schema. The header must list exactly the schema's attribute names in
+// order. Empty fields become nulls; numeric fields must parse as floats.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != schema.Len() {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), schema.Len())
+	}
+	for i, name := range header {
+		if name != schema.Attr(i).Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, schema.Attr(i).Name)
+		}
+	}
+	d := New(schema)
+	row := make([]Value, schema.Len())
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		line++
+		for i, field := range rec {
+			attr := schema.Attr(i)
+			if field == "" {
+				row[i] = NullValue(attr.Kind)
+				continue
+			}
+			if attr.Kind == Numeric {
+				x, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d, attribute %q: %w", line, attr.Name, err)
+				}
+				row[i] = Num(x)
+			} else {
+				row[i] = Cat(field)
+			}
+		}
+		if err := d.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+}

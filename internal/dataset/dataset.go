@@ -1,0 +1,269 @@
+package dataset
+
+import (
+	"fmt"
+
+	"redi/internal/rng"
+)
+
+// Dataset is a typed columnar table. All rows conform to the schema; cells
+// may be null. A Dataset is not safe for concurrent mutation.
+type Dataset struct {
+	schema *Schema
+	cols   []column
+	n      int
+}
+
+// New returns an empty dataset with the given schema.
+func New(schema *Schema) *Dataset {
+	d := &Dataset{schema: schema, cols: make([]column, schema.Len())}
+	for i := 0; i < schema.Len(); i++ {
+		d.cols[i] = newColumn(schema.Attr(i).Kind)
+	}
+	return d
+}
+
+// Schema returns the dataset's schema.
+func (d *Dataset) Schema() *Schema { return d.schema }
+
+// NumRows returns the number of rows.
+func (d *Dataset) NumRows() int { return d.n }
+
+// NumCols returns the number of attributes.
+func (d *Dataset) NumCols() int { return d.schema.Len() }
+
+// AppendRow appends one row. The number of values must equal the number of
+// attributes and each value must match its column's kind (or be null).
+func (d *Dataset) AppendRow(vals ...Value) error {
+	if len(vals) != d.schema.Len() {
+		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(vals), d.schema.Len())
+	}
+	for i, v := range vals {
+		if err := d.cols[i].appendValue(v); err != nil {
+			// Roll back the partial row so the table stays rectangular.
+			for j := 0; j < i; j++ {
+				d.truncateLast(j)
+			}
+			return fmt.Errorf("attribute %q: %w", d.schema.Attr(i).Name, err)
+		}
+	}
+	d.n++
+	return nil
+}
+
+func (d *Dataset) truncateLast(col int) {
+	switch c := d.cols[col].(type) {
+	case *catColumn:
+		c.codes = c.codes[:len(c.codes)-1]
+	case *numColumn:
+		c.vals = c.vals[:len(c.vals)-1]
+		c.nulls = c.nulls[:len(c.nulls)-1]
+	}
+}
+
+// MustAppendRow appends a row and panics on error. Use for rows constructed
+// in code, where a kind mismatch is a bug.
+func (d *Dataset) MustAppendRow(vals ...Value) {
+	if err := d.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// AppendDataset appends all rows of other, which must have an equal schema.
+func (d *Dataset) AppendDataset(other *Dataset) error {
+	if !d.schema.Equal(other.schema) {
+		return fmt.Errorf("dataset: schema mismatch: %v vs %v", d.schema, other.schema)
+	}
+	for r := 0; r < other.n; r++ {
+		if err := d.AppendRow(other.Row(r)...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Value returns the cell at row r of the named attribute.
+func (d *Dataset) Value(r int, attr string) Value {
+	return d.cols[d.schema.MustIndex(attr)].value(r)
+}
+
+// ValueAt returns the cell at row r, column c.
+func (d *Dataset) ValueAt(r, c int) Value { return d.cols[c].value(r) }
+
+// SetValue overwrites the cell at row r of the named attribute.
+func (d *Dataset) SetValue(r int, attr string, v Value) error {
+	return d.cols[d.schema.MustIndex(attr)].set(r, v)
+}
+
+// Row materializes row r as a value slice.
+func (d *Dataset) Row(r int) []Value {
+	out := make([]Value, len(d.cols))
+	for c, col := range d.cols {
+		out[c] = col.value(r)
+	}
+	return out
+}
+
+// IsNull reports whether the cell at row r of the named attribute is null.
+func (d *Dataset) IsNull(r int, attr string) bool {
+	return d.cols[d.schema.MustIndex(attr)].isNull(r)
+}
+
+// Numeric returns the non-null float64 values of the named attribute along
+// with the row indices they came from. It panics if the attribute is not
+// numeric.
+func (d *Dataset) Numeric(attr string) (vals []float64, rows []int) {
+	i := d.schema.MustIndex(attr)
+	col, ok := d.cols[i].(*numColumn)
+	if !ok {
+		panic(fmt.Sprintf("dataset: attribute %q is not numeric", attr))
+	}
+	for r := 0; r < d.n; r++ {
+		if !col.nulls[r] {
+			vals = append(vals, col.vals[r])
+			rows = append(rows, r)
+		}
+	}
+	return vals, rows
+}
+
+// NumericFull returns the attribute's values aligned with rows: the boolean
+// slice marks nulls (whose value entries are 0). It panics if the attribute
+// is not numeric.
+func (d *Dataset) NumericFull(attr string) (vals []float64, null []bool) {
+	i := d.schema.MustIndex(attr)
+	col, ok := d.cols[i].(*numColumn)
+	if !ok {
+		panic(fmt.Sprintf("dataset: attribute %q is not numeric", attr))
+	}
+	return append([]float64(nil), col.vals...), append([]bool(nil), col.nulls...)
+}
+
+// Strings returns the attribute's values as display strings aligned with
+// rows (nulls as ""). Works for either kind.
+func (d *Dataset) Strings(attr string) []string {
+	i := d.schema.MustIndex(attr)
+	out := make([]string, d.n)
+	for r := 0; r < d.n; r++ {
+		v := d.cols[i].value(r)
+		if v.Null {
+			out[r] = ""
+			continue
+		}
+		out[r] = v.String()
+	}
+	return out
+}
+
+// Domain returns the distinct non-null categorical values of the named
+// attribute in first-appearance order. It panics if the attribute is not
+// categorical.
+func (d *Dataset) Domain(attr string) []string {
+	i := d.schema.MustIndex(attr)
+	col, ok := d.cols[i].(*catColumn)
+	if !ok {
+		panic(fmt.Sprintf("dataset: attribute %q is not categorical", attr))
+	}
+	seen := make([]bool, len(col.dict))
+	var out []string
+	for _, code := range col.codes {
+		if code >= 0 && !seen[code] {
+			seen[code] = true
+			out = append(out, col.dict[code])
+		}
+	}
+	return out
+}
+
+// Codes returns dictionary codes for a categorical attribute aligned with
+// rows (-1 for null) plus the dictionary. The dictionary may contain values
+// no longer present in any row.
+func (d *Dataset) Codes(attr string) (codes []int32, dict []string) {
+	i := d.schema.MustIndex(attr)
+	col, ok := d.cols[i].(*catColumn)
+	if !ok {
+		panic(fmt.Sprintf("dataset: attribute %q is not categorical", attr))
+	}
+	return append([]int32(nil), col.codes...), append([]string(nil), col.dict...)
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{schema: d.schema, cols: make([]column, len(d.cols)), n: d.n}
+	for i, c := range d.cols {
+		out.cols[i] = c.clone()
+	}
+	return out
+}
+
+// Gather returns a new dataset containing the rows at idx, in order. Indices
+// may repeat.
+func (d *Dataset) Gather(idx []int) *Dataset {
+	out := &Dataset{schema: d.schema, cols: make([]column, len(d.cols)), n: len(idx)}
+	for i, c := range d.cols {
+		out.cols[i] = c.gather(idx)
+	}
+	return out
+}
+
+// Head returns the first n rows (all rows if n exceeds the length).
+func (d *Dataset) Head(n int) *Dataset {
+	if n > d.n {
+		n = d.n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Gather(idx)
+}
+
+// SampleRows returns a uniform sample of k rows without replacement, in
+// random order, using reservoir sampling. If k >= NumRows the result is a
+// shuffled copy of all rows.
+func (d *Dataset) SampleRows(r *rng.RNG, k int) *Dataset {
+	if k >= d.n {
+		idx := r.Perm(d.n)
+		return d.Gather(idx)
+	}
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = i
+	}
+	for i := k; i < d.n; i++ {
+		j := r.Intn(i + 1)
+		if j < k {
+			idx[j] = i
+		}
+	}
+	r.Shuffle(k, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return d.Gather(idx)
+}
+
+// Split partitions the rows into two datasets: the first gets a fraction
+// frac of rows (rounded down), uniformly at random.
+func (d *Dataset) Split(r *rng.RNG, frac float64) (*Dataset, *Dataset) {
+	perm := r.Perm(d.n)
+	cut := int(float64(d.n) * frac)
+	return d.Gather(perm[:cut]), d.Gather(perm[cut:])
+}
+
+// String renders the first rows of the dataset as an aligned table,
+// truncated for readability.
+func (d *Dataset) String() string {
+	const maxRows = 10
+	s := d.schema.String() + "\n"
+	for r := 0; r < d.n && r < maxRows; r++ {
+		for c := range d.cols {
+			if c > 0 {
+				s += " | "
+			}
+			s += d.cols[c].value(r).String()
+		}
+		s += "\n"
+	}
+	if d.n > maxRows {
+		s += fmt.Sprintf("... (%d rows total)\n", d.n)
+	}
+	return s
+}

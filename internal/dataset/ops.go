@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate selects rows of a dataset.
+type Predicate func(d *Dataset, row int) bool
+
+// Eq returns a predicate matching rows whose attr equals the categorical
+// value v (nulls never match).
+func Eq(attr, v string) Predicate {
+	return func(d *Dataset, row int) bool {
+		cell := d.Value(row, attr)
+		return !cell.Null && cell.Kind == Categorical && cell.Cat == v
+	}
+}
+
+// Range returns a predicate matching rows whose numeric attr lies in
+// [lo, hi] (nulls never match).
+func Range(attr string, lo, hi float64) Predicate {
+	return func(d *Dataset, row int) bool {
+		cell := d.Value(row, attr)
+		return !cell.Null && cell.Kind == Numeric && cell.Num >= lo && cell.Num <= hi
+	}
+}
+
+// NotNull returns a predicate matching rows where attr is non-null.
+func NotNull(attr string) Predicate {
+	return func(d *Dataset, row int) bool { return !d.IsNull(row, attr) }
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate {
+	return func(d *Dataset, row int) bool {
+		for _, p := range ps {
+			if !p(d, row) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively.
+func Or(ps ...Predicate) Predicate {
+	return func(d *Dataset, row int) bool {
+		for _, p := range ps {
+			if p(d, row) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate {
+	return func(d *Dataset, row int) bool { return !p(d, row) }
+}
+
+// Select returns the rows matching p, preserving order.
+func (d *Dataset) Select(p Predicate) *Dataset {
+	var idx []int
+	for r := 0; r < d.n; r++ {
+		if p(d, r) {
+			idx = append(idx, r)
+		}
+	}
+	return d.Gather(idx)
+}
+
+// SelectIndices returns the indices of rows matching p.
+func (d *Dataset) SelectIndices(p Predicate) []int {
+	var idx []int
+	for r := 0; r < d.n; r++ {
+		if p(d, r) {
+			idx = append(idx, r)
+		}
+	}
+	return idx
+}
+
+// Count returns the number of rows matching p.
+func (d *Dataset) Count(p Predicate) int {
+	n := 0
+	for r := 0; r < d.n; r++ {
+		if p(d, r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Project returns a dataset containing only the named attributes, in the
+// given order. It returns an error if a name is unknown.
+func (d *Dataset) Project(attrs ...string) (*Dataset, error) {
+	idxs := make([]int, len(attrs))
+	newAttrs := make([]Attribute, len(attrs))
+	for i, name := range attrs {
+		j, ok := d.schema.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", name)
+		}
+		idxs[i] = j
+		newAttrs[i] = d.schema.Attr(j)
+	}
+	out := &Dataset{schema: NewSchema(newAttrs...), n: d.n}
+	out.cols = make([]column, len(idxs))
+	for i, j := range idxs {
+		out.cols[i] = d.cols[j].clone()
+	}
+	return out, nil
+}
+
+// Join computes the inner equi-join of d and other on the named attributes
+// (hash join, d as build side). The result schema is d's attributes followed
+// by other's attributes except its join key, which is deduplicated; a name
+// collision on non-key attributes is resolved by suffixing "_r".
+func (d *Dataset) Join(other *Dataset, leftKey, rightKey string) (*Dataset, error) {
+	li, ok := d.schema.Index(leftKey)
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown left join key %q", leftKey)
+	}
+	ri, ok := other.schema.Index(rightKey)
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown right join key %q", rightKey)
+	}
+	if d.schema.Attr(li).Kind != other.schema.Attr(ri).Kind {
+		return nil, fmt.Errorf("dataset: join key kind mismatch: %s vs %s",
+			d.schema.Attr(li).Kind, other.schema.Attr(ri).Kind)
+	}
+
+	// Output schema.
+	attrs := d.schema.Attrs()
+	taken := map[string]bool{}
+	for _, a := range attrs {
+		taken[a.Name] = true
+	}
+	var rightAttrs []Attribute
+	var rightCols []int
+	for c := 0; c < other.schema.Len(); c++ {
+		if c == ri {
+			continue
+		}
+		a := other.schema.Attr(c)
+		if taken[a.Name] {
+			a.Name += "_r"
+		}
+		taken[a.Name] = true
+		rightAttrs = append(rightAttrs, a)
+		rightCols = append(rightCols, c)
+	}
+	out := New(NewSchema(append(attrs, rightAttrs...)...))
+
+	// Build hash table on d's key.
+	build := make(map[string][]int, d.n)
+	for r := 0; r < d.n; r++ {
+		v := d.cols[li].value(r)
+		if v.Null {
+			continue
+		}
+		k := v.String()
+		build[k] = append(build[k], r)
+	}
+	// Probe.
+	for r := 0; r < other.n; r++ {
+		v := other.cols[ri].value(r)
+		if v.Null {
+			continue
+		}
+		for _, lr := range build[v.String()] {
+			row := d.Row(lr)
+			for _, c := range rightCols {
+				row = append(row, other.cols[c].value(r))
+			}
+			if err := out.AppendRow(row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// GroupKey identifies an intersectional group: the combination of values of
+// the grouping attributes, rendered canonically as "attr=val;attr=val".
+type GroupKey string
+
+// Groups is an index of a dataset's rows by intersectional group over a set
+// of categorical attributes. It backs coverage analysis, distribution
+// tailoring targets, and per-group fairness metrics.
+type Groups struct {
+	Attrs  []string
+	Keys   []GroupKey         // distinct groups, sorted
+	Rows   map[GroupKey][]int // group -> member row indices
+	ByRow  []int              // row -> index into Keys (-1 if any attr null)
+	counts map[GroupKey]int
+}
+
+// GroupBy indexes the dataset's rows by the given categorical attributes.
+// Rows with a null in any grouping attribute are assigned to no group
+// (ByRow = -1). It panics if an attribute is unknown or not categorical.
+func (d *Dataset) GroupBy(attrs ...string) *Groups {
+	cols := make([]*catColumn, len(attrs))
+	for i, a := range attrs {
+		c, ok := d.cols[d.schema.MustIndex(a)].(*catColumn)
+		if !ok {
+			panic(fmt.Sprintf("dataset: GroupBy attribute %q is not categorical", a))
+		}
+		cols[i] = c
+	}
+	g := &Groups{
+		Attrs:  append([]string(nil), attrs...),
+		Rows:   map[GroupKey][]int{},
+		ByRow:  make([]int, d.n),
+		counts: map[GroupKey]int{},
+	}
+	var sb strings.Builder
+	for r := 0; r < d.n; r++ {
+		sb.Reset()
+		null := false
+		for i, c := range cols {
+			if c.codes[r] < 0 {
+				null = true
+				break
+			}
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(attrs[i])
+			sb.WriteByte('=')
+			sb.WriteString(c.dict[c.codes[r]])
+		}
+		if null {
+			g.ByRow[r] = -1
+			continue
+		}
+		k := GroupKey(sb.String())
+		if _, seen := g.Rows[k]; !seen {
+			g.Keys = append(g.Keys, k)
+		}
+		g.Rows[k] = append(g.Rows[k], r)
+		g.counts[k]++
+	}
+	sort.Slice(g.Keys, func(a, b int) bool { return g.Keys[a] < g.Keys[b] })
+	// ByRow indexes into the sorted key order.
+	pos := make(map[GroupKey]int, len(g.Keys))
+	for i, k := range g.Keys {
+		pos[k] = i
+	}
+	for k, rows := range g.Rows {
+		for _, r := range rows {
+			g.ByRow[r] = pos[k]
+		}
+	}
+	return g
+}
+
+// Count returns the number of rows in group k.
+func (g *Groups) Count(k GroupKey) int { return g.counts[k] }
+
+// Counts returns the group sizes aligned with Keys.
+func (g *Groups) Counts() []int {
+	out := make([]int, len(g.Keys))
+	for i, k := range g.Keys {
+		out[i] = g.counts[k]
+	}
+	return out
+}
+
+// Distribution returns the normalized group-size distribution aligned with
+// Keys. An empty index yields an empty slice.
+func (g *Groups) Distribution() []float64 {
+	total := 0
+	for _, c := range g.counts {
+		total += c
+	}
+	out := make([]float64, len(g.Keys))
+	if total == 0 {
+		return out
+	}
+	for i, k := range g.Keys {
+		out[i] = float64(g.counts[k]) / float64(total)
+	}
+	return out
+}
+
+// MakeGroupKey renders attribute/value pairs canonically, matching the keys
+// produced by GroupBy when attrs are given in the same order.
+func MakeGroupKey(attrs []string, vals []string) GroupKey {
+	var sb strings.Builder
+	for i := range attrs {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(attrs[i])
+		sb.WriteByte('=')
+		sb.WriteString(vals[i])
+	}
+	return GroupKey(sb.String())
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"sort"
+	"strings"
+)
+
+// In returns a predicate matching rows whose categorical attr equals any of
+// the given values (nulls never match).
+func In(attr string, values ...string) Predicate {
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[v] = true
+	}
+	return func(d *Dataset, row int) bool {
+		cell := d.Value(row, attr)
+		return !cell.Null && cell.Kind == Categorical && set[cell.Cat]
+	}
+}
+
+// Distinct returns the rows of d deduplicated on the given attributes
+// (all attributes when none given), keeping the first occurrence and
+// preserving order. Nulls compare equal to nulls.
+func (d *Dataset) Distinct(attrs ...string) *Dataset {
+	if len(attrs) == 0 {
+		attrs = d.schema.Names()
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = d.schema.MustIndex(a)
+	}
+	seen := map[string]bool{}
+	var idx []int
+	var sb strings.Builder
+	for r := 0; r < d.n; r++ {
+		sb.Reset()
+		for _, c := range cols {
+			v := d.cols[c].value(r)
+			if v.Null {
+				sb.WriteString("\x00N")
+			} else {
+				sb.WriteString(v.String())
+			}
+			sb.WriteByte('\x1f')
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			idx = append(idx, r)
+		}
+	}
+	return d.Gather(idx)
+}
+
+// SortBy returns the rows of d ordered by the given attribute (ascending
+// when asc is true). Numeric attributes sort numerically, categorical
+// lexicographically; nulls sort last regardless of direction. The sort is
+// stable.
+func (d *Dataset) SortBy(attr string, asc bool) *Dataset {
+	c := d.schema.MustIndex(attr)
+	idx := make([]int, d.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	col := d.cols[c]
+	less := func(a, b int) bool {
+		va, vb := col.value(a), col.value(b)
+		if va.Null || vb.Null {
+			// Nulls last: a non-null always precedes a null.
+			return !va.Null && vb.Null
+		}
+		var l bool
+		if va.Kind == Numeric {
+			l = va.Num < vb.Num
+		} else {
+			l = va.Cat < vb.Cat
+		}
+		if !asc {
+			// Reverse only among non-nulls.
+			return !l && !va.Equal(vb)
+		}
+		return l
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	return d.Gather(idx)
+}
+
+// Union returns a new dataset with the rows of d followed by the rows of
+// other; both must share an equal schema.
+func (d *Dataset) Union(other *Dataset) (*Dataset, error) {
+	out := d.Clone()
+	if err := out.AppendDataset(other); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

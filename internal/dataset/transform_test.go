@@ -1,0 +1,112 @@
+package dataset
+
+import "testing"
+
+func TestInPredicate(t *testing.T) {
+	d := testData(t)
+	if n := d.Count(In("race", "white", "black")); n != 5 {
+		t.Fatalf("In count = %d, want 5", n)
+	}
+	if n := d.Count(In("race")); n != 0 {
+		t.Fatalf("empty In matched %d", n)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	d := New(NewSchema(
+		Attribute{Name: "a", Kind: Categorical},
+		Attribute{Name: "b", Kind: Numeric},
+	))
+	d.MustAppendRow(Cat("x"), Num(1))
+	d.MustAppendRow(Cat("x"), Num(2))
+	d.MustAppendRow(Cat("x"), Num(1)) // dup of row 0
+	d.MustAppendRow(Cat("y"), Num(1))
+	d.MustAppendRow(NullValue(Categorical), Num(1))
+	d.MustAppendRow(NullValue(Categorical), Num(1)) // dup of row 4
+
+	all := d.Distinct()
+	if all.NumRows() != 4 {
+		t.Fatalf("Distinct() rows = %d, want 4", all.NumRows())
+	}
+	// First occurrence wins; order preserved.
+	if all.Value(0, "b").Num != 1 || all.Value(1, "b").Num != 2 {
+		t.Fatalf("Distinct order wrong: %v", all)
+	}
+	byA := d.Distinct("a")
+	if byA.NumRows() != 3 { // x, y, null
+		t.Fatalf("Distinct(a) rows = %d, want 3", byA.NumRows())
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	d := New(NewSchema(
+		Attribute{Name: "x", Kind: Numeric},
+		Attribute{Name: "tag", Kind: Categorical},
+	))
+	d.MustAppendRow(Num(3), Cat("c"))
+	d.MustAppendRow(NullValue(Numeric), Cat("n"))
+	d.MustAppendRow(Num(1), Cat("a"))
+	d.MustAppendRow(Num(2), Cat("b"))
+
+	asc := d.SortBy("x", true)
+	want := []string{"a", "b", "c", "n"}
+	for i, w := range want {
+		if asc.Value(i, "tag").Cat != w {
+			t.Fatalf("asc order = %v, want %v at %d", asc.Strings("tag"), w, i)
+		}
+	}
+	desc := d.SortBy("x", false)
+	want = []string{"c", "b", "a", "n"} // nulls still last
+	for i, w := range want {
+		if desc.Value(i, "tag").Cat != w {
+			t.Fatalf("desc order = %v, want %v at %d", desc.Strings("tag"), w, i)
+		}
+	}
+	// Categorical sort.
+	byTag := d.SortBy("tag", true)
+	if byTag.Value(0, "tag").Cat != "a" {
+		t.Fatalf("categorical sort = %v", byTag.Strings("tag"))
+	}
+}
+
+func TestSortByStable(t *testing.T) {
+	d := New(NewSchema(
+		Attribute{Name: "k", Kind: Numeric},
+		Attribute{Name: "ord", Kind: Numeric},
+	))
+	for i := 0; i < 10; i++ {
+		d.MustAppendRow(Num(float64(i%2)), Num(float64(i)))
+	}
+	s := d.SortBy("k", true)
+	prev := -1.0
+	for r := 0; r < s.NumRows(); r++ {
+		if s.Value(r, "k").Num != 0 {
+			prev = -1
+			continue
+		}
+		cur := s.Value(r, "ord").Num
+		if cur < prev {
+			t.Fatal("sort not stable")
+		}
+		prev = cur
+	}
+}
+
+func TestUnion(t *testing.T) {
+	d := testData(t)
+	u, err := d.Union(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 12 {
+		t.Fatalf("Union rows = %d", u.NumRows())
+	}
+	// Original untouched.
+	if d.NumRows() != 6 {
+		t.Fatal("Union mutated receiver")
+	}
+	other := New(NewSchema(Attribute{Name: "z", Kind: Numeric}))
+	if _, err := d.Union(other); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Package dataset is REDI's relational substrate: typed columnar tables
+// with schemas, null handling, predicates, projection, selection, hash
+// joins, group indexes over sensitive attributes, and CSV input/output.
+//
+// Every higher-level subsystem (coverage, distribution tailoring, profiling,
+// cleaning, discovery, fairness auditing) operates on *dataset.Dataset, so
+// the representation favors whole-column scans: each attribute is stored as
+// a typed column with a null mask rather than as per-row structs.
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind is the type of an attribute.
+type Kind int
+
+const (
+	// Categorical attributes hold strings drawn from a finite domain
+	// (dictionary-encoded internally).
+	Categorical Kind = iota
+	// Numeric attributes hold float64 values.
+	Numeric
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Role describes how an attribute is used by responsible-data-science
+// tooling. Roles drive defaults: audits group by Sensitive attributes,
+// models predict Target attributes from Feature attributes.
+type Role int
+
+const (
+	// Feature attributes are model inputs (the default role).
+	Feature Role = iota
+	// Sensitive attributes identify demographic groups (e.g. race, sex).
+	Sensitive
+	// Target attributes are prediction labels.
+	Target
+	// ID attributes identify entities and are excluded from analysis.
+	ID
+)
+
+// String returns the lowercase name of the role.
+func (r Role) String() string {
+	switch r {
+	case Feature:
+		return "feature"
+	case Sensitive:
+		return "sensitive"
+	case Target:
+		return "target"
+	case ID:
+		return "id"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Value is a single cell: either a categorical string, a numeric float64,
+// or null. The zero Value is a null categorical.
+type Value struct {
+	Kind Kind
+	Null bool
+	Cat  string
+	Num  float64
+}
+
+// NullValue returns a null cell of the given kind.
+func NullValue(k Kind) Value { return Value{Kind: k, Null: true} }
+
+// Cat returns a categorical cell holding s.
+func Cat(s string) Value { return Value{Kind: Categorical, Cat: s} }
+
+// Num returns a numeric cell holding x.
+func Num(x float64) Value { return Value{Kind: Numeric, Num: x} }
+
+// String renders the cell for display; nulls render as "∅".
+func (v Value) String() string {
+	if v.Null {
+		return "∅"
+	}
+	if v.Kind == Categorical {
+		return v.Cat
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// Equal reports whether two cells hold the same content. Nulls are equal
+// only to nulls of any kind.
+func (v Value) Equal(w Value) bool {
+	if v.Null || w.Null {
+		return v.Null && w.Null
+	}
+	if v.Kind != w.Kind {
+		return false
+	}
+	if v.Kind == Categorical {
+		return v.Cat == w.Cat
+	}
+	return v.Num == w.Num
+}

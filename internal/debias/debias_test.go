@@ -1,0 +1,137 @@
+package debias
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+)
+
+// biasedSample builds a sample where group "b" (whose metric runs higher)
+// is under-represented 1:9 although the population is 1:1.
+func biasedSample(t *testing.T, n int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	r := rng.New(seed)
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical, Role: dataset.Sensitive},
+		dataset.Attribute{Name: "sex", Kind: dataset.Categorical, Role: dataset.Sensitive},
+		dataset.Attribute{Name: "metric", Kind: dataset.Numeric, Role: dataset.Feature},
+	))
+	for i := 0; i < n; i++ {
+		grp, mean := "a", 10.0
+		if i%10 == 0 {
+			grp, mean = "b", 20.0
+		}
+		// Sex independent of group so joint support is full (required
+		// for raking to be well-posed).
+		sex := "F"
+		if r.Bool(0.5) {
+			sex = "M"
+		}
+		d.MustAppendRow(dataset.Cat(grp), dataset.Cat(sex), dataset.Num(r.Normal(mean, 1)))
+	}
+	return d
+}
+
+func TestPostStratifyCorrectsMean(t *testing.T) {
+	d := biasedSample(t, 5000, 1)
+	// True population: 50/50 -> population mean 15.
+	pop := map[dataset.GroupKey]float64{"grp=a": 0.5, "grp=b": 0.5}
+	w, err := PostStratify(d, []string{"grp"}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NaiveMean(d, "metric")
+	weighted := WeightedMean(d, w, "metric")
+	if math.Abs(naive-11) > 0.3 {
+		t.Fatalf("naive mean = %v, want ~11 (biased)", naive)
+	}
+	if math.Abs(weighted-15) > 0.3 {
+		t.Fatalf("weighted mean = %v, want ~15", weighted)
+	}
+	// Weighted group share matches the population.
+	share := WeightedCount(d, w, dataset.Eq("grp", "b"))
+	if math.Abs(share-0.5) > 1e-9 {
+		t.Fatalf("weighted share of b = %v", share)
+	}
+}
+
+func TestPostStratifyErrors(t *testing.T) {
+	d := biasedSample(t, 100, 2)
+	if _, err := PostStratify(d, []string{"grp"}, nil); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	if _, err := PostStratify(d, []string{"grp"}, map[dataset.GroupKey]float64{"grp=a": -1}); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	if _, err := PostStratify(d, []string{"grp"}, map[dataset.GroupKey]float64{"grp=zzz": 1}); err == nil {
+		t.Fatal("unrepresented population group accepted")
+	}
+}
+
+func TestRakeMatchesBothMarginals(t *testing.T) {
+	d := biasedSample(t, 8000, 3)
+	marginals := []Marginal{
+		{Attr: "grp", Share: map[string]float64{"a": 0.5, "b": 0.5}},
+		{Attr: "sex", Share: map[string]float64{"F": 0.7, "M": 0.3}},
+	}
+	w, err := Rake(d, marginals, 1e-8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb := WeightedCount(d, w, dataset.Eq("grp", "b")); math.Abs(gb-0.5) > 1e-4 {
+		t.Fatalf("raked grp=b share = %v", gb)
+	}
+	if f := WeightedCount(d, w, dataset.Eq("sex", "F")); math.Abs(f-0.7) > 1e-4 {
+		t.Fatalf("raked sex=F share = %v", f)
+	}
+	// The raked mean moves toward the population value.
+	if m := WeightedMean(d, w, "metric"); math.Abs(m-15) > 0.5 {
+		t.Fatalf("raked mean = %v, want ~15", m)
+	}
+}
+
+func TestRakeErrors(t *testing.T) {
+	d := biasedSample(t, 100, 4)
+	if _, err := Rake(d, nil, 0, 0); err == nil {
+		t.Fatal("no marginals accepted")
+	}
+	if _, err := Rake(d, []Marginal{{Attr: "grp", Share: map[string]float64{"zzz": 1}}}, 0, 0); err == nil {
+		t.Fatal("unrepresented value accepted")
+	}
+	if _, err := Rake(d, []Marginal{{Attr: "grp", Share: map[string]float64{}}}, 0, 0); err == nil {
+		t.Fatal("zero-mass marginal accepted")
+	}
+}
+
+func TestRakeSkipsNullRows(t *testing.T) {
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric},
+	))
+	d.MustAppendRow(dataset.Cat("a"), dataset.Num(1))
+	d.MustAppendRow(dataset.Cat("b"), dataset.Num(2))
+	d.MustAppendRow(dataset.NullValue(dataset.Categorical), dataset.Num(99))
+	w, err := Rake(d, []Marginal{{Attr: "grp", Share: map[string]float64{"a": 0.5, "b": 0.5}}}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[2] != 0 {
+		t.Fatalf("null row weighted: %v", w)
+	}
+	if m := WeightedMean(d, w, "x"); math.Abs(m-1.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestWeightedDegenerate(t *testing.T) {
+	d := biasedSample(t, 10, 5)
+	w := make(Weights, d.NumRows()) // all zero
+	if got := WeightedCount(d, w, dataset.Eq("grp", "a")); got != 0 {
+		t.Fatalf("zero-weight count = %v", got)
+	}
+	if m := WeightedMean(d, w, "metric"); !math.IsNaN(m) {
+		t.Fatalf("zero-weight mean = %v", m)
+	}
+}

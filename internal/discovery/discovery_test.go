@@ -1,0 +1,391 @@
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+func setOf(vals ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, v := range vals {
+		m[v] = true
+	}
+	return m
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Chicago-Health_Records 2022")
+	want := []string{"chicago", "health", "records", "2022"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRepositoryAddAndKeywordSearch(t *testing.T) {
+	r := NewRepository()
+	health := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "zip", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "diagnosis", Kind: dataset.Categorical},
+	))
+	health.MustAppendRow(dataset.Cat("60601"), dataset.Cat("cancer"))
+	if err := r.Add("chicago_health", health); err != nil {
+		t.Fatal(err)
+	}
+	weather := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "city", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "temp", Kind: dataset.Numeric},
+	))
+	weather.MustAppendRow(dataset.Cat("chicago"), dataset.Num(20))
+	if err := r.Add("weather", weather); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("weather", weather); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+
+	hits := r.KeywordSearch("health cancer", 10)
+	if len(hits) == 0 || hits[0].Table != "chicago_health" {
+		t.Fatalf("keyword hits = %v", hits)
+	}
+	// Both tables mention chicago.
+	hits = r.KeywordSearch("chicago", 10)
+	if len(hits) != 2 {
+		t.Fatalf("chicago hits = %v", hits)
+	}
+	if got := r.KeywordSearch("nonexistentterm", 10); len(got) != 0 {
+		t.Fatalf("phantom hits = %v", got)
+	}
+	if len(r.Tables()) != 2 {
+		t.Fatalf("tables = %v", r.Tables())
+	}
+}
+
+func TestJaccardAndContainment(t *testing.T) {
+	a := setOf("x", "y", "z")
+	b := setOf("y", "z", "w")
+	if j := Jaccard(a, b); j != 0.5 {
+		t.Fatalf("Jaccard = %v", j)
+	}
+	if c := Containment(a, b); math.Abs(c-2.0/3) > 1e-12 {
+		t.Fatalf("Containment = %v", c)
+	}
+	if Jaccard(nil, nil) != 1 || Containment(nil, setOf("a")) != 1 {
+		t.Fatal("empty-set conventions wrong")
+	}
+}
+
+func TestUnionableJoinableSearch(t *testing.T) {
+	r := NewRepository()
+	mk := func(name string, vals ...string) {
+		d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "c", Kind: dataset.Categorical}))
+		for _, v := range vals {
+			d.MustAppendRow(dataset.Cat(v))
+		}
+		if err := r.Add(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("full", "a", "b", "c", "d")
+	mk("half", "a", "b", "x", "y")
+	mk("none", "p", "q")
+
+	query := setOf("a", "b", "c", "d")
+	uni := r.UnionableColumns(query, 0.4)
+	if len(uni) != 1 || uni[0].Ref.Table != "full" {
+		t.Fatalf("unionable = %v", uni)
+	}
+	join := r.JoinableColumns(query, 0.6)
+	if len(join) != 1 || join[0].Ref.Table != "full" {
+		t.Fatalf("joinable = %v", join)
+	}
+	join = r.JoinableColumns(query, 0.5)
+	if len(join) != 2 || join[0].Ref.Table != "full" || join[1].Ref.Table != "half" {
+		t.Fatalf("joinable@0.4 = %v", join)
+	}
+}
+
+func TestMinHashEstimates(t *testing.T) {
+	r := rng.New(1)
+	// Two sets with known Jaccard 1/3 (100 shared of 300 union).
+	a := map[string]bool{}
+	b := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("shared%04d", i)
+		a[k] = true
+		b[k] = true
+	}
+	for i := 0; i < 100; i++ {
+		a[fmt.Sprintf("onlya%04d", i)] = true
+		b[fmt.Sprintf("onlyb%04d", i)] = true
+	}
+	_ = r
+	ma := NewMinHash(a, 256)
+	mb := NewMinHash(b, 256)
+	if est := ma.EstimateJaccard(mb); math.Abs(est-1.0/3) > 0.1 {
+		t.Fatalf("Jaccard estimate = %v, want ~0.333", est)
+	}
+	// Containment of a in b is 0.5.
+	if est := ma.EstimateContainment(mb); math.Abs(est-0.5) > 0.12 {
+		t.Fatalf("containment estimate = %v, want ~0.5", est)
+	}
+	// Identical sets.
+	if est := ma.EstimateJaccard(NewMinHash(a, 256)); est != 1 {
+		t.Fatalf("self Jaccard = %v", est)
+	}
+}
+
+func TestMinHashErrorShrinksWithK(t *testing.T) {
+	a := map[string]bool{}
+	b := map[string]bool{}
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("s%03d", i)
+		a[k] = true
+		b[k] = true
+	}
+	for i := 0; i < 140; i++ {
+		a[fmt.Sprintf("a%03d", i)] = true
+		b[fmt.Sprintf("b%03d", i)] = true
+	}
+	truth := 60.0 / 340.0
+	errAt := func(k int) float64 {
+		return math.Abs(NewMinHash(a, k).EstimateJaccard(NewMinHash(b, k)) - truth)
+	}
+	// Not strictly monotone for a single draw, but 16 vs 1024 should
+	// show the trend decisively.
+	if errAt(1024) > errAt(16)+0.05 {
+		t.Fatalf("error did not shrink: k16=%v k1024=%v", errAt(16), errAt(1024))
+	}
+}
+
+func TestLSHEnsembleFindsJoinable(t *testing.T) {
+	c := synth.GenerateCorpus(synth.CorpusConfig{
+		NumTables: 20, RowsPerTable: 200, KeyUniverse: 5000, QueryKeys: 200,
+	}, rng.New(2))
+
+	r := NewRepository()
+	for _, tbl := range c.Tables {
+		if err := r.Add(tbl.Name, tbl.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs := r.Columns()
+	var keyRefs []ColumnRef
+	var domains []map[string]bool
+	for _, ref := range refs {
+		if ref.Column == "key" {
+			keyRefs = append(keyRefs, ref)
+			domains = append(domains, r.Domain(ref))
+		}
+	}
+	ens, err := NewLSHEnsemble(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens.Index(keyRefs, domains)
+
+	query := DomainOf(c.Query, "key")
+	const threshold = 0.5
+	got := ens.Query(query, threshold)
+	gotSet := map[string]bool{}
+	for _, m := range got {
+		gotSet[m.Ref.Table] = true
+	}
+	// Ground truth from the corpus.
+	var truePos, found int
+	for _, tbl := range c.Tables {
+		if tbl.Containment >= threshold+0.1 { // clear positives
+			truePos++
+			if gotSet[tbl.Name] {
+				found++
+			}
+		}
+	}
+	if truePos == 0 {
+		t.Fatal("corpus has no clear positives")
+	}
+	recall := float64(found) / float64(truePos)
+	if recall < 0.9 {
+		t.Fatalf("LSH ensemble recall = %v (found %d of %d)", recall, found, truePos)
+	}
+	// Clear negatives must not be returned.
+	for _, tbl := range c.Tables {
+		if tbl.Containment < threshold-0.2 && gotSet[tbl.Name] {
+			t.Fatalf("false positive: %s (containment %v)", tbl.Name, tbl.Containment)
+		}
+	}
+}
+
+func TestLSHEnsembleValidation(t *testing.T) {
+	if _, err := NewLSHEnsemble(8, 4); err == nil {
+		t.Fatal("k<16 accepted")
+	}
+	if _, err := NewLSHEnsemble(128, 0); err == nil {
+		t.Fatal("0 partitions accepted")
+	}
+	ens, err := NewLSHEnsemble(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ens.Query(setOf("a"), 0.5); got != nil {
+		t.Fatalf("query on empty index = %v", got)
+	}
+}
+
+func TestCorrelationSketch(t *testing.T) {
+	r := rng.New(3)
+	// Two tables over the same keys; values strongly correlated.
+	d1 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "v", Kind: dataset.Numeric},
+	))
+	d2 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "w", Kind: dataset.Numeric},
+	))
+	for i := 0; i < 2000; i++ {
+		base := r.Normal(0, 1)
+		key := fmt.Sprintf("k%05d", i)
+		d1.MustAppendRow(dataset.Cat(key), dataset.Num(base+r.Normal(0, 0.3)))
+		d2.MustAppendRow(dataset.Cat(key), dataset.Num(2*base+r.Normal(0, 0.3)))
+	}
+	exact, n := JoinCorrelationExact(d1, "k", "v", d2, "k", "w")
+	if n != 2000 || exact < 0.8 {
+		t.Fatalf("exact corr = %v over %d keys", exact, n)
+	}
+	s1 := SketchColumn(d1, "k", "v", 256)
+	s2 := SketchColumn(d2, "k", "w", 256)
+	if s1.Len() != 256 {
+		t.Fatalf("sketch kept %d keys", s1.Len())
+	}
+	est, aligned := s1.EstimateCorrelation(s2)
+	// Coordinated sampling: nearly all sketch keys align.
+	if aligned < 200 {
+		t.Fatalf("aligned keys = %d", aligned)
+	}
+	if SketchError(est, exact) > 0.1 {
+		t.Fatalf("sketch corr = %v, exact %v", est, exact)
+	}
+}
+
+func TestCorrelationSketchErrorShrinksWithB(t *testing.T) {
+	r := rng.New(4)
+	d1 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "v", Kind: dataset.Numeric},
+	))
+	d2 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "w", Kind: dataset.Numeric},
+	))
+	for i := 0; i < 3000; i++ {
+		base := r.Normal(0, 1)
+		key := fmt.Sprintf("k%05d", i)
+		d1.MustAppendRow(dataset.Cat(key), dataset.Num(base+r.Normal(0, 1)))
+		d2.MustAppendRow(dataset.Cat(key), dataset.Num(base+r.Normal(0, 1)))
+	}
+	exact, _ := JoinCorrelationExact(d1, "k", "v", d2, "k", "w")
+	errAt := func(b int) float64 {
+		e, _ := SketchColumn(d1, "k", "v", b).EstimateCorrelation(SketchColumn(d2, "k", "w", b))
+		return SketchError(e, exact)
+	}
+	if errAt(1024) > errAt(16)+0.05 {
+		t.Fatalf("sketch error did not shrink: b16=%v b1024=%v", errAt(16), errAt(1024))
+	}
+}
+
+func TestSketchRepeatedKeysAveraged(t *testing.T) {
+	s := NewCorrelationSketch(8)
+	s.Add("a", 1)
+	s.Add("a", 3)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if v := s.entries["a"]; v != 2 {
+		t.Fatalf("averaged value = %v", v)
+	}
+}
+
+func TestDiscoverFeatures(t *testing.T) {
+	r := rng.New(5)
+	// Query table: key, sensitive group, numeric target.
+	q := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "key", Kind: dataset.Categorical, Role: dataset.ID},
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical, Role: dataset.Sensitive},
+		dataset.Attribute{Name: "target", Kind: dataset.Numeric, Role: dataset.Target},
+	))
+	// Candidate "good": feature correlated with target, independent of grp.
+	good := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "key", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "feat_good", Kind: dataset.Numeric},
+	))
+	// Candidate "proxy": feature that encodes grp (biased) and through it
+	// weakly the target.
+	proxy := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "key", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "feat_proxy", Kind: dataset.Numeric},
+	))
+	for i := 0; i < 1500; i++ {
+		key := fmt.Sprintf("e%05d", i)
+		grp := "a"
+		gShift := 0.0
+		if i%4 == 0 {
+			grp = "b"
+			gShift = 3
+		}
+		signal := r.Normal(0, 1)
+		target := signal + 0.5*gShift + r.Normal(0, 0.3)
+		q.MustAppendRow(dataset.Cat(key), dataset.Cat(grp), dataset.Num(target))
+		good.MustAppendRow(dataset.Cat(key), dataset.Num(signal+r.Normal(0, 0.3)))
+		proxy.MustAppendRow(dataset.Cat(key), dataset.Num(gShift+r.Normal(0, 0.3)))
+	}
+	repo := NewRepository()
+	if err := repo.Add("good", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add("proxy", proxy); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := DiscoverFeatures(repo, FeatureQuery{
+		Query:      q,
+		JoinAttr:   "key",
+		TargetAttr: "target",
+		Sensitive:  []string{"grp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Column.Table != "good" {
+		t.Fatalf("biased feature ranked first: %+v", hits)
+	}
+	if hits[0].SensitiveAssoc >= hits[1].SensitiveAssoc {
+		t.Fatalf("good assoc %v should be below proxy %v",
+			hits[0].SensitiveAssoc, hits[1].SensitiveAssoc)
+	}
+	if hits[1].TargetCorr <= 0 {
+		t.Fatal("proxy should still correlate with target")
+	}
+}
+
+func TestDiscoverFeaturesValidation(t *testing.T) {
+	repo := NewRepository()
+	q := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "key", Kind: dataset.Categorical}))
+	if _, err := DiscoverFeatures(repo, FeatureQuery{Query: q, JoinAttr: "nope", TargetAttr: "t"}); err == nil {
+		t.Fatal("bad join attr accepted")
+	}
+	if _, err := DiscoverFeatures(repo, FeatureQuery{Query: q, JoinAttr: "key", TargetAttr: "nope"}); err == nil {
+		t.Fatal("bad target attr accepted")
+	}
+}

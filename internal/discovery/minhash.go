@@ -1,0 +1,247 @@
+package discovery
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// hash64 is a seeded 64-bit string hash (FNV-1a core mixed with a
+// SplitMix64 finalizer), the hash family behind MinHash signatures and
+// sketch key sampling.
+func hash64(s string, seed uint64) uint64 {
+	h := uint64(1469598103934665603) ^ (seed * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// MinHash is a k-permutation MinHash signature of a value set. Signatures
+// built with the same k are comparable; EstimateJaccard is an unbiased
+// estimator of the true Jaccard similarity with standard error ~1/sqrt(k).
+type MinHash struct {
+	Sig  []uint64
+	Size int // cardinality of the hashed set
+}
+
+// NewMinHash hashes the value set into a k-hash signature. It panics if
+// k <= 0.
+func NewMinHash(values map[string]bool, k int) *MinHash {
+	if k <= 0 {
+		panic("discovery: MinHash requires k > 0")
+	}
+	m := &MinHash{Sig: make([]uint64, k), Size: len(values)}
+	for i := range m.Sig {
+		m.Sig[i] = math.MaxUint64
+	}
+	for v := range values {
+		for i := 0; i < k; i++ {
+			if h := hash64(v, uint64(i)); h < m.Sig[i] {
+				m.Sig[i] = h
+			}
+		}
+	}
+	return m
+}
+
+// EstimateJaccard estimates the Jaccard similarity of the two underlying
+// sets. It panics on signature length mismatch.
+func (m *MinHash) EstimateJaccard(o *MinHash) float64 {
+	if len(m.Sig) != len(o.Sig) {
+		panic("discovery: MinHash signature length mismatch")
+	}
+	eq := 0
+	for i := range m.Sig {
+		if m.Sig[i] == o.Sig[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(m.Sig))
+}
+
+// EstimateContainment estimates |Q ∩ X| / |Q| from the Jaccard estimate and
+// the stored set sizes, the conversion the LSH Ensemble uses:
+// C = J (|Q| + |X|) / ((1 + J) |Q|), clamped to [0, 1].
+func (m *MinHash) EstimateContainment(o *MinHash) float64 {
+	if m.Size == 0 {
+		return 1
+	}
+	j := m.EstimateJaccard(o)
+	c := j * float64(m.Size+o.Size) / ((1 + j) * float64(m.Size))
+	if c > 1 {
+		return 1
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// lshRowChoices are the per-band row counts for which bucket tables are
+// materialized; Query picks one per partition based on the Jaccard
+// threshold implied by the containment threshold and the partition's set
+// sizes — the dynamic band geometry that defines the LSH Ensemble.
+var lshRowChoices = []int{1, 2, 4, 8}
+
+// LSHEnsemble indexes MinHash signatures for containment search (Zhu,
+// Nargesian, Pu, Miller, VLDB 2016): indexed sets are partitioned by
+// cardinality, and at query time each partition converts the containment
+// threshold into its own Jaccard threshold (using the partition's upper
+// size bound) and probes the banded index whose geometry best matches it.
+type LSHEnsemble struct {
+	k          int
+	partitions []*lshPartition
+	refs       []ColumnRef
+	sigs       []*MinHash
+}
+
+type lshPartition struct {
+	maxSize int
+	// buckets[ri][band]: band-key -> entry ids, for rows=lshRowChoices[ri].
+	buckets [][]map[string][]int
+}
+
+// NewLSHEnsemble builds an index over signatures of k hashes with the given
+// number of cardinality partitions. k must be at least 16; partitions must
+// be positive.
+func NewLSHEnsemble(k, partitions int) (*LSHEnsemble, error) {
+	if k < 16 {
+		return nil, errors.New("discovery: LSH ensemble requires k >= 16")
+	}
+	if partitions <= 0 {
+		return nil, errors.New("discovery: LSH ensemble requires partitions > 0")
+	}
+	e := &LSHEnsemble{k: k}
+	e.partitions = make([]*lshPartition, 0, partitions)
+	return e, nil
+}
+
+// Index builds the ensemble over the given columns. Must be called once,
+// before Query. Columns with empty domains are skipped.
+func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
+	type entry struct {
+		ref  ColumnRef
+		size int
+		sig  *MinHash
+	}
+	var entries []entry
+	for i, ref := range refs {
+		if len(domains[i]) == 0 {
+			continue
+		}
+		entries = append(entries, entry{ref: ref, size: len(domains[i]), sig: NewMinHash(domains[i], e.k)})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].size < entries[b].size })
+	for _, en := range entries {
+		e.refs = append(e.refs, en.ref)
+		e.sigs = append(e.sigs, en.sig)
+	}
+	if len(entries) == 0 {
+		return
+	}
+	nPart := cap(e.partitions)
+	if nPart > len(entries) {
+		nPart = len(entries)
+	}
+	per := (len(entries) + nPart - 1) / nPart
+	for start := 0; start < len(entries); start += per {
+		end := start + per
+		if end > len(entries) {
+			end = len(entries)
+		}
+		p := &lshPartition{maxSize: entries[end-1].size}
+		p.buckets = make([][]map[string][]int, len(lshRowChoices))
+		for ri, rows := range lshRowChoices {
+			bands := e.k / rows
+			p.buckets[ri] = make([]map[string][]int, bands)
+			for b := range p.buckets[ri] {
+				p.buckets[ri][b] = map[string][]int{}
+			}
+			for id := start; id < end; id++ {
+				sig := entries[id].sig
+				for b := 0; b < bands; b++ {
+					key := bandKey(sig.Sig[b*rows : (b+1)*rows])
+					p.buckets[ri][b][key] = append(p.buckets[ri][b][key], id)
+				}
+			}
+		}
+		e.partitions = append(e.partitions, p)
+	}
+}
+
+func bandKey(sig []uint64) string {
+	b := make([]byte, 0, len(sig)*8)
+	for _, v := range sig {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+	}
+	return string(b)
+}
+
+// Query returns candidate columns whose estimated containment of the query
+// domain is at least threshold, best first. Per partition, the containment
+// threshold t maps to the Jaccard threshold j = t·|Q| / (|Q| + sMax −
+// t·|Q|); the partition is probed with the largest row count whose banded
+// collision probability at j stays near one, so precision grows with the
+// threshold without losing recall.
+func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMatch {
+	if len(e.refs) == 0 {
+		return nil
+	}
+	qsig := NewMinHash(query, e.k)
+	q := float64(len(query))
+	cands := map[int]bool{}
+	for _, p := range e.partitions {
+		j := 0.0
+		if q > 0 {
+			denom := q + float64(p.maxSize) - threshold*q
+			if denom > 0 {
+				j = threshold * q / denom
+			}
+		}
+		ri := e.chooseRows(j)
+		rows := lshRowChoices[ri]
+		bands := e.k / rows
+		for b := 0; b < bands; b++ {
+			key := bandKey(qsig.Sig[b*rows : (b+1)*rows])
+			for _, id := range p.buckets[ri][b][key] {
+				cands[id] = true
+			}
+		}
+	}
+	var out []ColumnMatch
+	for id := range cands {
+		c := qsig.EstimateContainment(e.sigs[id])
+		if c >= threshold {
+			out = append(out, ColumnMatch{Ref: e.refs[id], Score: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Ref.String() < out[b].Ref.String()
+	})
+	return out
+}
+
+// chooseRows returns the index of the largest row count whose collision
+// probability 1-(1-j^r)^(k/r) is at least 0.9 at Jaccard threshold j.
+func (e *LSHEnsemble) chooseRows(j float64) int {
+	best := 0
+	for ri, rows := range lshRowChoices {
+		bands := float64(e.k / rows)
+		p := 1 - math.Pow(1-math.Pow(j, float64(rows)), bands)
+		if p >= 0.9 {
+			best = ri
+		}
+	}
+	return best
+}

@@ -1,0 +1,148 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements data-lake organization for navigation (tutorial
+// §3.1; Nargesian et al., "Organizing Data Lakes for Navigation", SIGMOD
+// 2020): instead of answering point queries, the repository's columns are
+// clustered bottom-up by domain similarity into a tree a user can descend,
+// choosing at each level the child whose contents best match their intent.
+
+// NavNode is one node of the navigation tree.
+type NavNode struct {
+	// Columns are the leaf columns under this node.
+	Columns []ColumnRef
+	// Terms are the most characteristic domain values of the subtree,
+	// the "label" shown while navigating.
+	Terms []string
+	// Children are the node's subtrees (empty for leaves).
+	Children []*NavNode
+
+	domain map[string]bool
+}
+
+// IsLeaf reports whether the node wraps a single column.
+func (n *NavNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Organize builds a navigation tree over the repository's indexed columns
+// by agglomerative clustering on domain Jaccard similarity (average
+// linkage on merged domains), stopping when the best merge falls below
+// minSim and joining the remaining clusters under a root. maxTerms caps
+// the label size per node.
+func Organize(r *Repository, minSim float64, maxTerms int) *NavNode {
+	if maxTerms <= 0 {
+		maxTerms = 5
+	}
+	var clusters []*NavNode
+	for _, ref := range r.Columns() {
+		dom := r.Domain(ref)
+		n := &NavNode{
+			Columns: []ColumnRef{ref},
+			domain:  dom,
+		}
+		n.Terms = topTerms(dom, maxTerms)
+		clusters = append(clusters, n)
+	}
+	for len(clusters) > 1 {
+		bi, bj, best := -1, -1, minSim
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if s := Jaccard(clusters[i].domain, clusters[j].domain); s >= best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		merged := &NavNode{
+			Children: []*NavNode{clusters[bi], clusters[bj]},
+			domain:   unionDomains(clusters[bi].domain, clusters[bj].domain),
+		}
+		merged.Columns = append(append([]ColumnRef(nil), clusters[bi].Columns...), clusters[bj].Columns...)
+		merged.Terms = topTerms(merged.domain, maxTerms)
+		// Remove bj first (larger index), then bi.
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+		clusters[bi] = merged
+	}
+	if len(clusters) == 1 {
+		return clusters[0]
+	}
+	root := &NavNode{Children: clusters, domain: map[string]bool{}}
+	for _, c := range clusters {
+		root.Columns = append(root.Columns, c.Columns...)
+		root.domain = unionDomains(root.domain, c.domain)
+	}
+	root.Terms = topTerms(root.domain, maxTerms)
+	return root
+}
+
+func unionDomains(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for v := range a {
+		out[v] = true
+	}
+	for v := range b {
+		out[v] = true
+	}
+	return out
+}
+
+// topTerms returns up to k lexicographically-stable representative values.
+func topTerms(dom map[string]bool, k int) []string {
+	terms := make([]string, 0, len(dom))
+	for v := range dom {
+		terms = append(terms, v)
+	}
+	sort.Strings(terms)
+	if len(terms) > k {
+		terms = terms[:k]
+	}
+	return terms
+}
+
+// Navigate descends the tree greedily: at each node it moves to the child
+// whose domain has the highest Jaccard similarity with the query intent,
+// returning the visited path and the reached leaf columns. Ties and empty
+// trees resolve toward the first child.
+func Navigate(root *NavNode, intent map[string]bool) (path []*NavNode, leafs []ColumnRef) {
+	node := root
+	for node != nil {
+		path = append(path, node)
+		if node.IsLeaf() {
+			break
+		}
+		best := node.Children[0]
+		bestSim := -1.0
+		for _, c := range node.Children {
+			if s := Jaccard(intent, c.domain); s > bestSim {
+				best, bestSim = c, s
+			}
+		}
+		node = best
+	}
+	if len(path) > 0 {
+		leafs = path[len(path)-1].Columns
+	}
+	return path, leafs
+}
+
+// RenderTree prints the tree with indentation, for CLI and examples.
+func RenderTree(n *NavNode, depth int) string {
+	var sb strings.Builder
+	indent := strings.Repeat("  ", depth)
+	label := strings.Join(n.Terms, ",")
+	if n.IsLeaf() && len(n.Columns) == 1 {
+		fmt.Fprintf(&sb, "%s- %s {%s}\n", indent, n.Columns[0], label)
+	} else {
+		fmt.Fprintf(&sb, "%s+ [%d columns] {%s}\n", indent, len(n.Columns), label)
+		for _, c := range n.Children {
+			sb.WriteString(RenderTree(c, depth+1))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,108 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"redi/internal/dataset"
+)
+
+// navRepo builds a repository with two clear topic clusters: US cities and
+// chemical elements.
+func navRepo(t *testing.T) *Repository {
+	t.Helper()
+	r := NewRepository()
+	add := func(name string, vals ...string) {
+		d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "c", Kind: dataset.Categorical}))
+		for _, v := range vals {
+			d.MustAppendRow(dataset.Cat(v))
+		}
+		if err := r.Add(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("cities1", "chicago", "boston", "denver", "seattle")
+	add("cities2", "chicago", "boston", "miami", "austin")
+	add("cities3", "denver", "seattle", "miami", "portland")
+	add("elements1", "helium", "neon", "argon", "xenon")
+	add("elements2", "helium", "neon", "krypton", "radon")
+	return r
+}
+
+func TestOrganizeClustersByTopic(t *testing.T) {
+	root := Organize(navRepo(t), 0.1, 5)
+	if len(root.Columns) != 5 {
+		t.Fatalf("root covers %d columns", len(root.Columns))
+	}
+	// Find the subtree containing cities1 and check elements are not in
+	// the same immediate cluster.
+	var findParent func(n *NavNode, table string) *NavNode
+	findParent = func(n *NavNode, table string) *NavNode {
+		for _, c := range n.Children {
+			if sub := findParent(c, table); sub != nil {
+				return sub
+			}
+			for _, col := range c.Columns {
+				if col.Table == table {
+					return c
+				}
+			}
+		}
+		return nil
+	}
+	cityNode := findParent(root, "cities1")
+	if cityNode == nil {
+		t.Fatal("cities1 not found")
+	}
+	for _, col := range cityNode.Columns {
+		if strings.HasPrefix(col.Table, "elements") {
+			t.Fatalf("elements clustered with cities: %v", cityNode.Columns)
+		}
+	}
+}
+
+func TestNavigateFindsTopic(t *testing.T) {
+	root := Organize(navRepo(t), 0.1, 5)
+	intent := map[string]bool{"helium": true, "argon": true}
+	path, leafs := Navigate(root, intent)
+	if len(path) == 0 || len(leafs) == 0 {
+		t.Fatal("empty navigation")
+	}
+	for _, col := range leafs {
+		if !strings.HasPrefix(col.Table, "elements") {
+			t.Fatalf("navigation for elements intent reached %v", leafs)
+		}
+	}
+	// City intent reaches a city table.
+	_, leafs = Navigate(root, map[string]bool{"chicago": true, "boston": true})
+	for _, col := range leafs {
+		if !strings.HasPrefix(col.Table, "cities") {
+			t.Fatalf("navigation for cities intent reached %v", leafs)
+		}
+	}
+}
+
+func TestOrganizeSingleColumn(t *testing.T) {
+	r := NewRepository()
+	d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "c", Kind: dataset.Categorical}))
+	d.MustAppendRow(dataset.Cat("x"))
+	if err := r.Add("only", d); err != nil {
+		t.Fatal(err)
+	}
+	root := Organize(r, 0.5, 3)
+	if !root.IsLeaf() || len(root.Columns) != 1 {
+		t.Fatalf("single-column tree = %+v", root)
+	}
+	path, leafs := Navigate(root, map[string]bool{"x": true})
+	if len(path) != 1 || len(leafs) != 1 {
+		t.Fatalf("navigation = %v %v", path, leafs)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	root := Organize(navRepo(t), 0.1, 3)
+	s := RenderTree(root, 0)
+	if !strings.Contains(s, "cities1.c") || !strings.Contains(s, "columns") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+}

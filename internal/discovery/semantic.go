@@ -1,0 +1,108 @@
+package discovery
+
+import (
+	"math"
+	"sort"
+)
+
+// This file provides semantic attribute matching in the spirit of "Seeping
+// Semantics" (Fernandez et al., ICDE 2018), which links datasets whose
+// value sets do NOT overlap by comparing attribute names and descriptions
+// in an embedding space. Pretrained embeddings are unavailable offline, so
+// REDI substitutes character n-gram vectors with cosine similarity — the
+// classical lexical-semantics approximation — which preserves the behavior
+// that matters here: "zip_code" matches "zipcode" and "postal_code" better
+// than "diagnosis" (see DESIGN.md, Substitutions).
+
+// NGramVector returns the character n-gram count vector of s, lowercased,
+// with boundary padding so short strings still produce grams. n <= 0
+// defaults to 3.
+func NGramVector(s string, n int) map[string]float64 {
+	if n <= 0 {
+		n = 3
+	}
+	// Lowercase and pad.
+	b := make([]byte, 0, len(s)+2*(n-1))
+	for i := 0; i < n-1; i++ {
+		b = append(b, '_')
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	for i := 0; i < n-1; i++ {
+		b = append(b, '_')
+	}
+	out := map[string]float64{}
+	for i := 0; i+n <= len(b); i++ {
+		out[string(b[i:i+n])]++
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two sparse vectors (0 when
+// either is empty).
+func Cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	dot, na, nb := 0.0, 0.0, 0.0
+	for g, x := range a {
+		na += x * x
+		if y, ok := b[g]; ok {
+			dot += x * y
+		}
+	}
+	for _, y := range b {
+		nb += y * y
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// NameSimilarity scores two attribute names semantically (trigram cosine).
+func NameSimilarity(a, b string) float64 {
+	return Cosine(NGramVector(a, 3), NGramVector(b, 3))
+}
+
+// SemanticMatch is one semantically matched column.
+type SemanticMatch struct {
+	Query     string
+	Candidate ColumnRef
+	Score     float64
+}
+
+// SemanticColumnSearch ranks the repository's columns by name similarity
+// with the query attribute names, returning matches at or above threshold,
+// best first. It complements value-overlap search: it still works when two
+// lakes encode the same concept with disjoint value sets.
+func (r *Repository) SemanticColumnSearch(queryAttrs []string, threshold float64) []SemanticMatch {
+	qVecs := make([]map[string]float64, len(queryAttrs))
+	for i, q := range queryAttrs {
+		qVecs[i] = NGramVector(q, 3)
+	}
+	var out []SemanticMatch
+	for _, ref := range r.Columns() {
+		cVec := NGramVector(ref.Column, 3)
+		for i, q := range queryAttrs {
+			if s := Cosine(qVecs[i], cVec); s >= threshold {
+				out = append(out, SemanticMatch{Query: q, Candidate: ref, Score: s})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].Query != out[b].Query {
+			return out[a].Query < out[b].Query
+		}
+		return out[a].Candidate.String() < out[b].Candidate.String()
+	})
+	return out
+}

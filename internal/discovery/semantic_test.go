@@ -1,0 +1,106 @@
+package discovery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redi/internal/dataset"
+)
+
+func TestNGramVector(t *testing.T) {
+	v := NGramVector("ab", 3)
+	// padded "__ab__": grams __a, _ab, ab_, b__.
+	if len(v) != 4 {
+		t.Fatalf("grams = %v", v)
+	}
+	if v["_ab"] != 1 {
+		t.Fatalf("missing _ab: %v", v)
+	}
+	// Case-insensitive (tolerance: sqrt rounding).
+	if c := Cosine(NGramVector("ZIP", 3), NGramVector("zip", 3)); c < 0.999 {
+		t.Fatalf("case sensitivity leaked: %v", c)
+	}
+	if got := NGramVector("", 3); len(got) != 2 {
+		// "____" has two distinct windows? "____" -> "___","___" = 1 distinct... verify below.
+		if len(got) != 1 {
+			t.Fatalf("empty-string grams = %v", got)
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 1}
+	if c := Cosine(a, a); c < 0.999 || c > 1.001 {
+		t.Fatalf("self cosine = %v", c)
+	}
+	b := map[string]float64{"z": 1}
+	if c := Cosine(a, b); c != 0 {
+		t.Fatalf("disjoint cosine = %v", c)
+	}
+	if Cosine(nil, a) != 0 {
+		t.Fatal("empty cosine")
+	}
+}
+
+func TestNameSimilarityOrdering(t *testing.T) {
+	// zipcode should be nearer zip_code than diagnosis.
+	near := NameSimilarity("zip_code", "zipcode")
+	far := NameSimilarity("zip_code", "diagnosis")
+	if near <= far {
+		t.Fatalf("similarity ordering wrong: near=%v far=%v", near, far)
+	}
+	if alt := NameSimilarity("zip_code", "postal_code"); alt <= far {
+		t.Fatalf("postal_code (%v) should beat diagnosis (%v)", alt, far)
+	}
+}
+
+func TestSemanticColumnSearch(t *testing.T) {
+	r := NewRepository()
+	mk := func(table, col string) {
+		d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: col, Kind: dataset.Categorical}))
+		d.MustAppendRow(dataset.Cat("v" + table)) // disjoint values everywhere
+		if err := r.Add(table, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("housing", "zipcode")
+	mk("mail", "postal_code")
+	mk("clinic", "diagnosis")
+
+	got := r.SemanticColumnSearch([]string{"zip_code"}, 0.3)
+	if len(got) == 0 {
+		t.Fatal("no semantic matches")
+	}
+	if got[0].Candidate.Column != "zipcode" {
+		t.Fatalf("best match = %v", got[0])
+	}
+	for _, m := range got {
+		if m.Candidate.Column == "diagnosis" {
+			t.Fatalf("diagnosis matched zip_code at %v", m.Score)
+		}
+	}
+	// Value-overlap search finds nothing here — the scenario semantic
+	// matching exists for.
+	if overlap := r.JoinableColumns(setOf("v-none"), 0.01); len(overlap) != 0 {
+		t.Fatalf("unexpected overlap matches: %v", overlap)
+	}
+}
+
+// Property: cosine similarity is symmetric and within [0, 1] for n-gram
+// vectors of arbitrary strings.
+func TestCosineProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		va, vb := NGramVector(a, 3), NGramVector(b, 3)
+		c1, c2 := Cosine(va, vb), Cosine(vb, va)
+		return c1 == c2 && c1 >= 0 && c1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package discovery
+
+import (
+	"container/heap"
+	"math"
+
+	"redi/internal/dataset"
+	"redi/internal/stats"
+)
+
+// CorrelationSketch summarizes a (join key, numeric value) column pair for
+// approximate join-correlation queries (Santos, Bessa, Chirigati, Musco,
+// Freire, SIGMOD 2021): it keeps the values of the B keys with the smallest
+// hashes. Because the same hash orders keys in every sketch, two sketches
+// of joinable columns retain overlapping key samples — a coordinated
+// bottom-k sample of the join — so the correlation over aligned sketch
+// entries estimates the correlation over the full join without executing
+// it.
+type CorrelationSketch struct {
+	B       int
+	entries map[string]float64 // key -> value (mean when keys repeat)
+	counts  map[string]float64
+	hashes  *keyHeap
+}
+
+type hashedKey struct {
+	key  string
+	hash uint64
+}
+
+// keyHeap is a max-heap on hash so the largest can be evicted.
+type keyHeap []hashedKey
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i].hash > h[j].hash }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(hashedKey)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewCorrelationSketch builds a sketch of capacity b. It panics if b <= 0.
+func NewCorrelationSketch(b int) *CorrelationSketch {
+	if b <= 0 {
+		panic("discovery: sketch capacity must be positive")
+	}
+	return &CorrelationSketch{
+		B:       b,
+		entries: map[string]float64{},
+		counts:  map[string]float64{},
+		hashes:  &keyHeap{},
+	}
+}
+
+// Add feeds one (key, value) observation. Repeated keys average their
+// values (the sketch summarizes the key-level aggregate).
+func (s *CorrelationSketch) Add(key string, value float64) {
+	if c, ok := s.counts[key]; ok {
+		s.counts[key] = c + 1
+		s.entries[key] += (value - s.entries[key]) / (c + 1)
+		return
+	}
+	h := hash64(key, 0)
+	if s.hashes.Len() >= s.B {
+		top := (*s.hashes)[0]
+		if h >= top.hash {
+			return // not among the bottom-B keys
+		}
+		heap.Pop(s.hashes)
+		delete(s.entries, top.key)
+		delete(s.counts, top.key)
+	}
+	heap.Push(s.hashes, hashedKey{key: key, hash: h})
+	s.entries[key] = value
+	s.counts[key] = 1
+}
+
+// Len returns the number of retained keys.
+func (s *CorrelationSketch) Len() int { return len(s.entries) }
+
+// SketchColumn builds a sketch from a dataset's key and value attributes,
+// skipping rows with a null in either.
+func SketchColumn(d *dataset.Dataset, keyAttr, valAttr string, b int) *CorrelationSketch {
+	s := NewCorrelationSketch(b)
+	keys := d.Strings(keyAttr)
+	vals, nulls := d.NumericFull(valAttr)
+	for i, k := range keys {
+		if k == "" || nulls[i] {
+			continue
+		}
+		s.Add(k, vals[i])
+	}
+	return s
+}
+
+// EstimateCorrelation estimates the Pearson correlation between the two
+// sketched value columns over their key-equi-join, along with the number of
+// aligned keys the estimate is based on. Fewer than 3 aligned keys yield
+// (0, n).
+func (s *CorrelationSketch) EstimateCorrelation(o *CorrelationSketch) (corr float64, aligned int) {
+	var xs, ys []float64
+	for k, v := range s.entries {
+		if w, ok := o.entries[k]; ok {
+			xs = append(xs, v)
+			ys = append(ys, w)
+		}
+	}
+	if len(xs) < 3 {
+		return 0, len(xs)
+	}
+	return stats.Pearson(xs, ys), len(xs)
+}
+
+// JoinCorrelationExact computes the exact key-level correlation between two
+// (key, value) columns: values are averaged per key, keys are joined, and
+// Pearson correlation is taken over the joined key aggregates. Ground truth
+// for sketch experiments. It returns (0, n) with fewer than 3 joined keys.
+func JoinCorrelationExact(d1 *dataset.Dataset, key1, val1 string, d2 *dataset.Dataset, key2, val2 string) (corr float64, aligned int) {
+	agg := func(d *dataset.Dataset, keyAttr, valAttr string) map[string]float64 {
+		keys := d.Strings(keyAttr)
+		vals, nulls := d.NumericFull(valAttr)
+		sum := map[string]float64{}
+		cnt := map[string]float64{}
+		for i, k := range keys {
+			if k == "" || nulls[i] {
+				continue
+			}
+			sum[k] += vals[i]
+			cnt[k]++
+		}
+		for k := range sum {
+			sum[k] /= cnt[k]
+		}
+		return sum
+	}
+	a := agg(d1, key1, val1)
+	b := agg(d2, key2, val2)
+	var xs, ys []float64
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			xs = append(xs, v)
+			ys = append(ys, w)
+		}
+	}
+	if len(xs) < 3 {
+		return 0, len(xs)
+	}
+	return stats.Pearson(xs, ys), len(xs)
+}
+
+// SketchError is |estimate - exact|, with NaN treated as maximal error.
+func SketchError(est, exact float64) float64 {
+	if math.IsNaN(est) || math.IsNaN(exact) {
+		return 2
+	}
+	return math.Abs(est - exact)
+}

@@ -1,0 +1,180 @@
+package discovery
+
+import (
+	"sort"
+)
+
+// This file implements table union search (Nargesian, Zhu, Pu, Miller,
+// VLDB 2018) and JOSIE-style top-k joinability search (Zhu et al., SIGMOD
+// 2019), the two table-as-query discovery modes of tutorial §3.1.
+
+// UnionMatch is one matched column pair of a table-union result.
+type UnionMatch struct {
+	QueryColumn string
+	Candidate   ColumnRef
+	Jaccard     float64
+}
+
+// TableUnionResult ranks one candidate table's unionability with the query
+// table: columns are greedily matched by domain Jaccard, and the table
+// score is the mean matched similarity over the query's categorical
+// columns (unmatched query columns contribute zero).
+type TableUnionResult struct {
+	Table   string
+	Score   float64
+	Matches []UnionMatch
+}
+
+// TableUnionSearch ranks repository tables by unionability with the query
+// table's categorical columns, returning tables with score >= minScore,
+// best first. queryDomains maps the query's column names to value sets
+// (use DomainOf per column).
+func (r *Repository) TableUnionSearch(queryDomains map[string]map[string]bool, minScore float64) []TableUnionResult {
+	if len(queryDomains) == 0 {
+		return nil
+	}
+	// Group candidate columns by table.
+	byTable := map[string][]ColumnRef{}
+	for _, ref := range r.Columns() {
+		byTable[ref.Table] = append(byTable[ref.Table], ref)
+	}
+	qNames := make([]string, 0, len(queryDomains))
+	for name := range queryDomains {
+		qNames = append(qNames, name)
+	}
+	sort.Strings(qNames)
+
+	var out []TableUnionResult
+	for table, cols := range byTable {
+		// All pairwise similarities.
+		type pair struct {
+			q   string
+			c   ColumnRef
+			sim float64
+		}
+		var pairs []pair
+		for _, q := range qNames {
+			for _, c := range cols {
+				if s := Jaccard(queryDomains[q], r.domains[c]); s > 0 {
+					pairs = append(pairs, pair{q: q, c: c, sim: s})
+				}
+			}
+		}
+		// Greedy bipartite matching, best similarity first.
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].sim != pairs[b].sim {
+				return pairs[a].sim > pairs[b].sim
+			}
+			if pairs[a].q != pairs[b].q {
+				return pairs[a].q < pairs[b].q
+			}
+			return pairs[a].c.String() < pairs[b].c.String()
+		})
+		usedQ := map[string]bool{}
+		usedC := map[ColumnRef]bool{}
+		res := TableUnionResult{Table: table}
+		total := 0.0
+		for _, p := range pairs {
+			if usedQ[p.q] || usedC[p.c] {
+				continue
+			}
+			usedQ[p.q] = true
+			usedC[p.c] = true
+			res.Matches = append(res.Matches, UnionMatch{QueryColumn: p.q, Candidate: p.c, Jaccard: p.sim})
+			total += p.sim
+		}
+		res.Score = total / float64(len(qNames))
+		if res.Score >= minScore && len(res.Matches) > 0 {
+			out = append(out, res)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Table < out[b].Table
+	})
+	return out
+}
+
+// InvertedIndex answers top-k overlap (joinability) queries exactly with a
+// value → columns posting-list index, the JOSIE approach: instead of
+// scanning every column domain, only columns sharing at least one value
+// with the query are touched, and their exact overlaps are accumulated in
+// one pass over the query's values.
+type InvertedIndex struct {
+	postings map[string][]int
+	refs     []ColumnRef
+	sizes    []int
+}
+
+// NewInvertedIndex builds the index over the repository's categorical
+// columns.
+func NewInvertedIndex(r *Repository) *InvertedIndex {
+	ix := &InvertedIndex{postings: map[string][]int{}}
+	for _, ref := range r.Columns() {
+		id := len(ix.refs)
+		ix.refs = append(ix.refs, ref)
+		dom := r.domains[ref]
+		ix.sizes = append(ix.sizes, len(dom))
+		for v := range dom {
+			ix.postings[v] = append(ix.postings[v], id)
+		}
+	}
+	return ix
+}
+
+// OverlapMatch is a top-k joinability result: the candidate column, its
+// exact value overlap with the query, and the containment |Q∩C|/|Q|.
+type OverlapMatch struct {
+	Ref         ColumnRef
+	Overlap     int
+	Containment float64
+}
+
+// TopKJoinable returns the k columns with the largest exact overlap with
+// the query set, ties broken by smaller candidate size then name (favoring
+// higher-precision joins).
+func (ix *InvertedIndex) TopKJoinable(query map[string]bool, k int) []OverlapMatch {
+	if k <= 0 || len(query) == 0 {
+		return nil
+	}
+	overlap := map[int]int{}
+	for v := range query {
+		for _, id := range ix.postings[v] {
+			overlap[id]++
+		}
+	}
+	type scored struct {
+		m    OverlapMatch
+		size int
+	}
+	cands := make([]scored, 0, len(overlap))
+	for id, ov := range overlap {
+		cands = append(cands, scored{
+			m: OverlapMatch{
+				Ref:         ix.refs[id],
+				Overlap:     ov,
+				Containment: float64(ov) / float64(len(query)),
+			},
+			size: ix.sizes[id],
+		})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].m.Overlap != cands[b].m.Overlap {
+			return cands[a].m.Overlap > cands[b].m.Overlap
+		}
+		if cands[a].size != cands[b].size {
+			return cands[a].size < cands[b].size
+		}
+		return cands[a].m.Ref.String() < cands[b].m.Ref.String()
+	})
+	if k < len(cands) {
+		cands = cands[:k]
+	}
+	out := make([]OverlapMatch, len(cands))
+	for i, c := range cands {
+		out[i] = c.m
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package discovery
+
+import (
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+// unionRepo: candidate tables with varying column alignment to a 2-column
+// query (city, species).
+func unionRepo(t *testing.T) (*Repository, map[string]map[string]bool) {
+	t.Helper()
+	r := NewRepository()
+	add := func(name string, cols map[string][]string) {
+		var attrs []dataset.Attribute
+		var names []string
+		for c := range cols {
+			names = append(names, c)
+		}
+		// Deterministic column order.
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if names[j] < names[i] {
+					names[i], names[j] = names[j], names[i]
+				}
+			}
+		}
+		maxLen := 0
+		for _, vs := range cols {
+			if len(vs) > maxLen {
+				maxLen = len(vs)
+			}
+		}
+		for _, c := range names {
+			attrs = append(attrs, dataset.Attribute{Name: c, Kind: dataset.Categorical})
+		}
+		d := dataset.New(dataset.NewSchema(attrs...))
+		for i := 0; i < maxLen; i++ {
+			row := make([]dataset.Value, len(names))
+			for j, c := range names {
+				if i < len(cols[c]) {
+					row[j] = dataset.Cat(cols[c][i])
+				} else {
+					row[j] = dataset.NullValue(dataset.Categorical)
+				}
+			}
+			d.MustAppendRow(row...)
+		}
+		if err := r.Add(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("perfect", map[string][]string{
+		"town":   {"chicago", "boston", "denver"},
+		"animal": {"fox", "owl", "deer"},
+	})
+	add("partial", map[string][]string{
+		"town":  {"chicago", "boston", "miami"},
+		"color": {"red", "blue"},
+	})
+	add("unrelated", map[string][]string{
+		"metal": {"iron", "zinc"},
+	})
+	query := map[string]map[string]bool{
+		"city":    setOf("chicago", "boston", "denver"),
+		"species": setOf("fox", "owl", "deer"),
+	}
+	return r, query
+}
+
+func TestTableUnionSearch(t *testing.T) {
+	r, query := unionRepo(t)
+	results := r.TableUnionSearch(query, 0.1)
+	if len(results) != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Table != "perfect" || results[0].Score != 1 {
+		t.Fatalf("best = %+v", results[0])
+	}
+	if len(results[0].Matches) != 2 {
+		t.Fatalf("matches = %+v", results[0].Matches)
+	}
+	if results[1].Table != "partial" {
+		t.Fatalf("second = %+v", results[1])
+	}
+	// Partial: town matches city at J=0.5 (2 of 4), color matches
+	// nothing -> score 0.25.
+	if results[1].Score != 0.25 {
+		t.Fatalf("partial score = %v", results[1].Score)
+	}
+	// A query column may match at most one candidate column and vice
+	// versa.
+	seen := map[string]bool{}
+	for _, m := range results[0].Matches {
+		if seen[m.QueryColumn] {
+			t.Fatal("query column matched twice")
+		}
+		seen[m.QueryColumn] = true
+	}
+}
+
+func TestTableUnionSearchEmpty(t *testing.T) {
+	r, _ := unionRepo(t)
+	if got := r.TableUnionSearch(nil, 0); got != nil {
+		t.Fatalf("nil query = %v", got)
+	}
+}
+
+func TestInvertedIndexMatchesScan(t *testing.T) {
+	// Randomized cross-check: top-k by inverted index equals the exact
+	// containment ordering from a full scan.
+	c := synth.GenerateCorpus(synth.CorpusConfig{
+		NumTables: 25, RowsPerTable: 150, KeyUniverse: 5000, QueryKeys: 150,
+	}, rng.New(1))
+	repo := NewRepository()
+	for _, tbl := range c.Tables {
+		if err := repo.Add(tbl.Name, tbl.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := NewInvertedIndex(repo)
+	query := DomainOf(c.Query, "key")
+	top := ix.TopKJoinable(query, 5)
+	if len(top) != 5 {
+		t.Fatalf("top-k = %d", len(top))
+	}
+	// Containment must be non-increasing and match brute force.
+	for i := 1; i < len(top); i++ {
+		if top[i].Overlap > top[i-1].Overlap {
+			t.Fatal("top-k not sorted")
+		}
+	}
+	for _, m := range top {
+		if m.Ref.Column != "key" {
+			continue
+		}
+		want := Containment(query, repo.Domain(m.Ref))
+		if m.Containment != want {
+			t.Fatalf("containment %v != exact %v for %v", m.Containment, want, m.Ref)
+		}
+	}
+	// The best candidate is the corpus's full-containment table.
+	best := c.Tables[len(c.Tables)-1].Name
+	if top[0].Ref.Table != best {
+		t.Fatalf("top-1 = %v, want %s", top[0].Ref, best)
+	}
+}
+
+func TestInvertedIndexDegenerate(t *testing.T) {
+	repo := NewRepository()
+	d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "c", Kind: dataset.Categorical}))
+	d.MustAppendRow(dataset.Cat("v"))
+	if err := repo.Add("t", d); err != nil {
+		t.Fatal(err)
+	}
+	ix := NewInvertedIndex(repo)
+	if got := ix.TopKJoinable(nil, 5); got != nil {
+		t.Fatalf("empty query = %v", got)
+	}
+	if got := ix.TopKJoinable(setOf("v"), 0); got != nil {
+		t.Fatalf("k=0 = %v", got)
+	}
+	if got := ix.TopKJoinable(setOf("nope"), 3); len(got) != 0 {
+		t.Fatalf("no-overlap query = %v", got)
+	}
+}
+
+func TestInvertedIndexTieBreakPrefersSmaller(t *testing.T) {
+	repo := NewRepository()
+	mk := func(name string, vals ...string) {
+		d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "c", Kind: dataset.Categorical}))
+		for _, v := range vals {
+			d.MustAppendRow(dataset.Cat(v))
+		}
+		if err := repo.Add(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("small", "a", "b")
+	mk("big", "a", "b", "x", "y", "z")
+	ix := NewInvertedIndex(repo)
+	top := ix.TopKJoinable(setOf("a", "b"), 2)
+	if top[0].Ref.Table != "small" {
+		t.Fatalf("tie break wrong: %v", top)
+	}
+}

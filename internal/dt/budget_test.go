@@ -1,0 +1,74 @@
+package dt
+
+import (
+	"testing"
+
+	"redi/internal/rng"
+)
+
+func TestRunBudgetStopsAtBudget(t *testing.T) {
+	sources, probs, costs := twoSources()
+	e := &Engine{Sources: sources}
+	// A budget far too small to fulfill the need.
+	res, err := e.RunBudget(NewRatioColl(probs, costs), []int{100, 100}, 50, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fulfilled {
+		t.Fatal("tiny budget fulfilled the need")
+	}
+	if res.TotalCost > 50 {
+		t.Fatalf("cost %v exceeded budget 50", res.TotalCost)
+	}
+	if res.Draws == 0 {
+		t.Fatal("no draws under a positive budget")
+	}
+}
+
+func TestRunBudgetFulfillsWhenAmple(t *testing.T) {
+	sources, probs, costs := twoSources()
+	e := &Engine{Sources: sources}
+	res, err := e.RunBudget(NewRatioColl(probs, costs), []int{10, 10}, 1e6, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fulfilled {
+		t.Fatalf("ample budget unfulfilled: %v", res.Collected)
+	}
+	if res.Collected[0] != 10 || res.Collected[1] != 10 {
+		t.Fatalf("collected = %v", res.Collected)
+	}
+}
+
+func TestRunBudgetPartialProgressIsMonotone(t *testing.T) {
+	sources, probs, costs := twoSources()
+	e := &Engine{Sources: sources}
+	need := []int{50, 50}
+	prev := 0
+	for _, budget := range []float64{20, 80, 320, 1280} {
+		res, err := e.RunBudget(NewRatioColl(probs, costs), need, budget, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Collected[0] + res.Collected[1]
+		if got < prev {
+			t.Fatalf("coverage regressed with larger budget: %d -> %d", prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestRunBudgetValidation(t *testing.T) {
+	e := &Engine{}
+	if _, err := e.RunBudget(NewRandomColl(1, rng.New(1)), []int{1}, 10, rng.New(1)); err == nil {
+		t.Fatal("no sources accepted")
+	}
+	sources, probs, costs := twoSources()
+	e = &Engine{Sources: sources}
+	if _, err := e.RunBudget(NewRatioColl(probs, costs), []int{1}, 10, rng.New(1)); err == nil {
+		t.Fatal("group mismatch accepted")
+	}
+	if _, err := e.RunBudget(NewRatioColl(probs, costs), []int{-1, 0}, 10, rng.New(1)); err == nil {
+		t.Fatal("negative need accepted")
+	}
+}

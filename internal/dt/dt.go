@@ -1,0 +1,303 @@
+// Package dt implements data distribution tailoring (Nargesian, Asudeh,
+// Jagadish, "Tailoring Data Source Distributions for Fairness-aware Data
+// Integration", VLDB 2021; surveyed in §4.2 of the tutorial).
+//
+// Given a set of data sources, each answering random-sample queries at a
+// per-query cost, and a target count for every demographic group, a
+// tailoring strategy decides which source to query at each step so that all
+// group counts are met at minimum expected total cost. The package provides
+//
+//   - known-distribution strategies (CouponColl, RatioColl) and an exact
+//     dynamic program for small instances,
+//   - unknown-distribution strategies (ε-greedy, UCBColl) that learn source
+//     distributions online, and a RandomColl baseline,
+//   - an execution engine that runs any strategy against any sources and
+//     records cost, per-source usage, and the collected sample.
+package dt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+)
+
+// Source is a data source that can be sampled one tuple at a time. Draw
+// returns the group index of the sampled tuple (in [0, NumGroups)) together
+// with an opaque row handle that the engine stores for later
+// materialization; sources backed by pure distributions return a negative
+// handle.
+type Source interface {
+	// Cost is the price of one Draw.
+	Cost() float64
+	// Draw samples one tuple and reports its group.
+	Draw(r *rng.RNG) (group int, row int)
+	// NumGroups returns the number of groups the source labels tuples
+	// with. All sources given to an engine must agree.
+	NumGroups() int
+}
+
+// DistSource is a Source defined purely by a group distribution. It stands
+// in for an external API whose tuples we only inspect for group membership,
+// and is the workhorse of simulation experiments.
+type DistSource struct {
+	Dist *rng.Categorical
+	C    float64
+}
+
+// NewDistSource builds a DistSource over the given group weights.
+func NewDistSource(weights []float64, cost float64) *DistSource {
+	return &DistSource{Dist: rng.NewCategorical(weights), C: cost}
+}
+
+// Cost returns the per-draw cost.
+func (s *DistSource) Cost() float64 { return s.C }
+
+// NumGroups returns the number of groups.
+func (s *DistSource) NumGroups() int { return s.Dist.K() }
+
+// Draw samples a group; the row handle is always -1.
+func (s *DistSource) Draw(r *rng.RNG) (int, int) { return s.Dist.Draw(r), -1 }
+
+// Probs returns the source's true group distribution (used by
+// known-distribution strategies and by experiment ground truth).
+func (s *DistSource) Probs() []float64 { return s.Dist.Probs() }
+
+// DatasetSource is a Source backed by a concrete dataset: Draw samples a
+// row uniformly with replacement and reports the group of that row under a
+// fixed group index.
+type DatasetSource struct {
+	Data  *dataset.Dataset
+	byRow []int
+	k     int
+	c     float64
+}
+
+// NewDatasetSource wraps a dataset as a source. groups must be the GroupBy
+// index of d over the sensitive attributes, and keys the global group-key
+// order shared by all sources (a row whose key is missing from keys gets
+// group -1 and is re-drawn). cost is the per-draw cost.
+func NewDatasetSource(d *dataset.Dataset, groups *dataset.Groups, keys []dataset.GroupKey, cost float64) (*DatasetSource, error) {
+	if d.NumRows() == 0 {
+		return nil, errors.New("dt: empty source dataset")
+	}
+	pos := map[dataset.GroupKey]int{}
+	for i, k := range keys {
+		pos[k] = i
+	}
+	s := &DatasetSource{Data: d, byRow: make([]int, d.NumRows()), k: len(keys), c: cost}
+	for r := range s.byRow {
+		gi := groups.ByRow[r]
+		if gi < 0 {
+			s.byRow[r] = -1
+			continue
+		}
+		global, ok := pos[groups.Keys[gi]]
+		if !ok {
+			global = -1
+		}
+		s.byRow[r] = global
+	}
+	return s, nil
+}
+
+// Cost returns the per-draw cost.
+func (s *DatasetSource) Cost() float64 { return s.c }
+
+// NumGroups returns the number of global groups.
+func (s *DatasetSource) NumGroups() int { return s.k }
+
+// Draw samples one row with replacement. Rows outside the global group set
+// are skipped (they still cost nothing extra: the draw is retried, modeling
+// a filter pushed into the source query).
+func (s *DatasetSource) Draw(r *rng.RNG) (int, int) {
+	for tries := 0; tries < 10000; tries++ {
+		row := r.Intn(s.Data.NumRows())
+		if g := s.byRow[row]; g >= 0 {
+			return g, row
+		}
+	}
+	panic("dt: source has no rows in the global group set")
+}
+
+// Strategy selects the next source to query given the tailoring state.
+// Implementations may keep online estimates via Observe.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Next returns the index of the source to query. need[g] is the
+	// remaining count for group g; step is the number of draws so far.
+	Next(need []int, step int) int
+	// Observe reports the outcome of a draw from source i.
+	Observe(source, group int)
+}
+
+// Result records one tailoring run.
+type Result struct {
+	Strategy    string
+	TotalCost   float64
+	Draws       int
+	DrawsBySrc  []int
+	Collected   []int // per-group counts actually kept
+	Overflow    int   // tuples drawn beyond their group's requirement
+	RowsBySrc   [][]int
+	Fulfilled   bool
+	StepsCapped bool
+}
+
+// Engine runs strategies against sources.
+type Engine struct {
+	Sources []Source
+	// MaxDraws caps a run; 0 means 10^7.
+	MaxDraws int
+}
+
+// Run executes the strategy until every group's need is met or the draw cap
+// is reached. need is not modified. The returned Result reports the full
+// trace summary. It returns an error if there are no sources, needs and
+// sources disagree on the group count, or the strategy returns an invalid
+// source index.
+func (e *Engine) Run(s Strategy, need []int, r *rng.RNG) (*Result, error) {
+	if len(e.Sources) == 0 {
+		return nil, errors.New("dt: no sources")
+	}
+	k := e.Sources[0].NumGroups()
+	for i, src := range e.Sources {
+		if src.NumGroups() != k {
+			return nil, fmt.Errorf("dt: source %d has %d groups, want %d", i, src.NumGroups(), k)
+		}
+	}
+	if len(need) != k {
+		return nil, fmt.Errorf("dt: need has %d groups, sources have %d", len(need), k)
+	}
+	cap := e.MaxDraws
+	if cap == 0 {
+		cap = 10_000_000
+	}
+
+	remaining := append([]int(nil), need...)
+	left := 0
+	for _, n := range remaining {
+		if n < 0 {
+			return nil, errors.New("dt: negative need")
+		}
+		left += n
+	}
+	res := &Result{
+		Strategy:   s.Name(),
+		DrawsBySrc: make([]int, len(e.Sources)),
+		Collected:  make([]int, k),
+		RowsBySrc:  make([][]int, len(e.Sources)),
+	}
+	for left > 0 {
+		if res.Draws >= cap {
+			res.StepsCapped = true
+			return res, nil
+		}
+		i := s.Next(remaining, res.Draws)
+		if i < 0 || i >= len(e.Sources) {
+			return nil, fmt.Errorf("dt: strategy %s chose invalid source %d", s.Name(), i)
+		}
+		g, row := e.Sources[i].Draw(r)
+		s.Observe(i, g)
+		res.Draws++
+		res.DrawsBySrc[i]++
+		res.TotalCost += e.Sources[i].Cost()
+		if g >= 0 && g < k && remaining[g] > 0 {
+			remaining[g]--
+			left--
+			res.Collected[g]++
+			if row >= 0 {
+				res.RowsBySrc[i] = append(res.RowsBySrc[i], row)
+			}
+		} else {
+			res.Overflow++
+		}
+	}
+	res.Fulfilled = true
+	return res, nil
+}
+
+// RunBudget executes the strategy until either every group's need is met or
+// the cost budget is exhausted — the practical regime where collection
+// money runs out before requirements are satisfied. The result reports the
+// counts achieved; Fulfilled is true only when all needs were met within
+// budget.
+func (e *Engine) RunBudget(s Strategy, need []int, budget float64, r *rng.RNG) (*Result, error) {
+	if len(e.Sources) == 0 {
+		return nil, errors.New("dt: no sources")
+	}
+	k := e.Sources[0].NumGroups()
+	if len(need) != k {
+		return nil, fmt.Errorf("dt: need has %d groups, sources have %d", len(need), k)
+	}
+	remaining := append([]int(nil), need...)
+	left := 0
+	for _, n := range remaining {
+		if n < 0 {
+			return nil, errors.New("dt: negative need")
+		}
+		left += n
+	}
+	res := &Result{
+		Strategy:   s.Name(),
+		DrawsBySrc: make([]int, len(e.Sources)),
+		Collected:  make([]int, k),
+		RowsBySrc:  make([][]int, len(e.Sources)),
+	}
+	minCost := math.Inf(1)
+	for _, src := range e.Sources {
+		if c := src.Cost(); c < minCost {
+			minCost = c
+		}
+	}
+	for left > 0 && res.TotalCost+minCost <= budget {
+		i := s.Next(remaining, res.Draws)
+		if i < 0 || i >= len(e.Sources) {
+			return nil, fmt.Errorf("dt: strategy %s chose invalid source %d", s.Name(), i)
+		}
+		if res.TotalCost+e.Sources[i].Cost() > budget {
+			// The chosen source is unaffordable; cheaper sources may
+			// still be, but a strategy that insists on it is done.
+			break
+		}
+		g, row := e.Sources[i].Draw(r)
+		s.Observe(i, g)
+		res.Draws++
+		res.DrawsBySrc[i]++
+		res.TotalCost += e.Sources[i].Cost()
+		if g >= 0 && g < k && remaining[g] > 0 {
+			remaining[g]--
+			left--
+			res.Collected[g]++
+			if row >= 0 {
+				res.RowsBySrc[i] = append(res.RowsBySrc[i], row)
+			}
+		} else {
+			res.Overflow++
+		}
+	}
+	res.Fulfilled = left == 0
+	return res, nil
+}
+
+// Materialize assembles the collected rows of a run over DatasetSources
+// into one dataset. Sources that are not dataset-backed contribute nothing.
+func (e *Engine) Materialize(res *Result) *dataset.Dataset {
+	var out *dataset.Dataset
+	for i, src := range e.Sources {
+		ds, ok := src.(*DatasetSource)
+		if !ok {
+			continue
+		}
+		if out == nil {
+			out = dataset.New(ds.Data.Schema())
+		}
+		for _, row := range res.RowsBySrc[i] {
+			out.MustAppendRow(ds.Data.Row(row)...)
+		}
+	}
+	return out
+}

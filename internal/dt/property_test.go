@@ -1,0 +1,74 @@
+package dt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"redi/internal/rng"
+)
+
+// Property: ExactDP is monotone — raising any need never lowers the
+// optimal expected cost.
+func TestExactDPMonotoneProperty(t *testing.T) {
+	f := func(p8, q8, n8, m8 uint8) bool {
+		p := 0.05 + 0.9*float64(p8)/255
+		q := 0.05 + 0.9*float64(q8)/255
+		probs := [][]float64{{p, 1 - p}, {q, 1 - q}}
+		costs := []float64{1, 2}
+		n := int(n8 % 5)
+		m := int(m8 % 5)
+		base := ExactDP(probs, costs, []int{n, m})
+		more := ExactDP(probs, costs, []int{n + 1, m})
+		return more >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the DP optimum never exceeds the expected cost of the
+// single-best-source policy, computed in closed form for one group.
+func TestExactDPBeatsSingleSourceProperty(t *testing.T) {
+	f := func(p8, q8, n8 uint8) bool {
+		p := 0.05 + 0.9*float64(p8)/255
+		q := 0.05 + 0.9*float64(q8)/255
+		probs := [][]float64{{p, 1 - p}, {q, 1 - q}}
+		costs := []float64{1, 1.5}
+		n := int(n8%6) + 1
+		opt := ExactDP(probs, costs, []int{n, 0})
+		// Single-source policies: E = n * C_i / P_i(group 0).
+		best := math.Min(float64(n)*costs[0]/p, float64(n)*costs[1]/q)
+		return opt <= best+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every engine run conserves accounting — draws equal the
+// per-source sums, collected totals equal the need when fulfilled, and
+// overflow accounts for the rest.
+func TestRunAccountingProperty(t *testing.T) {
+	f := func(seed uint64, n8, m8 uint8) bool {
+		n := int(n8 % 10)
+		m := int(m8 % 10)
+		sources, probs, costs := twoSources()
+		e := &Engine{Sources: sources, MaxDraws: 1_000_000}
+		res, err := e.Run(NewRatioColl(probs, costs), []int{n, m}, rng.New(seed))
+		if err != nil || !res.Fulfilled {
+			return false
+		}
+		if res.Collected[0] != n || res.Collected[1] != m {
+			return false
+		}
+		sum := 0
+		for _, d := range res.DrawsBySrc {
+			sum += d
+		}
+		return sum == res.Draws && res.Overflow == res.Draws-n-m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"redi/internal/acquisition"
+	"redi/internal/rng"
+)
+
+// E10Crowd reproduces the distribution-aware crowdsourcing experiment of
+// Fan et al.: KL(target ‖ collected) over collection rounds for adaptive
+// worker selection vs the random baseline.
+func E10Crowd(seed uint64) *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Crowd entity collection: KL(target||collected) vs rounds, adaptive vs random worker selection",
+		Columns: []string{"round", "adaptive_KL", "random_KL"},
+		Notes:   "adaptive selection decays faster and plateaus lower once worker distributions are learned",
+	}
+	target := []float64{0.25, 0.25, 0.25, 0.25}
+	mkWorkers := func(r *rng.RNG) []*acquisition.Worker {
+		var ws []*acquisition.Worker
+		// Most workers heavily favor value 0 (e.g. downtown POIs); a
+		// minority of workers cover the tail values.
+		for i := 0; i < 12; i++ {
+			ws = append(ws, acquisition.NewWorker([]float64{0.82, 0.06, 0.06, 0.06}))
+		}
+		for i := 0; i < 6; i++ {
+			w := []float64{0.04, 0.04, 0.04, 0.04}
+			w[1+r.Intn(3)] = 0.88
+			ws = append(ws, acquisition.NewWorker(w))
+		}
+		return ws
+	}
+	const rounds = 60
+	const trials = 5
+	checkpoints := []int{5, 10, 20, 40, 60}
+
+	collect := func(adaptive bool) map[int]float64 {
+		sums := map[int]float64{}
+		for s := uint64(0); s < trials; s++ {
+			r := rng.New(seed + 7*s)
+			c, err := acquisition.NewCrowdCollector(mkWorkers(r), target, 5)
+			if err != nil {
+				panic(err)
+			}
+			ci := 0
+			for round := 1; round <= rounds; round++ {
+				if adaptive {
+					c.AdaptiveRound(r)
+				} else {
+					c.RandomRound(r)
+				}
+				if ci < len(checkpoints) && round == checkpoints[ci] {
+					sums[round] += c.KL()
+					ci++
+				}
+			}
+		}
+		for k := range sums {
+			sums[k] /= trials
+		}
+		return sums
+	}
+	ad := collect(true)
+	rd := collect(false)
+	for _, cp := range checkpoints {
+		t.AddRow(d0(cp), f4(ad[cp]), f4(rd[cp]))
+	}
+	return t
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"redi/internal/dataset"
+	"redi/internal/discovery"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+// E6Discovery reproduces the domain-search and join-correlation sketch
+// experiments: LSH-ensemble precision/recall against exact containment
+// across thresholds, and correlation-sketch error across sketch sizes.
+func E6Discovery(seed uint64) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Discovery: LSH-ensemble quality vs exact containment; correlation-sketch error vs size",
+		Columns: []string{"experiment", "parameter", "precision", "recall", "corr_error"},
+		Notes:   "high recall at a fraction of exact-scan work; sketch error shrinks ~1/sqrt(B)",
+	}
+	c := synth.GenerateCorpus(synth.CorpusConfig{
+		NumTables: 40, RowsPerTable: 300, KeyUniverse: 20000, QueryKeys: 300,
+	}, rng.New(seed))
+	repo := discovery.NewRepository()
+	for _, tbl := range c.Tables {
+		if err := repo.Add(tbl.Name, tbl.Data); err != nil {
+			panic(err)
+		}
+	}
+	var refs []discovery.ColumnRef
+	var domains []map[string]bool
+	for _, ref := range repo.Columns() {
+		if ref.Column == "key" {
+			refs = append(refs, ref)
+			domains = append(domains, repo.Domain(ref))
+		}
+	}
+	ens, err := discovery.NewLSHEnsemble(128, 4)
+	if err != nil {
+		panic(err)
+	}
+	ens.Index(refs, domains)
+	query := discovery.DomainOf(c.Query, "key")
+
+	truthAt := func(threshold float64) map[string]bool {
+		out := map[string]bool{}
+		for _, tbl := range c.Tables {
+			if tbl.Containment >= threshold {
+				out[tbl.Name] = true
+			}
+		}
+		return out
+	}
+	for _, th := range []float64{0.3, 0.5, 0.7} {
+		got := ens.Query(query, th)
+		truth := truthAt(th)
+		tp := 0
+		for _, m := range got {
+			if truth[m.Ref.Table] {
+				tp++
+			}
+		}
+		prec, rec := 1.0, 1.0
+		if len(got) > 0 {
+			prec = float64(tp) / float64(len(got))
+		}
+		if len(truth) > 0 {
+			rec = float64(tp) / float64(len(truth))
+		}
+		t.AddRow("lsh-ensemble", fmt.Sprintf("t=%.1f", th), f3(prec), f3(rec), "-")
+	}
+
+	// Correlation sketches on a correlated pair.
+	r := rng.New(seed + 1)
+	d1 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "v", Kind: dataset.Numeric},
+	))
+	d2 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "w", Kind: dataset.Numeric},
+	))
+	for i := 0; i < 5000; i++ {
+		base := r.Normal(0, 1)
+		key := fmt.Sprintf("k%05d", i)
+		d1.MustAppendRow(dataset.Cat(key), dataset.Num(base+r.Normal(0, 0.8)))
+		d2.MustAppendRow(dataset.Cat(key), dataset.Num(base+r.Normal(0, 0.8)))
+	}
+	exact, _ := discovery.JoinCorrelationExact(d1, "k", "v", d2, "k", "w")
+	for _, b := range []int{16, 64, 256, 1024} {
+		est, _ := discovery.SketchColumn(d1, "k", "v", b).EstimateCorrelation(discovery.SketchColumn(d2, "k", "w", b))
+		t.AddRow("corr-sketch", fmt.Sprintf("B=%d", b), "-", "-", f4(discovery.SketchError(est, exact)))
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"redi/internal/dt"
+	"redi/internal/rng"
+)
+
+// dtSources builds m two-group sources: most are majority-heavy, one is a
+// "minority specialist" whose minority share is boosted — the structure of
+// the VLDB'21 DT experiments.
+func dtSources(m int, minorityFrac float64, r *rng.RNG) (probs [][]float64, costs []float64) {
+	for i := 0; i < m; i++ {
+		f := minorityFrac * (0.5 + r.Float64())
+		if i == m-1 {
+			// Specialist source.
+			f = 0.3 + 0.4*r.Float64()
+		}
+		if f > 0.95 {
+			f = 0.95
+		}
+		probs = append(probs, []float64{1 - f, f})
+		costs = append(costs, 1+r.Float64())
+	}
+	return probs, costs
+}
+
+func meanCost(probs [][]float64, costs []float64, need []int, mk func(trial uint64) dt.Strategy, trials int, seed uint64) float64 {
+	var sources []dt.Source
+	for i := range probs {
+		sources = append(sources, dt.NewDistSource(probs[i], costs[i]))
+	}
+	e := &dt.Engine{Sources: sources, MaxDraws: 5_000_000}
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		res, err := e.Run(mk(uint64(t)), need, rng.New(seed+uint64(t)))
+		if err != nil {
+			panic(err)
+		}
+		total += res.TotalCost
+	}
+	return total / float64(trials)
+}
+
+// E1DTKnown reproduces the known-distribution DT experiment: expected cost
+// of fulfilling a balanced requirement as the population minority fraction
+// shrinks, for RatioColl / CouponColl vs the RandomColl baseline, with the
+// exact DP optimum as the floor.
+func E1DTKnown(seed uint64) *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "DT with known distributions: mean cost vs minority fraction (5 sources, need 30+30)",
+		Columns: []string{"minority", "Optimal(DP)", "RatioColl", "CouponColl", "RandomColl", "random/ratio"},
+		Notes:   "RatioColl tracks the DP optimum and beats RandomColl; the gap widens as the minority thins",
+	}
+	need := []int{30, 30}
+	const trials = 30
+	for _, f := range []float64{0.20, 0.10, 0.05, 0.02, 0.01} {
+		r := rng.New(seed)
+		probs, costs := dtSources(5, f, r)
+		opt := dt.ExactDP(probs, costs, need)
+		ratio := meanCost(probs, costs, need, func(uint64) dt.Strategy {
+			return dt.NewRatioColl(probs, costs)
+		}, trials, seed+1)
+		coupon := meanCost(probs, costs, need, func(uint64) dt.Strategy {
+			return dt.NewCouponColl(probs)
+		}, trials, seed+2)
+		random := meanCost(probs, costs, need, func(i uint64) dt.Strategy {
+			return dt.NewRandomColl(len(probs), rng.New(seed+100+i))
+		}, trials, seed+3)
+		t.AddRow(f3(f), f2(opt), f2(ratio), f2(coupon), f2(random), f2(random/ratio))
+	}
+	return t
+}
+
+// E2DTUnknown reproduces the unknown-distribution DT experiment: mean cost
+// vs the number of sources for the learning strategies against the
+// known-distribution oracle and the random baseline.
+func E2DTUnknown(seed uint64) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "DT with unknown distributions: mean cost vs #sources (minority 5%, need 20+60)",
+		Columns: []string{"sources", "RatioColl(oracle)", "UCBColl", "EpsGreedy", "RandomColl"},
+		Notes:   "UCB approaches the oracle and beats random; more sources make learning harder but also offer better specialists",
+	}
+	need := []int{20, 60}
+	const trials = 20
+	for _, m := range []int{2, 4, 8, 16, 32} {
+		r := rng.New(seed + uint64(m))
+		probs, costs := dtSources(m, 0.05, r)
+		oracle := meanCost(probs, costs, need, func(uint64) dt.Strategy {
+			return dt.NewRatioColl(probs, costs)
+		}, trials, seed+4)
+		ucb := meanCost(probs, costs, need, func(uint64) dt.Strategy {
+			return dt.NewUCBColl(costs, 2)
+		}, trials, seed+5)
+		eps := meanCost(probs, costs, need, func(i uint64) dt.Strategy {
+			return dt.NewEpsilonGreedy(costs, 2, 0.1, rng.New(seed+200+i))
+		}, trials, seed+6)
+		random := meanCost(probs, costs, need, func(i uint64) dt.Strategy {
+			return dt.NewRandomColl(len(probs), rng.New(seed+300+i))
+		}, trials, seed+7)
+		t.AddRow(d0(m), f2(oracle), f2(ucb), f2(eps), f2(random))
+	}
+	return t
+}

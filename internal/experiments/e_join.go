@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"redi/internal/joinsample"
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// skewedJoin builds a two-relation join with Zipf-distributed fan-out: a
+// few keys in R have very many matches in S.
+func skewedJoin(keys, sTuples int, r *rng.RNG) (*joinsample.Relation, *joinsample.Relation) {
+	var rt []joinsample.Tuple
+	for k := 0; k < keys; k++ {
+		rt = append(rt, joinsample.Tuple{Right: int64(k), Value: r.Float64() * 10})
+	}
+	weights := rng.ZipfWeights(keys, 1.4)
+	cat := rng.NewCategorical(weights)
+	var st []joinsample.Tuple
+	for i := 0; i < sTuples; i++ {
+		st = append(st, joinsample.Tuple{Left: int64(cat.Draw(r)), Value: r.Float64() * 10})
+	}
+	return joinsample.NewRelation("R", rt), joinsample.NewRelation("S", st)
+}
+
+// E4JoinSampling reproduces the uniformity comparison of Chaudhuri et al.:
+// total-variation distance of each sampler's empirical result distribution
+// from uniform-over-join, plus draws consumed per accepted sample.
+func E4JoinSampling(seed uint64) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Join sampling uniformity: TV distance from uniform over the join result (Zipf fan-out, 10k samples)",
+		Columns: []string{"sampler", "TV_distance", "draws_per_sample", "uniform?"},
+		Notes:   "naive walk under-samples heavy keys; accept/reject and exact-weight samplers are uniform at different costs",
+	}
+	r := rng.New(seed)
+	R, S := skewedJoin(50, 2000, r)
+	chain, err := joinsample.NewChain(R, S)
+	if err != nil {
+		panic(err)
+	}
+	const n = 10000
+	results := int(chain.JoinCount())
+
+	tv := func(counts map[string]float64, total float64) float64 {
+		emp := make([]float64, 0, results)
+		uni := make([]float64, 0, results)
+		seen := 0.0
+		for _, c := range counts {
+			emp = append(emp, c/total)
+			uni = append(uni, 1/float64(results))
+			seen += c / total
+		}
+		// Results never drawn contribute their uniform mass.
+		missing := results - len(counts)
+		for i := 0; i < missing; i++ {
+			emp = append(emp, 0)
+			uni = append(uni, 1/float64(results))
+		}
+		return stats.TotalVariation(emp, uni)
+	}
+
+	// Naive walk (always accept).
+	counts := map[string]float64{}
+	attempts := 0
+	got := 0.0
+	for got < n {
+		attempts++
+		if path, ok := chain.NaiveSample(r); ok {
+			counts[joinsample.PathKey(path)]++
+			got++
+		}
+	}
+	t.AddRow("naive-walk", f4(tv(counts, got)), f2(float64(attempts)/got), "no")
+
+	// Accept/reject.
+	ar, err := joinsample.NewAcceptReject(R, S)
+	if err != nil {
+		panic(err)
+	}
+	paths, att := ar.SampleN(r, n)
+	counts = map[string]float64{}
+	for _, p := range paths {
+		counts[joinsample.PathKey([]int{p[0], p[1]})]++
+	}
+	t.AddRow("accept-reject", f4(tv(counts, float64(len(paths)))), f2(float64(att)/float64(len(paths))), "yes")
+
+	// Exact weighted sampler.
+	counts = map[string]float64{}
+	for i := 0; i < n; i++ {
+		path, ok := chain.ExactSample(r)
+		if !ok {
+			panic("empty join")
+		}
+		counts[joinsample.PathKey(path)]++
+	}
+	t.AddRow("exact-weight", f4(tv(counts, n)), f2(1), "yes")
+	return t
+}
+
+// E5OnlineAgg reproduces online-aggregation convergence: relative error of
+// the SUM estimate vs consumed samples for ripple join, wander join, and
+// the exact uniform sampler.
+func E5OnlineAgg(seed uint64) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Online aggregation: relative error of SUM vs samples consumed (Zipf fan-out join)",
+		Columns: []string{"samples", "ripple", "wander", "uniform"},
+		Notes:   "error decays ~1/sqrt(n); wander and uniform converge per-sample faster than ripple early on skewed joins",
+	}
+	r := rng.New(seed)
+	R, S := skewedJoin(60, 3000, r)
+	chain, err := joinsample.NewChain(R, S)
+	if err != nil {
+		panic(err)
+	}
+	// Ground truth for SUM(r.Value + s.Value) (ripple's aggregate) and
+	// SUM(PathValue) (wander/uniform's) are the same quantity here.
+	truth := 0.0
+	chain.Enumerate(func(p []int) { truth += chain.PathValue(p) })
+
+	checkpoints := []int{100, 300, 1000, 3000}
+	ripErr := map[int]float64{}
+	rp, err := joinsample.NewRipple(R, S, rng.New(seed+1))
+	if err != nil {
+		panic(err)
+	}
+	for _, cp := range checkpoints {
+		for rp.Steps() < cp && !rp.Done() {
+			rp.Step()
+		}
+		ripErr[cp] = stats.RelativeError(rp.SumEstimate(), truth)
+	}
+	wanErr := map[int]float64{}
+	w := joinsample.NewWanderEstimator(chain)
+	wr := rng.New(seed + 2)
+	for _, cp := range checkpoints {
+		for int(w.Steps()) < cp {
+			w.Step(wr)
+		}
+		est, _ := w.Sum(0.95)
+		wanErr[cp] = stats.RelativeError(est, truth)
+	}
+	uniErr := map[int]float64{}
+	u := joinsample.NewUniformEstimator(chain)
+	ur := rng.New(seed + 3)
+	steps := 0
+	for _, cp := range checkpoints {
+		for steps < cp {
+			u.Step(ur)
+			steps++
+		}
+		est, _ := u.Sum(0.95)
+		uniErr[cp] = stats.RelativeError(est, truth)
+	}
+	for _, cp := range checkpoints {
+		t.AddRow(d0(cp), f4(ripErr[cp]), f4(wanErr[cp]), f4(uniErr[cp]))
+	}
+	return t
+}

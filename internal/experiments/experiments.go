@@ -1,0 +1,105 @@
+// Package experiments regenerates every experiment table of DESIGN.md
+// (E1–E18). The source tutorial publishes no tables or figures of its own,
+// so each experiment here reproduces the headline evaluation of the
+// corresponding surveyed system on synthetic data; EXPERIMENTS.md records
+// the expected shape against the measured outcome.
+//
+// Every experiment is a pure function of its seed, sized to run in seconds;
+// cmd/experiments prints the tables and the root bench harness wraps each
+// one in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of formatted cells.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes states the expected qualitative shape (from the primary
+	// paper) that the numbers should exhibit.
+	Notes string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func d0(x int) string     { return fmt.Sprintf("%d", x) }
+
+// Experiment is a registered experiment generator.
+type Experiment struct {
+	ID  string
+	Run func(seed uint64) *Table
+}
+
+// All lists every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1DTKnown},
+		{"E2", E2DTUnknown},
+		{"E3", E3Coverage},
+		{"E4", E4JoinSampling},
+		{"E5", E5OnlineAgg},
+		{"E6", E6Discovery},
+		{"E7", E7Imputation},
+		{"E8", E8FairRange},
+		{"E9", E9SliceTuner},
+		{"E10", E10Crowd},
+		{"E11", E11Market},
+		{"E12", E12EndToEnd},
+		{"E13", E13Remedy},
+		{"E14", E14ER},
+		{"E15", E15Overlap},
+		{"E16", E16Debias},
+		{"E17", E17FairPrep},
+		{"E18", E18JoinCoverage},
+	}
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fmtSscanf parses "mean±std" cells from E17.
+func fmtSscanf(cell string, mean, std *float64) (int, error) {
+	return fmt.Sscanf(cell, "%f±%f", mean, std)
+}
+
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registered experiments = %d, want 18", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "EX", Title: "demo", Columns: []string{"a", "bb"}, Notes: "n"}
+	tb.AddRow("1", "2")
+	s := tb.String()
+	for _, want := range []string{"EX", "demo", "bb", "note:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Each experiment runs and produces a well-formed table; shape assertions
+// below pin the qualitative results EXPERIMENTS.md claims.
+
+func TestE1Shape(t *testing.T) {
+	tb := E1DTKnown(1)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		opt := parse(t, row[1])
+		ratio := parse(t, row[2])
+		random := parse(t, row[4])
+		if ratio < opt*0.8 {
+			t.Fatalf("RatioColl %v implausibly below optimum %v", ratio, opt)
+		}
+		if random < ratio {
+			t.Fatalf("random %v beat RatioColl %v", random, ratio)
+		}
+	}
+	// The random/ratio gap must widen as the minority thins.
+	first := parse(t, tb.Rows[0][5])
+	last := parse(t, tb.Rows[len(tb.Rows)-1][5])
+	if last <= first {
+		t.Fatalf("gap did not widen: %v -> %v", first, last)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tb := E2DTUnknown(2)
+	for _, row := range tb.Rows {
+		oracle := parse(t, row[1])
+		ucb := parse(t, row[2])
+		random := parse(t, row[4])
+		if ucb >= random {
+			t.Fatalf("UCB %v did not beat random %v (row %v)", ucb, random, row)
+		}
+		if ucb < oracle*0.5 {
+			t.Fatalf("UCB %v implausibly below oracle %v", ucb, oracle)
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tb := E3Coverage(3)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Speedup at the largest dimensionality must exceed 1.
+	last := tb.Rows[len(tb.Rows)-1]
+	if sp := parse(t, last[5]); sp <= 1 {
+		t.Fatalf("pattern-breaker speedup = %v at d=7", sp)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4JoinSampling(4)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	naive := parse(t, tb.Rows[0][1])
+	ar := parse(t, tb.Rows[1][1])
+	exact := parse(t, tb.Rows[2][1])
+	if naive < 2*ar || naive < 2*exact {
+		t.Fatalf("naive TV %v should far exceed uniform samplers (%v, %v)", naive, ar, exact)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tb := E5OnlineAgg(5)
+	first := tb.Rows[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	// Error shrinks with samples for every estimator.
+	for col := 1; col <= 3; col++ {
+		if parse(t, last[col]) > parse(t, first[col])+0.02 {
+			t.Fatalf("estimator %d error grew: %v -> %v", col, first[col], last[col])
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tb := E6Discovery(6)
+	var lshRows, sketchRows int
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "lsh-ensemble":
+			lshRows++
+			if rec := parse(t, row[3]); rec < 0.8 {
+				t.Fatalf("LSH recall = %v (%v)", rec, row)
+			}
+		case "corr-sketch":
+			sketchRows++
+		}
+	}
+	if lshRows != 3 || sketchRows != 4 {
+		t.Fatalf("row mix = %d/%d", lshRows, sketchRows)
+	}
+	// Largest sketch must beat the smallest.
+	small := parse(t, tb.Rows[3][4])
+	large := parse(t, tb.Rows[6][4])
+	if large > small+0.02 {
+		t.Fatalf("sketch error did not shrink: %v -> %v", small, large)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tb := E7Imputation(7)
+	// Under every mechanism, group-mean parity <= mean parity.
+	parity := map[string]map[string]float64{}
+	for _, row := range tb.Rows {
+		if parity[row[0]] == nil {
+			parity[row[0]] = map[string]float64{}
+		}
+		parity[row[0]][row[1]] = parse(t, row[3])
+	}
+	for mech, m := range parity {
+		if m["group-mean"] > m["mean"] {
+			t.Fatalf("%s: group-mean parity %v exceeds mean %v", mech, m["group-mean"], m["mean"])
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tb := E8FairRange(8)
+	prevSim := 2.0
+	for _, row := range tb.Rows {
+		newDisp := parse(t, row[2])
+		eps := parse(t, row[0])
+		if newDisp > eps {
+			t.Fatalf("rewrite violated bound: %v > %v", newDisp, eps)
+		}
+		sim := parse(t, row[3])
+		if sim > prevSim+1e-9 {
+			t.Fatalf("similarity increased as eps tightened: %v", tb.Rows)
+		}
+		prevSim = sim
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tb := E9SliceTuner(9)
+	for _, row := range tb.Rows {
+		tuner := parse(t, row[1])
+		uniform := parse(t, row[3])
+		if tuner > uniform*1.15 {
+			t.Fatalf("SliceTuner %v clearly worse than uniform %v", tuner, uniform)
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb := E10Crowd(10)
+	last := tb.Rows[len(tb.Rows)-1]
+	if ad, rd := parse(t, last[1]), parse(t, last[2]); ad >= rd {
+		t.Fatalf("adaptive KL %v did not beat random %v", ad, rd)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tb := E11Market(11)
+	// At the first checkpoint the novelty-guided consumer should already
+	// be at least as good as random (it jumps straight to the missing
+	// slice).
+	nov := parse(t, tb.Rows[0][1])
+	rnd := parse(t, tb.Rows[0][2])
+	if nov+0.05 < rnd {
+		t.Fatalf("novelty %v below random %v at round 1", nov, rnd)
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tb := E12EndToEnd(12)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	inWorst := parse(t, tb.Rows[0][4])
+	tailWorst := parse(t, tb.Rows[1][4])
+	if tailWorst <= inWorst {
+		t.Fatalf("tailoring did not improve worst-group accuracy: %v -> %v", inWorst, tailWorst)
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tb := E13Remedy(13)
+	for _, row := range tb.Rows {
+		greedy := parse(t, row[2])
+		random := parse(t, row[3])
+		if greedy > 0 && random < greedy {
+			t.Fatalf("random remedy %v beat greedy %v", random, greedy)
+		}
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	tb := E15Overlap(15)
+	for _, row := range tb.Rows {
+		aware := parse(t, row[1])
+		blind := parse(t, row[2])
+		if aware > blind*1.02 {
+			t.Fatalf("overlap-aware %v worse than blind %v (row %v)", aware, blind, row)
+		}
+	}
+	// The advantage is largest at low overlap (fresh pools to rotate to)
+	// and closes as sources become near-copies.
+	first := parse(t, tb.Rows[0][3])
+	last := parse(t, tb.Rows[len(tb.Rows)-1][3])
+	if last > first {
+		t.Fatalf("gap did not close with overlap: %v -> %v", first, last)
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	tb := E18JoinCoverage(18)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// At the largest fan-out the materialized path must clearly lose.
+	last := tb.Rows[len(tb.Rows)-1]
+	if ratio := parse(t, last[5]); ratio < 2 {
+		t.Fatalf("materialized/factorized ratio = %v at max fan-out, want > 2", ratio)
+	}
+	// Join size grows with fan-out.
+	if parse(t, tb.Rows[0][1]) >= parse(t, last[1]) {
+		t.Fatal("join size did not grow")
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	tb := E17FairPrep(17)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	parseMS := func(cell string) float64 {
+		var mean, std float64
+		if _, err := fmtSscanf(cell, &mean, &std); err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return mean
+	}
+	byName := map[string][]string{}
+	for _, row := range tb.Rows {
+		byName[row[0]] = row
+	}
+	baseDP := parseMS(byName["baseline"][2])
+	parityDP := parseMS(byName["parity-threshold"][2])
+	if parityDP >= baseDP {
+		t.Fatalf("parity post-process DP %v did not beat baseline %v", parityDP, baseDP)
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	tb := E16Debias(16)
+	for _, row := range tb.Rows {
+		naive := parse(t, row[1])
+		post := parse(t, row[2])
+		raked := parse(t, row[3])
+		if post > 0.05 || raked > 0.05 {
+			t.Fatalf("reweighted estimators drifted: %v", row)
+		}
+		_ = naive
+	}
+	// Naive error grows with skew and dwarfs the corrected estimators at
+	// the extreme.
+	first := parse(t, tb.Rows[0][1])
+	last := parse(t, tb.Rows[len(tb.Rows)-1][1])
+	if last <= first {
+		t.Fatalf("naive error did not grow with skew: %v -> %v", first, last)
+	}
+	if last < 5*parse(t, tb.Rows[len(tb.Rows)-1][2]) {
+		t.Fatalf("naive (%v) should dwarf post-stratified at extreme skew", last)
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	tb := E14ER(14)
+	first := tb.Rows[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	if parse(t, last[1]) >= parse(t, first[1]) {
+		t.Fatal("aggressive blocking should compare fewer pairs")
+	}
+	// Minority recall at the most aggressive blocking must fall below
+	// its no-blocking value.
+	if parse(t, last[5]) >= parse(t, first[5]) {
+		t.Fatalf("minority recall did not degrade: %v -> %v", first[5], last[5])
+	}
+}

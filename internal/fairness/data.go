@@ -1,0 +1,207 @@
+// Package fairness provides the stdlib-only machine-learning substrate and
+// the fairness metrics used to audit integrated data (tutorial §2.3 and
+// FairPrep, EDBT 2020): logistic regression and Gaussian naive Bayes
+// learners, per-group evaluation, demographic parity / equalized odds /
+// disparate impact, and the reweighing pre-processing intervention.
+package fairness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"redi/internal/dataset"
+)
+
+// Problem identifies the learning task carried by a dataset: which
+// attributes are features, which is the binary label, and which sensitive
+// attributes define the groups audited for fairness.
+type Problem struct {
+	Features  []string
+	Label     string
+	Positive  string // label value treated as the positive class
+	Sensitive []string
+	// Encoder optionally appends one-hot indicators of categorical
+	// attributes to the feature vector. Fit it once (on a reference
+	// dataset that covers all values) and reuse it for train and test
+	// so dimensions agree.
+	Encoder *OneHotEncoder
+}
+
+// OneHotEncoder maps categorical attribute values to indicator positions.
+// Values unseen at fitting time encode as all-zeros for their attribute.
+type OneHotEncoder struct {
+	Attrs  []string
+	vocab  []map[string]int
+	offset []int
+	dim    int
+}
+
+// NewOneHotEncoder fits an encoder on d's domains for the given
+// categorical attributes.
+func NewOneHotEncoder(d *dataset.Dataset, attrs []string) *OneHotEncoder {
+	e := &OneHotEncoder{Attrs: append([]string(nil), attrs...)}
+	for _, a := range attrs {
+		m := map[string]int{}
+		for _, v := range d.Domain(a) {
+			m[v] = len(m)
+		}
+		e.vocab = append(e.vocab, m)
+		e.offset = append(e.offset, e.dim)
+		e.dim += len(m)
+	}
+	return e
+}
+
+// Dim returns the number of indicator columns the encoder produces.
+func (e *OneHotEncoder) Dim() int { return e.dim }
+
+// Encode writes the indicators for row of d into dst (which must have
+// length Dim). Nulls and unseen values leave their attribute's block zero.
+func (e *OneHotEncoder) Encode(d *dataset.Dataset, row int, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for ai, a := range e.Attrs {
+		v := d.Value(row, a)
+		if v.Null {
+			continue
+		}
+		if j, ok := e.vocab[ai][v.Cat]; ok {
+			dst[e.offset[ai]+j] = 1
+		}
+	}
+}
+
+// InferProblem derives a Problem from a schema's attribute roles: numeric
+// Feature attributes become features, the single Target attribute the
+// label, and Sensitive attributes the group definition. The positive class
+// defaults to "pos". It returns an error if there is no numeric feature or
+// not exactly one target.
+func InferProblem(d *dataset.Dataset) (Problem, error) {
+	p := Problem{Positive: "pos"}
+	s := d.Schema()
+	for i := 0; i < s.Len(); i++ {
+		a := s.Attr(i)
+		if a.Role == dataset.Feature && a.Kind == dataset.Numeric {
+			p.Features = append(p.Features, a.Name)
+		}
+	}
+	if len(p.Features) == 0 {
+		return p, errors.New("fairness: no numeric feature attributes")
+	}
+	targets := s.ByRole(dataset.Target)
+	if len(targets) != 1 {
+		return p, fmt.Errorf("fairness: want exactly one target attribute, have %d", len(targets))
+	}
+	p.Label = targets[0]
+	p.Sensitive = s.ByRole(dataset.Sensitive)
+	return p, nil
+}
+
+// Design is the materialized learning input: the feature matrix, binary
+// labels, the group index of each row (aligned with Groups.Keys; -1 when a
+// sensitive attribute is null), and the rows of the source dataset each
+// example came from.
+type Design struct {
+	X       [][]float64
+	Y       []int
+	GroupIx []int
+	Groups  *dataset.Groups
+	Rows    []int
+}
+
+// BuildDesign extracts the learning input for p from d, skipping rows with
+// a null feature or label. It returns an error if no usable rows remain.
+func BuildDesign(d *dataset.Dataset, p Problem) (*Design, error) {
+	var groups *dataset.Groups
+	if len(p.Sensitive) > 0 {
+		groups = d.GroupBy(p.Sensitive...)
+	}
+	des := &Design{Groups: groups}
+	extra := 0
+	if p.Encoder != nil {
+		extra = p.Encoder.Dim()
+	}
+	for r := 0; r < d.NumRows(); r++ {
+		lv := d.Value(r, p.Label)
+		if lv.Null {
+			continue
+		}
+		x := make([]float64, len(p.Features)+extra)
+		ok := true
+		for j, f := range p.Features {
+			v := d.Value(r, f)
+			if v.Null || v.Kind != dataset.Numeric {
+				ok = false
+				break
+			}
+			x[j] = v.Num
+		}
+		if !ok {
+			continue
+		}
+		if p.Encoder != nil {
+			p.Encoder.Encode(d, r, x[len(p.Features):])
+		}
+		des.X = append(des.X, x)
+		if lv.Cat == p.Positive {
+			des.Y = append(des.Y, 1)
+		} else {
+			des.Y = append(des.Y, 0)
+		}
+		if groups != nil {
+			des.GroupIx = append(des.GroupIx, groups.ByRow[r])
+		} else {
+			des.GroupIx = append(des.GroupIx, -1)
+		}
+		des.Rows = append(des.Rows, r)
+	}
+	if len(des.X) == 0 {
+		return nil, errors.New("fairness: no usable rows")
+	}
+	return des, nil
+}
+
+// Len returns the number of examples.
+func (d *Design) Len() int { return len(d.X) }
+
+// Standardize rescales every feature to zero mean and unit variance in
+// place and returns the fitted means and scales so that test data can be
+// transformed identically (ApplyStandardize). Constant features get scale 1.
+func (d *Design) Standardize() (means, scales []float64) {
+	if d.Len() == 0 {
+		return nil, nil
+	}
+	k := len(d.X[0])
+	means = make([]float64, k)
+	scales = make([]float64, k)
+	for j := 0; j < k; j++ {
+		sum := 0.0
+		for _, x := range d.X {
+			sum += x[j]
+		}
+		means[j] = sum / float64(d.Len())
+		v := 0.0
+		for _, x := range d.X {
+			dd := x[j] - means[j]
+			v += dd * dd
+		}
+		scales[j] = math.Sqrt(v / float64(d.Len()))
+		if scales[j] == 0 {
+			scales[j] = 1
+		}
+	}
+	d.ApplyStandardize(means, scales)
+	return means, scales
+}
+
+// ApplyStandardize transforms the design's features with previously fitted
+// parameters.
+func (d *Design) ApplyStandardize(means, scales []float64) {
+	for _, x := range d.X {
+		for j := range x {
+			x[j] = (x[j] - means[j]) / scales[j]
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+func trainTest(t *testing.T, rows int, seed uint64) (*Design, *Design) {
+	t.Helper()
+	p := synth.Generate(synth.DefaultPopulation(rows), rng.New(seed))
+	prob, err := InferProblem(p.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := p.Data.Split(rng.New(seed+1), 0.7)
+	dTrain, err := BuildDesign(train, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTest, err := BuildDesign(test, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, scales := dTrain.Standardize()
+	dTest.ApplyStandardize(means, scales)
+	return dTrain, dTest
+}
+
+func TestInferProblem(t *testing.T) {
+	p := synth.Generate(synth.DefaultPopulation(10), rng.New(1))
+	prob, err := InferProblem(p.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Features) != 4 || prob.Label != "label" || len(prob.Sensitive) != 2 {
+		t.Fatalf("problem = %+v", prob)
+	}
+	// A dataset with no target errors out.
+	d := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Feature}))
+	if _, err := InferProblem(d); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestBuildDesignSkipsNulls(t *testing.T) {
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Feature},
+		dataset.Attribute{Name: "label", Kind: dataset.Categorical, Role: dataset.Target},
+	))
+	d.MustAppendRow(dataset.Num(1), dataset.Cat("pos"))
+	d.MustAppendRow(dataset.NullValue(dataset.Numeric), dataset.Cat("neg"))
+	d.MustAppendRow(dataset.Num(2), dataset.NullValue(dataset.Categorical))
+	des, err := BuildDesign(d, Problem{Features: []string{"x"}, Label: "label", Positive: "pos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.Len() != 1 || des.Y[0] != 1 || des.Rows[0] != 0 {
+		t.Fatalf("design = %+v", des)
+	}
+}
+
+func TestLogisticLearnsSeparableData(t *testing.T) {
+	r := rng.New(2)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			X = append(X, []float64{r.Normal(2, 0.5)})
+			y = append(y, 1)
+		} else {
+			X = append(X, []float64{r.Normal(-2, 0.5)})
+			y = append(y, 0)
+		}
+	}
+	m, err := TrainLogistic(X, y, nil, LogisticConfig{}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Fatalf("logistic accuracy on separable data = %v", acc)
+	}
+	if m.Score([]float64{3}) < 0.9 || m.Score([]float64{-3}) > 0.1 {
+		t.Fatalf("scores not calibrated: %v %v", m.Score([]float64{3}), m.Score([]float64{-3}))
+	}
+}
+
+func TestLogisticErrors(t *testing.T) {
+	if _, err := TrainLogistic(nil, nil, nil, LogisticConfig{}, rng.New(1)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := TrainLogistic([][]float64{{1}}, []int{1}, []float64{1, 2}, LogisticConfig{}, rng.New(1)); err == nil {
+		t.Fatal("weight mismatch accepted")
+	}
+}
+
+func TestGaussianNBLearns(t *testing.T) {
+	r := rng.New(4)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			X = append(X, []float64{r.Normal(1.5, 1), r.Normal(-1, 1)})
+			y = append(y, 1)
+		} else {
+			X = append(X, []float64{r.Normal(-1.5, 1), r.Normal(1, 1)})
+			y = append(y, 0)
+		}
+	}
+	m, err := TrainGaussianNB(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.9 {
+		t.Fatalf("NB accuracy = %v", acc)
+	}
+}
+
+func TestGaussianNBOneClass(t *testing.T) {
+	if _, err := TrainGaussianNB([][]float64{{1}, {2}}, []int{1, 1}); err == nil {
+		t.Fatal("single-class input accepted")
+	}
+}
+
+func TestModelsBeatConstantOnSynthetic(t *testing.T) {
+	dTrain, dTest := trainTest(t, 3000, 10)
+	m, err := TrainLogistic(dTrain.X, dTrain.Y, nil, LogisticConfig{}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(m, dTest)
+	base := Evaluate(ConstantModel(1), dTest)
+	if rep.Accuracy <= base.Accuracy {
+		t.Fatalf("logistic (%v) no better than constant (%v)", rep.Accuracy, base.Accuracy)
+	}
+	if rep.Accuracy < 0.75 {
+		t.Fatalf("logistic accuracy = %v, want >= 0.75 on synthetic task", rep.Accuracy)
+	}
+}
+
+func TestEvaluateGroupMetrics(t *testing.T) {
+	// A hand-built design where the model favors group 0.
+	d := &Design{
+		X:       [][]float64{{1}, {1}, {0}, {0}},
+		Y:       []int{1, 0, 1, 0},
+		GroupIx: []int{0, 0, 1, 1},
+	}
+	gd := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "g", Kind: dataset.Categorical}))
+	gd.MustAppendRow(dataset.Cat("a"))
+	gd.MustAppendRow(dataset.Cat("b"))
+	d.Groups = gd.GroupBy("g")
+
+	// Model: predict 1 iff x > 0.5 — selects group 0 always, group 1 never.
+	m := thresholdModel(0.5)
+	rep := Evaluate(m, d)
+	if rep.N != 4 {
+		t.Fatalf("N = %d", rep.N)
+	}
+	if rep.DemographicParityDiff != 1 {
+		t.Fatalf("DP diff = %v, want 1", rep.DemographicParityDiff)
+	}
+	if rep.DisparateImpact != 0 {
+		t.Fatalf("DI = %v, want 0", rep.DisparateImpact)
+	}
+	if rep.EqualizedOddsDiff != 1 {
+		t.Fatalf("EO diff = %v, want 1", rep.EqualizedOddsDiff)
+	}
+	if rep.Accuracy != 0.5 {
+		t.Fatalf("accuracy = %v", rep.Accuracy)
+	}
+}
+
+type thresholdModel float64
+
+func (t thresholdModel) Score(x []float64) float64 { return x[0] }
+func (t thresholdModel) Predict(x []float64) int {
+	if x[0] > float64(t) {
+		return 1
+	}
+	return 0
+}
+
+func TestEvaluateEmptyGroup(t *testing.T) {
+	gd := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "g", Kind: dataset.Categorical}))
+	gd.MustAppendRow(dataset.Cat("a"))
+	gd.MustAppendRow(dataset.Cat("b"))
+	groups := gd.GroupBy("g")
+	d := &Design{
+		X:       [][]float64{{1}},
+		Y:       []int{1},
+		GroupIx: []int{0},
+		Groups:  groups,
+	}
+	rep := Evaluate(thresholdModel(0.5), d)
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups = %d", len(rep.Groups))
+	}
+	if !math.IsNaN(rep.Groups[1].Accuracy) {
+		t.Fatal("empty group should have NaN accuracy")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation: AUC = 1.
+	d := &Design{
+		X: [][]float64{{0.9}, {0.8}, {0.2}, {0.1}},
+		Y: []int{1, 1, 0, 0},
+	}
+	d.GroupIx = []int{-1, -1, -1, -1}
+	if auc := AUC(thresholdModel(0), d); auc != 1 {
+		t.Fatalf("AUC = %v, want 1", auc)
+	}
+	// Inverted: AUC = 0.
+	d.Y = []int{0, 0, 1, 1}
+	if auc := AUC(thresholdModel(0), d); auc != 0 {
+		t.Fatalf("AUC = %v, want 0", auc)
+	}
+	// All ties: AUC = 0.5.
+	tied := &Design{
+		X:       [][]float64{{0.5}, {0.5}, {0.5}, {0.5}},
+		Y:       []int{1, 0, 1, 0},
+		GroupIx: []int{-1, -1, -1, -1},
+	}
+	if auc := AUC(thresholdModel(0), tied); auc != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", auc)
+	}
+	// Single class: NaN.
+	oneClass := &Design{X: [][]float64{{1}}, Y: []int{1}, GroupIx: []int{-1}}
+	if auc := AUC(thresholdModel(0), oneClass); !math.IsNaN(auc) {
+		t.Fatalf("one-class AUC = %v, want NaN", auc)
+	}
+}
+
+func TestAUCOnTrainedModel(t *testing.T) {
+	dTrain, dTest := trainTest(t, 3000, 60)
+	m, err := TrainLogistic(dTrain.X, dTrain.Y, nil, LogisticConfig{}, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(m, dTest); auc < 0.8 {
+		t.Fatalf("trained AUC = %v, want >= 0.8", auc)
+	}
+}
+
+func TestReweighBalances(t *testing.T) {
+	// Group 0: 80% positive; group 1: 20% positive.
+	var y, gi []int
+	for i := 0; i < 100; i++ {
+		g := 0
+		if i >= 50 {
+			g = 1
+		}
+		pos := 0
+		if (g == 0 && i%10 < 8) || (g == 1 && i%10 < 2) {
+			pos = 1
+		}
+		y = append(y, pos)
+		gi = append(gi, g)
+	}
+	w := Reweigh(y, gi, 2)
+	// Weighted positive rate should be equal across groups.
+	rate := func(g int) float64 {
+		num, den := 0.0, 0.0
+		for i := range y {
+			if gi[i] == g {
+				den += w[i]
+				if y[i] == 1 {
+					num += w[i]
+				}
+			}
+		}
+		return num / den
+	}
+	if math.Abs(rate(0)-rate(1)) > 1e-9 {
+		t.Fatalf("weighted rates differ: %v vs %v", rate(0), rate(1))
+	}
+}
+
+func TestReweighDegenerate(t *testing.T) {
+	if w := Reweigh(nil, nil, 2); w != nil {
+		t.Fatal("empty reweigh should be nil")
+	}
+	w := Reweigh([]int{1, 0}, []int{-1, -1}, 2)
+	if w[0] != 1 || w[1] != 1 {
+		t.Fatalf("ungrouped weights = %v", w)
+	}
+}
+
+func TestReweighReducesParityGap(t *testing.T) {
+	// Build a population where the label correlates with group, train
+	// with and without reweighing, and check the DP gap shrinks.
+	dTrain, dTest := trainTest(t, 4000, 20)
+	plain, err := TrainLogistic(dTrain.X, dTrain.Y, nil, LogisticConfig{}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Reweigh(dTrain.Y, dTrain.GroupIx, len(dTrain.Groups.Keys))
+	weighted, err := TrainLogistic(dTrain.X, dTrain.Y, w, LogisticConfig{}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPlain := Evaluate(plain, dTest)
+	repW := Evaluate(weighted, dTest)
+	if repW.DemographicParityDiff > repPlain.DemographicParityDiff+0.05 {
+		t.Fatalf("reweighing increased DP gap: %v -> %v",
+			repPlain.DemographicParityDiff, repW.DemographicParityDiff)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	d := &Design{X: [][]float64{{1, 5}, {3, 5}}}
+	means, scales := d.Standardize()
+	if means[0] != 2 || scales[1] != 1 {
+		t.Fatalf("means=%v scales=%v", means, scales)
+	}
+	if d.X[0][0] != -1 || d.X[1][0] != 1 {
+		t.Fatalf("standardized X = %v", d.X)
+	}
+	if d.X[0][1] != 0 {
+		t.Fatalf("constant feature should map to 0: %v", d.X)
+	}
+}

@@ -1,0 +1,178 @@
+package fairness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"redi/internal/rng"
+)
+
+// This file is REDI's FairPrep (Schelter et al., EDBT 2020): a study
+// harness that evaluates fairness-enhancing interventions under a fixed,
+// leakage-free protocol — per seed, fresh train/validation/test splits; the
+// intervention may only fit on train and tune on validation; metrics are
+// reported on test with mean and standard deviation across seeds.
+
+// Predictor is a trained model plus optional per-group thresholds.
+type Predictor struct {
+	M  Model
+	GT *GroupThresholds
+}
+
+// Evaluate scores the predictor on a design, applying thresholds when
+// present.
+func (p Predictor) Evaluate(d *Design) Report {
+	if p.GT != nil {
+		return EvaluateWithThresholds(p.M, p.GT, d)
+	}
+	return Evaluate(p.M, d)
+}
+
+// Intervention trains a predictor under one fairness-enhancing strategy.
+// It may fit on train and tune on val, never on test.
+type Intervention struct {
+	Name  string
+	Train func(train, val *Design, r *rng.RNG) (Predictor, error)
+}
+
+// Baseline trains plain logistic regression with no intervention.
+func Baseline(cfg LogisticConfig) Intervention {
+	return Intervention{
+		Name: "baseline",
+		Train: func(train, _ *Design, r *rng.RNG) (Predictor, error) {
+			m, err := TrainLogistic(train.X, train.Y, nil, cfg, r)
+			return Predictor{M: m}, err
+		},
+	}
+}
+
+// ReweighIntervention trains with Kamiran–Calders reweighing (a
+// pre-processing intervention).
+func ReweighIntervention(cfg LogisticConfig) Intervention {
+	return Intervention{
+		Name: "reweigh",
+		Train: func(train, _ *Design, r *rng.RNG) (Predictor, error) {
+			k := 0
+			if train.Groups != nil {
+				k = len(train.Groups.Keys)
+			}
+			w := Reweigh(train.Y, train.GroupIx, k)
+			m, err := TrainLogistic(train.X, train.Y, w, cfg, r)
+			return Predictor{M: m}, err
+		},
+	}
+}
+
+// ParityPostProcess trains plain logistic regression and fits per-group
+// thresholds on the validation split to equalize selection rates.
+func ParityPostProcess(cfg LogisticConfig, targetRate float64) Intervention {
+	return Intervention{
+		Name: "parity-threshold",
+		Train: func(train, val *Design, r *rng.RNG) (Predictor, error) {
+			m, err := TrainLogistic(train.X, train.Y, nil, cfg, r)
+			if err != nil {
+				return Predictor{}, err
+			}
+			gt, err := FitParityThresholds(m, val, targetRate)
+			return Predictor{M: m, GT: gt}, err
+		},
+	}
+}
+
+// EqOppPostProcess fits per-group thresholds on validation to equalize
+// true-positive rates.
+func EqOppPostProcess(cfg LogisticConfig, targetTPR float64) Intervention {
+	return Intervention{
+		Name: "eqopp-threshold",
+		Train: func(train, val *Design, r *rng.RNG) (Predictor, error) {
+			m, err := TrainLogistic(train.X, train.Y, nil, cfg, r)
+			if err != nil {
+				return Predictor{}, err
+			}
+			gt, err := FitEqualOpportunityThresholds(m, val, targetTPR)
+			return Predictor{M: m, GT: gt}, err
+		},
+	}
+}
+
+// StudyConfig drives an intervention study. Data must return fresh
+// train/validation/test designs for a seed; the harness guarantees each
+// intervention sees the same splits at the same seed.
+type StudyConfig struct {
+	Seeds []uint64
+	Data  func(seed uint64) (train, val, test *Design, err error)
+}
+
+// Metric aggregates a metric's mean and standard deviation across seeds.
+type Metric struct {
+	Mean, Std float64
+}
+
+func summarize(xs []float64) Metric {
+	if len(xs) == 0 {
+		return Metric{Mean: math.NaN(), Std: math.NaN()}
+	}
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return Metric{Mean: m, Std: math.Sqrt(v / float64(len(xs)))}
+}
+
+// StudyRow is one intervention's aggregated study outcome.
+type StudyRow struct {
+	Intervention string
+	Accuracy     Metric
+	DPDiff       Metric
+	EODiff       Metric
+	AccuracyGap  Metric
+}
+
+// RunStudy evaluates every intervention across every seed and returns one
+// aggregated row per intervention, in input order.
+func RunStudy(cfg StudyConfig, interventions []Intervention) ([]StudyRow, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("fairness: study needs at least one seed")
+	}
+	if len(interventions) == 0 {
+		return nil, errors.New("fairness: study needs at least one intervention")
+	}
+	acc := make([][]float64, len(interventions))
+	dp := make([][]float64, len(interventions))
+	eo := make([][]float64, len(interventions))
+	gap := make([][]float64, len(interventions))
+	for _, seed := range cfg.Seeds {
+		train, val, test, err := cfg.Data(seed)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: data for seed %d: %w", seed, err)
+		}
+		for ii, iv := range interventions {
+			p, err := iv.Train(train, val, rng.New(seed*2654435761+uint64(ii)))
+			if err != nil {
+				return nil, fmt.Errorf("fairness: %s at seed %d: %w", iv.Name, seed, err)
+			}
+			rep := p.Evaluate(test)
+			acc[ii] = append(acc[ii], rep.Accuracy)
+			dp[ii] = append(dp[ii], rep.DemographicParityDiff)
+			eo[ii] = append(eo[ii], rep.EqualizedOddsDiff)
+			gap[ii] = append(gap[ii], rep.AccuracyGap)
+		}
+	}
+	rows := make([]StudyRow, len(interventions))
+	for ii, iv := range interventions {
+		rows[ii] = StudyRow{
+			Intervention: iv.Name,
+			Accuracy:     summarize(acc[ii]),
+			DPDiff:       summarize(dp[ii]),
+			EODiff:       summarize(eo[ii]),
+			AccuracyGap:  summarize(gap[ii]),
+		}
+	}
+	return rows, nil
+}

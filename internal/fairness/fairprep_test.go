@@ -1,0 +1,93 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+func studyData(seed uint64) (train, val, test *Design, err error) {
+	cfg := synth.DefaultPopulation(4000)
+	p := synth.Generate(cfg, rng.New(seed))
+	prob, err := InferProblem(p.Data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := rng.New(seed + 1)
+	trainD, rest := p.Data.Split(r, 0.6)
+	valD, testD := rest.Split(r, 0.5)
+	if train, err = BuildDesign(trainD, prob); err != nil {
+		return nil, nil, nil, err
+	}
+	if val, err = BuildDesign(valD, prob); err != nil {
+		return nil, nil, nil, err
+	}
+	if test, err = BuildDesign(testD, prob); err != nil {
+		return nil, nil, nil, err
+	}
+	means, scales := train.Standardize()
+	val.ApplyStandardize(means, scales)
+	test.ApplyStandardize(means, scales)
+	return train, val, test, nil
+}
+
+func TestRunStudy(t *testing.T) {
+	rows, err := RunStudy(StudyConfig{
+		Seeds: []uint64{1, 2, 3},
+		Data:  studyData,
+	}, []Intervention{
+		Baseline(LogisticConfig{Epochs: 20}),
+		ReweighIntervention(LogisticConfig{Epochs: 20}),
+		ParityPostProcess(LogisticConfig{Epochs: 20}, 0.5),
+		EqOppPostProcess(LogisticConfig{Epochs: 20}, 0.85),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]StudyRow{}
+	for _, r := range rows {
+		byName[r.Intervention] = r
+		if math.IsNaN(r.Accuracy.Mean) || r.Accuracy.Mean < 0.6 {
+			t.Fatalf("%s accuracy = %+v", r.Intervention, r.Accuracy)
+		}
+		if r.Accuracy.Std < 0 || math.IsNaN(r.Accuracy.Std) {
+			t.Fatalf("%s accuracy std = %+v", r.Intervention, r.Accuracy)
+		}
+	}
+	base := byName["baseline"]
+	parity := byName["parity-threshold"]
+	// The parity post-process must reduce the DP gap vs baseline.
+	if parity.DPDiff.Mean >= base.DPDiff.Mean {
+		t.Fatalf("parity thresholds did not reduce DP: %v -> %v",
+			base.DPDiff.Mean, parity.DPDiff.Mean)
+	}
+	eqopp := byName["eqopp-threshold"]
+	if eqopp.EODiff.Mean > base.EODiff.Mean+0.05 {
+		t.Fatalf("eqopp thresholds worsened EO: %v -> %v",
+			base.EODiff.Mean, eqopp.EODiff.Mean)
+	}
+}
+
+func TestRunStudyValidation(t *testing.T) {
+	if _, err := RunStudy(StudyConfig{}, []Intervention{Baseline(LogisticConfig{})}); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+	if _, err := RunStudy(StudyConfig{Seeds: []uint64{1}, Data: studyData}, nil); err == nil {
+		t.Fatal("no interventions accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := summarize([]float64{1, 3})
+	if m.Mean != 2 || m.Std != 1 {
+		t.Fatalf("summarize = %+v", m)
+	}
+	if empty := summarize(nil); !math.IsNaN(empty.Mean) {
+		t.Fatalf("empty summarize = %+v", empty)
+	}
+}

@@ -1,0 +1,243 @@
+package fairness
+
+import (
+	"math"
+	"sort"
+
+	"redi/internal/dataset"
+)
+
+// GroupReport holds the per-group slice of an evaluation.
+type GroupReport struct {
+	Key      dataset.GroupKey
+	N        int
+	Accuracy float64
+	// PositiveRate is P(ŷ=1) within the group (selection rate).
+	PositiveRate float64
+	// TPR and FPR are the true- and false-positive rates within the
+	// group (NaN when the group has no positives / negatives).
+	TPR float64
+	FPR float64
+}
+
+// Report is the outcome of evaluating a model on labeled, group-indexed
+// data.
+type Report struct {
+	N        int
+	Accuracy float64
+	Groups   []GroupReport
+	// DemographicParityDiff is the max-min spread of group selection
+	// rates; 0 is perfectly demographic-parity fair.
+	DemographicParityDiff float64
+	// EqualizedOddsDiff is the larger of the TPR and FPR max-min
+	// spreads; 0 satisfies equalized odds.
+	EqualizedOddsDiff float64
+	// DisparateImpact is the min/max ratio of group selection rates;
+	// the "80% rule" flags values below 0.8. 1 when all rates are zero.
+	DisparateImpact float64
+	// AccuracyGap is the max-min spread of per-group accuracies.
+	AccuracyGap float64
+}
+
+// Evaluate scores the model on the design's examples and computes overall
+// and per-group metrics. Rows with GroupIx < 0 count toward overall metrics
+// only.
+func Evaluate(m Model, d *Design) Report {
+	return evaluatePred(d, func(i int) int { return m.Predict(d.X[i]) })
+}
+
+// evaluatePred computes the report for an arbitrary per-row predictor,
+// shared by Evaluate and EvaluateWithThresholds.
+func evaluatePred(d *Design, predict func(i int) int) Report {
+	var rep Report
+	k := 0
+	if d.Groups != nil {
+		k = len(d.Groups.Keys)
+	}
+	type acc struct {
+		n, correct, predPos float64
+		pos, tp, neg, fp    float64
+	}
+	groups := make([]acc, k)
+	var overall acc
+	for i := range d.X {
+		pred := predict(i)
+		y := d.Y[i]
+		upd := func(a *acc) {
+			a.n++
+			if pred == y {
+				a.correct++
+			}
+			if pred == 1 {
+				a.predPos++
+			}
+			if y == 1 {
+				a.pos++
+				if pred == 1 {
+					a.tp++
+				}
+			} else {
+				a.neg++
+				if pred == 1 {
+					a.fp++
+				}
+			}
+		}
+		upd(&overall)
+		if gi := d.GroupIx[i]; gi >= 0 && gi < k {
+			upd(&groups[gi])
+		}
+	}
+	rep.N = int(overall.n)
+	if overall.n > 0 {
+		rep.Accuracy = overall.correct / overall.n
+	}
+
+	rate := func(num, den float64) float64 {
+		if den == 0 {
+			return math.NaN()
+		}
+		return num / den
+	}
+	minPR, maxPR := math.Inf(1), math.Inf(-1)
+	minTPR, maxTPR := math.Inf(1), math.Inf(-1)
+	minFPR, maxFPR := math.Inf(1), math.Inf(-1)
+	minAcc, maxAcc := math.Inf(1), math.Inf(-1)
+	seen := false
+	for gi := 0; gi < k; gi++ {
+		a := groups[gi]
+		gr := GroupReport{Key: d.Groups.Keys[gi], N: int(a.n)}
+		if a.n == 0 {
+			gr.Accuracy = math.NaN()
+			gr.PositiveRate = math.NaN()
+			gr.TPR = math.NaN()
+			gr.FPR = math.NaN()
+			rep.Groups = append(rep.Groups, gr)
+			continue
+		}
+		seen = true
+		gr.Accuracy = a.correct / a.n
+		gr.PositiveRate = a.predPos / a.n
+		gr.TPR = rate(a.tp, a.pos)
+		gr.FPR = rate(a.fp, a.neg)
+		rep.Groups = append(rep.Groups, gr)
+
+		minPR = math.Min(minPR, gr.PositiveRate)
+		maxPR = math.Max(maxPR, gr.PositiveRate)
+		minAcc = math.Min(minAcc, gr.Accuracy)
+		maxAcc = math.Max(maxAcc, gr.Accuracy)
+		if !math.IsNaN(gr.TPR) {
+			minTPR = math.Min(minTPR, gr.TPR)
+			maxTPR = math.Max(maxTPR, gr.TPR)
+		}
+		if !math.IsNaN(gr.FPR) {
+			minFPR = math.Min(minFPR, gr.FPR)
+			maxFPR = math.Max(maxFPR, gr.FPR)
+		}
+	}
+	if !seen {
+		rep.DisparateImpact = 1
+		return rep
+	}
+	rep.DemographicParityDiff = maxPR - minPR
+	rep.AccuracyGap = maxAcc - minAcc
+	tprSpread, fprSpread := 0.0, 0.0
+	if !math.IsInf(minTPR, 1) {
+		tprSpread = maxTPR - minTPR
+	}
+	if !math.IsInf(minFPR, 1) {
+		fprSpread = maxFPR - minFPR
+	}
+	rep.EqualizedOddsDiff = math.Max(tprSpread, fprSpread)
+	if maxPR == 0 {
+		rep.DisparateImpact = 1
+	} else {
+		rep.DisparateImpact = minPR / maxPR
+	}
+	return rep
+}
+
+// AUC returns the area under the ROC curve of the model's scores on the
+// design: the probability that a random positive outranks a random
+// negative, with ties counted half. It returns NaN when either class is
+// absent.
+func AUC(m Model, d *Design) float64 {
+	scores := make([]float64, d.Len())
+	for i, x := range d.X {
+		scores[i] = m.Score(x)
+	}
+	ranks := rankAll(scores)
+	var rankSumPos, nPos, nNeg float64
+	for i, y := range d.Y {
+		if y == 1 {
+			nPos++
+			rankSumPos += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	// Mann–Whitney U statistic.
+	u := rankSumPos - nPos*(nPos+1)/2
+	return u / (nPos * nNeg)
+}
+
+// rankAll returns 1-based fractional ranks with average tie handling.
+func rankAll(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion-free: sort by score.
+	sortByScore(idx, xs)
+	ranks := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func sortByScore(idx []int, xs []float64) {
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+}
+
+// Reweigh computes the reweighing intervention of Kamiran & Calders: each
+// example gets weight P(group)·P(label) / P(group, label), which makes
+// group and label statistically independent in the weighted data. Rows with
+// group -1 get weight 1. k is the number of groups.
+func Reweigh(y, groupIx []int, k int) []float64 {
+	n := float64(len(y))
+	if n == 0 {
+		return nil
+	}
+	groupN := make([]float64, k)
+	labelN := [2]float64{}
+	joint := make([][2]float64, k)
+	for i := range y {
+		labelN[y[i]]++
+		if gi := groupIx[i]; gi >= 0 && gi < k {
+			groupN[gi]++
+			joint[gi][y[i]]++
+		}
+	}
+	w := make([]float64, len(y))
+	for i := range y {
+		gi := groupIx[i]
+		if gi < 0 || gi >= k || joint[gi][y[i]] == 0 {
+			w[i] = 1
+			continue
+		}
+		w[i] = (groupN[gi] / n) * (labelN[y[i]] / n) / (joint[gi][y[i]] / n)
+	}
+	return w
+}

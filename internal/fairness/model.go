@@ -1,0 +1,184 @@
+package fairness
+
+import (
+	"errors"
+	"math"
+
+	"redi/internal/rng"
+)
+
+// Model is a binary classifier over float64 feature vectors.
+type Model interface {
+	// Score returns the model's estimate of P(y=1 | x).
+	Score(x []float64) float64
+	// Predict returns the hard 0/1 prediction.
+	Predict(x []float64) int
+}
+
+// LogisticConfig parameterizes logistic-regression training.
+type LogisticConfig struct {
+	Epochs int     // full passes over the data (default 50)
+	LR     float64 // learning rate (default 0.1)
+	L2     float64 // L2 regularization strength (default 1e-4)
+}
+
+func (c LogisticConfig) withDefaults() LogisticConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 50
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// Logistic is an L2-regularized logistic-regression classifier trained by
+// SGD with per-example weights (so that reweighing interventions compose
+// with it).
+type Logistic struct {
+	Weights []float64
+	Bias    float64
+}
+
+// TrainLogistic fits a logistic regression on (X, y) with optional
+// per-example weights w (nil means uniform). Examples are visited in a
+// random order derived from r each epoch. It returns an error on empty or
+// inconsistent input.
+func TrainLogistic(X [][]float64, y []int, w []float64, cfg LogisticConfig, r *rng.RNG) (*Logistic, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("fairness: bad training input")
+	}
+	if w != nil && len(w) != len(X) {
+		return nil, errors.New("fairness: weight length mismatch")
+	}
+	cfg = cfg.withDefaults()
+	k := len(X[0])
+	m := &Logistic{Weights: make([]float64, k)}
+	n := len(X)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR / (1 + 0.1*float64(epoch))
+		perm := r.Perm(n)
+		for _, i := range perm {
+			p := m.Score(X[i])
+			g := p - float64(y[i])
+			if w != nil {
+				g *= w[i]
+			}
+			for j, xj := range X[i] {
+				m.Weights[j] -= lr * (g*xj + cfg.L2*m.Weights[j])
+			}
+			m.Bias -= lr * g
+		}
+	}
+	return m, nil
+}
+
+// Score implements Model.
+func (m *Logistic) Score(x []float64) float64 {
+	z := m.Bias
+	for j, wj := range m.Weights {
+		z += wj * x[j]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Predict implements Model.
+func (m *Logistic) Predict(x []float64) int {
+	if m.Score(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// GaussianNB is a Gaussian naive Bayes classifier: features are modeled as
+// independent normals within each class.
+type GaussianNB struct {
+	Prior [2]float64   // log class priors
+	Mean  [2][]float64 // per-class feature means
+	Var   [2][]float64 // per-class feature variances (floored)
+}
+
+// TrainGaussianNB fits the classifier. It returns an error when either
+// class is absent (priors would be degenerate).
+func TrainGaussianNB(X [][]float64, y []int) (*GaussianNB, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("fairness: bad training input")
+	}
+	k := len(X[0])
+	var counts [2]float64
+	m := &GaussianNB{}
+	for c := 0; c < 2; c++ {
+		m.Mean[c] = make([]float64, k)
+		m.Var[c] = make([]float64, k)
+	}
+	for i, x := range X {
+		c := y[i]
+		counts[c]++
+		for j, v := range x {
+			m.Mean[c][j] += v
+		}
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		return nil, errors.New("fairness: a class is absent from the training data")
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.Mean[c] {
+			m.Mean[c][j] /= counts[c]
+		}
+	}
+	for i, x := range X {
+		c := y[i]
+		for j, v := range x {
+			d := v - m.Mean[c][j]
+			m.Var[c][j] += d * d
+		}
+	}
+	const varFloor = 1e-6
+	for c := 0; c < 2; c++ {
+		for j := range m.Var[c] {
+			m.Var[c][j] = m.Var[c][j]/counts[c] + varFloor
+		}
+		m.Prior[c] = math.Log(counts[c] / float64(len(X)))
+	}
+	return m, nil
+}
+
+func (m *GaussianNB) logLikelihood(c int, x []float64) float64 {
+	ll := m.Prior[c]
+	for j, v := range x {
+		d := v - m.Mean[c][j]
+		ll += -0.5*math.Log(2*math.Pi*m.Var[c][j]) - d*d/(2*m.Var[c][j])
+	}
+	return ll
+}
+
+// Score implements Model.
+func (m *GaussianNB) Score(x []float64) float64 {
+	l0 := m.logLikelihood(0, x)
+	l1 := m.logLikelihood(1, x)
+	// Softmax over the two log-joint terms.
+	mx := math.Max(l0, l1)
+	e0 := math.Exp(l0 - mx)
+	e1 := math.Exp(l1 - mx)
+	return e1 / (e0 + e1)
+}
+
+// Predict implements Model.
+func (m *GaussianNB) Predict(x []float64) int {
+	if m.Score(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// ConstantModel always predicts the same class; the degenerate baseline.
+type ConstantModel int
+
+// Score implements Model.
+func (c ConstantModel) Score([]float64) float64 { return float64(c) }
+
+// Predict implements Model.
+func (c ConstantModel) Predict([]float64) int { return int(c) }

@@ -1,0 +1,115 @@
+package fairness
+
+import (
+	"errors"
+	"sort"
+)
+
+// This file implements post-processing fairness interventions (the
+// "later steps of responsible AI" of tutorial §2.3 that data-side fixes
+// are traded against): per-group decision thresholds fitted on held-out
+// scores to equalize selection rates (demographic parity) or true-positive
+// rates (equal opportunity).
+
+// GroupThresholds are per-group decision thresholds over model scores,
+// aligned with the group index used to fit them. Rows outside any group
+// use Default.
+type GroupThresholds struct {
+	ByGroup []float64
+	Default float64
+}
+
+// PredictWithGroup applies the model under the thresholds: positive iff
+// the score reaches the row's group threshold.
+func (gt *GroupThresholds) PredictWithGroup(m Model, x []float64, group int) int {
+	th := gt.Default
+	if group >= 0 && group < len(gt.ByGroup) {
+		th = gt.ByGroup[group]
+	}
+	if m.Score(x) >= th {
+		return 1
+	}
+	return 0
+}
+
+// FitParityThresholds chooses, for each group, the score threshold whose
+// selection rate is closest to targetRate — the demographic-parity
+// post-processing intervention. Groups without examples keep the default
+// 0.5. It returns an error on an empty design.
+func FitParityThresholds(m Model, d *Design, targetRate float64) (*GroupThresholds, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("fairness: empty design")
+	}
+	k := 0
+	if d.Groups != nil {
+		k = len(d.Groups.Keys)
+	}
+	gt := &GroupThresholds{ByGroup: make([]float64, k), Default: 0.5}
+	scores := make([][]float64, k)
+	for i, x := range d.X {
+		if gi := d.GroupIx[i]; gi >= 0 && gi < k {
+			scores[gi] = append(scores[gi], m.Score(x))
+		}
+	}
+	for g := 0; g < k; g++ {
+		gt.ByGroup[g] = thresholdForRate(scores[g], targetRate)
+	}
+	return gt, nil
+}
+
+// FitEqualOpportunityThresholds chooses per-group thresholds whose
+// true-positive rate is closest to targetTPR (equal opportunity). Groups
+// without positive examples keep the default.
+func FitEqualOpportunityThresholds(m Model, d *Design, targetTPR float64) (*GroupThresholds, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("fairness: empty design")
+	}
+	k := 0
+	if d.Groups != nil {
+		k = len(d.Groups.Keys)
+	}
+	gt := &GroupThresholds{ByGroup: make([]float64, k), Default: 0.5}
+	posScores := make([][]float64, k)
+	for i, x := range d.X {
+		if d.Y[i] != 1 {
+			continue
+		}
+		if gi := d.GroupIx[i]; gi >= 0 && gi < k {
+			posScores[gi] = append(posScores[gi], m.Score(x))
+		}
+	}
+	for g := 0; g < k; g++ {
+		gt.ByGroup[g] = thresholdForRate(posScores[g], targetTPR)
+	}
+	return gt, nil
+}
+
+// thresholdForRate returns the threshold selecting a fraction closest to
+// rate of the given scores (0.5 when scores is empty). Selecting the top
+// fraction means thresholding at the (1-rate) quantile.
+func thresholdForRate(scores []float64, rate float64) float64 {
+	if len(scores) == 0 {
+		return 0.5
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	if rate <= 0 {
+		return sorted[len(sorted)-1] + 1e-9
+	}
+	if rate >= 1 {
+		return sorted[0]
+	}
+	idx := int(float64(len(sorted)) * (1 - rate))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// EvaluateWithThresholds mirrors Evaluate but applies the per-group
+// thresholds instead of the model's own 0.5 cut.
+func EvaluateWithThresholds(m Model, gt *GroupThresholds, d *Design) Report {
+	return evaluatePred(d, func(i int) int {
+		return gt.PredictWithGroup(m, d.X[i], d.GroupIx[i])
+	})
+}

@@ -1,0 +1,103 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/rng"
+)
+
+func TestThresholdForRate(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	// Selecting the top 30% should threshold at the 70th percentile.
+	th := thresholdForRate(scores, 0.3)
+	selected := 0
+	for _, s := range scores {
+		if s >= th {
+			selected++
+		}
+	}
+	if selected != 3 {
+		t.Fatalf("threshold %v selects %d of 10, want 3", th, selected)
+	}
+	if thresholdForRate(nil, 0.5) != 0.5 {
+		t.Fatal("empty scores should default")
+	}
+	if th := thresholdForRate(scores, 0); th <= 1.0 {
+		t.Fatalf("rate 0 threshold = %v, should exceed max score", th)
+	}
+	if th := thresholdForRate(scores, 1); th != 0.1 {
+		t.Fatalf("rate 1 threshold = %v, want min score", th)
+	}
+}
+
+func TestParityThresholdsEqualizeSelection(t *testing.T) {
+	dTrain, dTest := trainTest(t, 4000, 30)
+	m, err := TrainLogistic(dTrain.X, dTrain.Y, nil, LogisticConfig{}, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Evaluate(m, dTest)
+	gt, err := FitParityThresholds(m, dTest, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := EvaluateWithThresholds(m, gt, dTest)
+	if post.DemographicParityDiff > base.DemographicParityDiff {
+		t.Fatalf("post-processing increased DP gap: %v -> %v",
+			base.DemographicParityDiff, post.DemographicParityDiff)
+	}
+	// Every sufficiently large group's selection rate should be near the
+	// target.
+	for _, g := range post.Groups {
+		if g.N > 200 && math.Abs(g.PositiveRate-0.5) > 0.1 {
+			t.Fatalf("group %s selection rate %v, want ~0.5", g.Key, g.PositiveRate)
+		}
+	}
+}
+
+func TestEqualOpportunityThresholds(t *testing.T) {
+	dTrain, dTest := trainTest(t, 4000, 40)
+	m, err := TrainLogistic(dTrain.X, dTrain.Y, nil, LogisticConfig{}, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Evaluate(m, dTest)
+	gt, err := FitEqualOpportunityThresholds(m, dTest, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := EvaluateWithThresholds(m, gt, dTest)
+	// TPR spread should not worsen, and large groups should sit near the
+	// 0.8 target.
+	if post.EqualizedOddsDiff > base.EqualizedOddsDiff+0.05 {
+		t.Fatalf("EO worsened: %v -> %v", base.EqualizedOddsDiff, post.EqualizedOddsDiff)
+	}
+	for _, g := range post.Groups {
+		if g.N > 300 && !math.IsNaN(g.TPR) && math.Abs(g.TPR-0.8) > 0.15 {
+			t.Fatalf("group %s TPR %v, want ~0.8", g.Key, g.TPR)
+		}
+	}
+}
+
+func TestFitThresholdsEmpty(t *testing.T) {
+	m := ConstantModel(1)
+	if _, err := FitParityThresholds(m, &Design{}, 0.5); err == nil {
+		t.Fatal("empty design accepted")
+	}
+	if _, err := FitEqualOpportunityThresholds(m, &Design{}, 0.5); err == nil {
+		t.Fatal("empty design accepted")
+	}
+}
+
+func TestPredictWithGroupDefault(t *testing.T) {
+	gt := &GroupThresholds{ByGroup: []float64{0.9}, Default: 0.5}
+	m := thresholdModel(0) // Score(x) = x[0]
+	// Group 0 uses 0.9, unknown group uses the 0.5 default.
+	if gt.PredictWithGroup(m, []float64{0.7}, 0) != 0 {
+		t.Fatal("group threshold ignored")
+	}
+	if gt.PredictWithGroup(m, []float64{0.7}, -1) != 1 {
+		t.Fatal("default threshold ignored")
+	}
+}

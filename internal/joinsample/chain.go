@@ -1,0 +1,170 @@
+package joinsample
+
+import (
+	"errors"
+
+	"redi/internal/rng"
+)
+
+// Chain is a prepared multi-way chain join R1 ⋈ R2 ⋈ ... ⋈ Rn with exact
+// completion weights: weights[i][t] counts the join results that extend
+// tuple t of relation i through the rest of the chain. The weights are the
+// exact-frequency instantiation of the generalized sampling framework of
+// Zhao et al. (SIGMOD 2018) and enable exactly uniform, independent
+// sampling from the join result without materializing it.
+type Chain struct {
+	Rels    []*Relation
+	weights [][]float64
+	rootCat *rng.Categorical
+	total   float64
+}
+
+// NewChain prepares the chain. It returns an error if no relations are
+// given. A chain whose join result is empty is valid; samplers report it.
+func NewChain(rels ...*Relation) (*Chain, error) {
+	if len(rels) == 0 {
+		return nil, errors.New("joinsample: empty chain")
+	}
+	c := &Chain{Rels: rels, weights: make([][]float64, len(rels))}
+	n := len(rels)
+	// Backward DP: last relation's tuples each complete exactly one
+	// result.
+	c.weights[n-1] = make([]float64, rels[n-1].Len())
+	for i := range c.weights[n-1] {
+		c.weights[n-1][i] = 1
+	}
+	for i := n - 2; i >= 0; i-- {
+		c.weights[i] = make([]float64, rels[i].Len())
+		next := rels[i+1]
+		for t, tup := range rels[i].Tuples {
+			w := 0.0
+			for _, j := range next.MatchLeft(tup.Right) {
+				w += c.weights[i+1][j]
+			}
+			c.weights[i][t] = w
+		}
+	}
+	for _, w := range c.weights[0] {
+		c.total += w
+	}
+	if c.total > 0 {
+		c.rootCat = rng.NewCategorical(c.weights[0])
+	}
+	return c, nil
+}
+
+// JoinCount returns the exact size of the join result.
+func (c *Chain) JoinCount() float64 { return c.total }
+
+// ExactSample draws one join result uniformly at random, independent of all
+// other draws: the first tuple is drawn proportional to its completion
+// weight, each subsequent tuple proportional to its own weight among the
+// tuples matching the prefix. ok is false when the join is empty.
+func (c *Chain) ExactSample(r *rng.RNG) (path []int, ok bool) {
+	if c.total == 0 {
+		return nil, false
+	}
+	path = make([]int, len(c.Rels))
+	path[0] = c.rootCat.Draw(r)
+	for i := 1; i < len(c.Rels); i++ {
+		prev := c.Rels[i-1].Tuples[path[i-1]]
+		matches := c.Rels[i].MatchLeft(prev.Right)
+		// Weighted choice among matches by completion weight. Linear
+		// scan: match lists are short in practice; hot paths can
+		// pre-build per-key alias tables.
+		total := 0.0
+		for _, j := range matches {
+			total += c.weights[i][j]
+		}
+		x := r.Float64() * total
+		pick := matches[len(matches)-1]
+		for _, j := range matches {
+			x -= c.weights[i][j]
+			if x <= 0 {
+				pick = j
+				break
+			}
+		}
+		path[i] = pick
+	}
+	return path, true
+}
+
+// WanderSample performs one wander-join random walk: a uniform tuple from
+// R1, then a uniform tuple among matches in R2, and so on. The walk fails
+// (ok=false) when a prefix has no continuation. On success, invProb is the
+// reciprocal of the path's sampling probability — the Horvitz–Thompson
+// weight that makes estimates over walks unbiased despite the non-uniform
+// path distribution.
+func (c *Chain) WanderSample(r *rng.RNG) (path []int, invProb float64, ok bool) {
+	path = make([]int, len(c.Rels))
+	invProb = float64(c.Rels[0].Len())
+	path[0] = r.Intn(c.Rels[0].Len())
+	for i := 1; i < len(c.Rels); i++ {
+		prev := c.Rels[i-1].Tuples[path[i-1]]
+		matches := c.Rels[i].MatchLeft(prev.Right)
+		if len(matches) == 0 {
+			return nil, 0, false
+		}
+		invProb *= float64(len(matches))
+		path[i] = matches[r.Intn(len(matches))]
+	}
+	return path, invProb, true
+}
+
+// NaiveSample is the biased baseline the accept/reject sampler corrects: a
+// uniform tuple from R1, then a uniform match in each subsequent relation,
+// accepted unconditionally. Paths through high-fanout keys are
+// under-sampled relative to their share of the join result. ok is false
+// when the walk dead-ends.
+func (c *Chain) NaiveSample(r *rng.RNG) (path []int, ok bool) {
+	p, _, ok := c.WanderSample(r)
+	return p, ok
+}
+
+// Enumerate visits every join result (one tuple index per relation) in
+// deterministic order. Intended for ground truth on small inputs; the
+// result size is JoinCount.
+func (c *Chain) Enumerate(visit func(path []int)) {
+	path := make([]int, len(c.Rels))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(c.Rels) {
+			visit(path)
+			return
+		}
+		if i == 0 {
+			for t := range c.Rels[0].Tuples {
+				path[0] = t
+				walk(1)
+			}
+			return
+		}
+		prev := c.Rels[i-1].Tuples[path[i-1]]
+		for _, j := range c.Rels[i].MatchLeft(prev.Right) {
+			path[i] = j
+			walk(i + 1)
+		}
+	}
+	walk(0)
+}
+
+// PathValue sums the tuple values along a path — the default aggregate
+// input f(result) used by the estimators.
+func (c *Chain) PathValue(path []int) float64 {
+	v := 0.0
+	for i, t := range path {
+		v += c.Rels[i].Tuples[t].Value
+	}
+	return v
+}
+
+// ExactAggregates computes the exact COUNT and SUM(PathValue) of the join
+// by enumeration. Suitable for ground truth on small-to-medium joins.
+func (c *Chain) ExactAggregates() (count, sum float64) {
+	c.Enumerate(func(path []int) {
+		count++
+		sum += c.PathValue(path)
+	})
+	return count, sum
+}

@@ -1,0 +1,120 @@
+package joinsample
+
+import (
+	"errors"
+
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// Cycle is a cyclic chain join: R1 ⋈ R2 ⋈ ... ⋈ Rn with the additional
+// closing predicate Rn.Right = R1.Left (e.g. the triangle query). The
+// generalized sampling framework of Zhao et al. (SIGMOD 2018) handles
+// cycles by sampling from the spanning chain and rejecting paths that fail
+// the closing predicate; wander-join style estimates weight accepted walks
+// by their chain inclusion probability.
+type Cycle struct {
+	Chain *Chain
+}
+
+// NewCycle wraps a prepared chain whose closing predicate is
+// last.Right == first.Left.
+func NewCycle(c *Chain) (*Cycle, error) {
+	if len(c.Rels) < 2 {
+		return nil, errors.New("joinsample: a cycle needs at least two relations")
+	}
+	return &Cycle{Chain: c}, nil
+}
+
+// closes reports whether a chain path satisfies the closing predicate.
+func (cy *Cycle) closes(path []int) bool {
+	first := cy.Chain.Rels[0].Tuples[path[0]]
+	last := cy.Chain.Rels[len(cy.Chain.Rels)-1].Tuples[path[len(path)-1]]
+	return last.Right == first.Left
+}
+
+// Enumerate visits every cyclic join result.
+func (cy *Cycle) Enumerate(visit func(path []int)) {
+	cy.Chain.Enumerate(func(path []int) {
+		if cy.closes(path) {
+			visit(path)
+		}
+	})
+}
+
+// ExactAggregates computes the exact COUNT and SUM(PathValue) of the
+// cyclic join by enumeration.
+func (cy *Cycle) ExactAggregates() (count, sum float64) {
+	cy.Enumerate(func(path []int) {
+		count++
+		sum += cy.Chain.PathValue(path)
+	})
+	return count, sum
+}
+
+// Sample draws one cyclic join result uniformly at random via
+// chain-sample-then-reject: chain results are uniform, so the accepted
+// subset is uniform over the cycle's results. ok is false on rejection;
+// callers loop. attempts out of SampleN reports the rejection cost.
+func (cy *Cycle) Sample(r *rng.RNG) (path []int, ok bool) {
+	p, ok := cy.Chain.ExactSample(r)
+	if !ok || !cy.closes(p) {
+		return nil, false
+	}
+	return p, true
+}
+
+// SampleN draws n accepted cyclic samples, reporting total attempts. It
+// gives up (returning what it has) if the acceptance rate is pathological.
+func (cy *Cycle) SampleN(r *rng.RNG, n int) (paths [][]int, attempts int) {
+	for len(paths) < n {
+		attempts++
+		if p, ok := cy.Sample(r); ok {
+			paths = append(paths, p)
+		}
+		if attempts > 1000*(n+1000) {
+			return paths, attempts
+		}
+	}
+	return paths, attempts
+}
+
+// CyclicWanderEstimator estimates COUNT and SUM over the cyclic join with
+// wander-join walks on the spanning chain: a walk that closes contributes
+// its Horvitz–Thompson weight, a walk that fails or does not close
+// contributes zero, keeping the estimator unbiased for the cycle.
+type CyclicWanderEstimator struct {
+	Cycle *Cycle
+	count stats.Estimator
+	sum   stats.Estimator
+}
+
+// NewCyclicWanderEstimator wraps a cycle.
+func NewCyclicWanderEstimator(cy *Cycle) *CyclicWanderEstimator {
+	return &CyclicWanderEstimator{Cycle: cy}
+}
+
+// Step performs one walk.
+func (w *CyclicWanderEstimator) Step(r *rng.RNG) {
+	path, invProb, ok := w.Cycle.Chain.WanderSample(r)
+	if !ok || !w.Cycle.closes(path) {
+		w.count.Add(0)
+		w.sum.Add(0)
+		return
+	}
+	w.count.Add(invProb)
+	w.sum.Add(invProb * w.Cycle.Chain.PathValue(path))
+}
+
+// Count returns the running COUNT estimate and CI half-width.
+func (w *CyclicWanderEstimator) Count(level float64) (est, ci float64) {
+	return w.count.Mean(), w.count.CI(level)
+}
+
+// Sum returns the running SUM estimate and CI half-width.
+func (w *CyclicWanderEstimator) Sum(level float64) (est, ci float64) {
+	return w.sum.Mean(), w.sum.CI(level)
+}
+
+// Steps returns the number of walks performed.
+func (w *CyclicWanderEstimator) Steps() float64 { return w.count.N() }

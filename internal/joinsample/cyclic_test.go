@@ -1,0 +1,140 @@
+package joinsample
+
+import (
+	"testing"
+
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// triangle builds a triangle query R(a,b) ⋈ S(b,c) ⋈ T(c,a) over a small
+// random graph: each relation holds edges, the cycle closes when T's right
+// endpoint equals R's left endpoint.
+func triangle(t *testing.T, nodes, edges int, seed uint64) *Cycle {
+	t.Helper()
+	r := rng.New(seed)
+	mk := func(name string) *Relation {
+		var tuples []Tuple
+		for i := 0; i < edges; i++ {
+			tuples = append(tuples, Tuple{
+				Left:  int64(r.Intn(nodes)),
+				Right: int64(r.Intn(nodes)),
+				Value: 1 + r.Float64(),
+			})
+		}
+		return NewRelation(name, tuples)
+	}
+	c, err := NewChain(mk("R"), mk("S"), mk("T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := NewCycle(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cy
+}
+
+func TestCycleEnumerateClosesOnly(t *testing.T) {
+	cy := triangle(t, 6, 40, 1)
+	count, _ := cy.ExactAggregates()
+	if count == 0 {
+		t.Skip("no triangles in this draw")
+	}
+	cy.Enumerate(func(path []int) {
+		if !cy.closes(path) {
+			t.Fatal("enumerated a non-closing path")
+		}
+	})
+	// Cycle count must be at most the chain count.
+	if count > cy.Chain.JoinCount() {
+		t.Fatalf("cycle count %v exceeds chain count %v", count, cy.Chain.JoinCount())
+	}
+}
+
+func TestCycleSampleUniform(t *testing.T) {
+	cy := triangle(t, 5, 30, 2)
+	truth, _ := cy.ExactAggregates()
+	if truth < 3 {
+		t.Skip("too few triangles in this draw")
+	}
+	r := rng.New(3)
+	paths, attempts := cy.SampleN(r, 20000)
+	if len(paths) != 20000 {
+		t.Fatalf("accepted %d samples in %d attempts", len(paths), attempts)
+	}
+	counts := map[string]float64{}
+	for _, p := range paths {
+		counts[PathKey(p)]++
+	}
+	if float64(len(counts)) != truth {
+		t.Fatalf("observed %d distinct results, want %v", len(counts), truth)
+	}
+	emp := make([]float64, 0, len(counts))
+	uni := make([]float64, 0, len(counts))
+	for _, v := range counts {
+		emp = append(emp, v/20000)
+		uni = append(uni, 1/truth)
+	}
+	if tv := stats.TotalVariation(emp, uni); tv > 0.05 {
+		t.Fatalf("cyclic sampler TV from uniform = %v", tv)
+	}
+}
+
+func TestCyclicWanderUnbiased(t *testing.T) {
+	cy := triangle(t, 5, 30, 4)
+	truth, truthSum := cy.ExactAggregates()
+	if truth < 3 {
+		t.Skip("too few triangles in this draw")
+	}
+	w := NewCyclicWanderEstimator(cy)
+	r := rng.New(5)
+	for i := 0; i < 60000; i++ {
+		w.Step(r)
+	}
+	count, _ := w.Count(0.95)
+	if stats.RelativeError(count, truth) > 0.1 {
+		t.Fatalf("cyclic wander COUNT = %v, truth %v", count, truth)
+	}
+	sum, _ := w.Sum(0.95)
+	if stats.RelativeError(sum, truthSum) > 0.1 {
+		t.Fatalf("cyclic wander SUM = %v, truth %v", sum, truthSum)
+	}
+	if w.Steps() != 60000 {
+		t.Fatalf("Steps = %v", w.Steps())
+	}
+}
+
+func TestCycleValidation(t *testing.T) {
+	c, err := NewChain(NewRelation("R", []Tuple{{Left: 0, Right: 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCycle(c); err == nil {
+		t.Fatal("single-relation cycle accepted")
+	}
+}
+
+func TestCycleNoTriangles(t *testing.T) {
+	// R maps 0->1, S maps 1->2, T maps 2->9: never closes.
+	c, err := NewChain(
+		NewRelation("R", []Tuple{{Left: 0, Right: 1}}),
+		NewRelation("S", []Tuple{{Left: 1, Right: 2}}),
+		NewRelation("T", []Tuple{{Left: 2, Right: 9}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := NewCycle(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, _ := cy.ExactAggregates()
+	if count != 0 {
+		t.Fatalf("count = %v", count)
+	}
+	paths, attempts := cy.SampleN(rng.New(6), 5)
+	if len(paths) != 0 || attempts == 0 {
+		t.Fatalf("sampled %d paths from empty cycle", len(paths))
+	}
+}

@@ -1,0 +1,336 @@
+package joinsample
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// skewedPair builds R and S with a highly skewed join-key fan-out: key 0
+// has many matches in S, the other keys few. This is the regime where
+// naive sampling is visibly biased.
+func skewedPair() (*Relation, *Relation) {
+	var rt []Tuple
+	for k := int64(0); k < 10; k++ {
+		rt = append(rt, Tuple{Right: k, Value: float64(k)})
+	}
+	var st []Tuple
+	// key 0: 50 matches; keys 1..9: 2 matches each.
+	for i := 0; i < 50; i++ {
+		st = append(st, Tuple{Left: 0, Value: 1})
+	}
+	for k := int64(1); k < 10; k++ {
+		st = append(st, Tuple{Left: k, Value: 1}, Tuple{Left: k, Value: 2})
+	}
+	return NewRelation("R", rt), NewRelation("S", st)
+}
+
+func mustChain(t *testing.T, rels ...*Relation) *Chain {
+	t.Helper()
+	c, err := NewChain(rels...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChainJoinCount(t *testing.T) {
+	r, s := skewedPair()
+	c := mustChain(t, r, s)
+	// 50 + 9*2 = 68 results.
+	if c.JoinCount() != 68 {
+		t.Fatalf("JoinCount = %v, want 68", c.JoinCount())
+	}
+	count, sum := c.ExactAggregates()
+	if count != 68 {
+		t.Fatalf("enumerated count = %v", count)
+	}
+	if sum <= 0 {
+		t.Fatalf("enumerated sum = %v", sum)
+	}
+}
+
+func TestChainEmptyJoin(t *testing.T) {
+	r := NewRelation("R", []Tuple{{Right: 1}})
+	s := NewRelation("S", []Tuple{{Left: 2}})
+	c := mustChain(t, r, s)
+	if c.JoinCount() != 0 {
+		t.Fatalf("JoinCount = %v", c.JoinCount())
+	}
+	if _, ok := c.ExactSample(rng.New(1)); ok {
+		t.Fatal("ExactSample on empty join returned ok")
+	}
+}
+
+func TestChainErrors(t *testing.T) {
+	if _, err := NewChain(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestExactSampleUniform(t *testing.T) {
+	r, s := skewedPair()
+	c := mustChain(t, r, s)
+	rg := rng.New(2)
+	counts := map[string]float64{}
+	const n = 68000
+	for i := 0; i < n; i++ {
+		path, ok := c.ExactSample(rg)
+		if !ok {
+			t.Fatal("sample failed on non-empty join")
+		}
+		counts[PathKey(path)]++
+	}
+	if len(counts) != 68 {
+		t.Fatalf("observed %d distinct results, want 68", len(counts))
+	}
+	// Empirical vs uniform TV distance should be small.
+	emp := make([]float64, 0, 68)
+	uni := make([]float64, 0, 68)
+	for _, v := range counts {
+		emp = append(emp, v/n)
+		uni = append(uni, 1.0/68)
+	}
+	if tv := stats.TotalVariation(emp, uni); tv > 0.03 {
+		t.Fatalf("exact sampler TV from uniform = %v", tv)
+	}
+}
+
+func TestNaiveSampleBiased(t *testing.T) {
+	r, s := skewedPair()
+	c := mustChain(t, r, s)
+	rg := rng.New(3)
+	heavy := 0.0
+	total := 0.0
+	for i := 0; i < 50000; i++ {
+		path, ok := c.NaiveSample(rg)
+		if !ok {
+			continue
+		}
+		total++
+		if c.Rels[0].Tuples[path[0]].Right == 0 {
+			heavy++
+		}
+	}
+	// Under uniform-over-results, key 0 results are 50/68 ≈ 73.5%.
+	// Naive gives each R tuple 1/10 regardless of fan-out, so ~10%.
+	frac := heavy / total
+	if frac > 0.3 {
+		t.Fatalf("naive sampler not biased as expected: heavy frac = %v", frac)
+	}
+}
+
+func TestAcceptRejectUniform(t *testing.T) {
+	r, s := skewedPair()
+	ar, err := NewAcceptReject(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := rng.New(4)
+	counts := map[[2]int]float64{}
+	paths, attempts := ar.SampleN(rg, 40000)
+	if len(paths) != 40000 {
+		t.Fatalf("got %d accepted samples", len(paths))
+	}
+	if attempts <= len(paths) {
+		t.Fatal("attempts should exceed accepted samples under rejection")
+	}
+	for _, p := range paths {
+		counts[p]++
+	}
+	if len(counts) != 68 {
+		t.Fatalf("observed %d distinct results, want 68", len(counts))
+	}
+	emp := make([]float64, 0, 68)
+	uni := make([]float64, 0, 68)
+	for _, v := range counts {
+		emp = append(emp, v/40000)
+		uni = append(uni, 1.0/68)
+	}
+	if tv := stats.TotalVariation(emp, uni); tv > 0.04 {
+		t.Fatalf("accept/reject TV from uniform = %v", tv)
+	}
+}
+
+func TestAcceptRejectErrors(t *testing.T) {
+	empty := NewRelation("E", nil)
+	r, _ := skewedPair()
+	if _, err := NewAcceptReject(empty, r); err == nil {
+		t.Fatal("empty R accepted")
+	}
+	if _, err := NewAcceptReject(r, empty); err == nil {
+		t.Fatal("empty S accepted")
+	}
+}
+
+func TestWanderEstimatorUnbiased(t *testing.T) {
+	r, s := skewedPair()
+	c := mustChain(t, r, s)
+	truth, truthSum := c.ExactAggregates()
+	w := NewWanderEstimator(c)
+	rg := rng.New(5)
+	for i := 0; i < 30000; i++ {
+		w.Step(rg)
+	}
+	count, ci := w.Count(0.95)
+	if math.Abs(count-truth) > 3*ci || math.Abs(count-truth)/truth > 0.1 {
+		t.Fatalf("wander COUNT = %v ± %v, truth %v", count, ci, truth)
+	}
+	sum, _ := w.Sum(0.95)
+	if stats.RelativeError(sum, truthSum) > 0.1 {
+		t.Fatalf("wander SUM = %v, truth %v", sum, truthSum)
+	}
+	avg := w.Avg()
+	if stats.RelativeError(avg, truthSum/truth) > 0.1 {
+		t.Fatalf("wander AVG = %v, truth %v", avg, truthSum/truth)
+	}
+	if w.Steps() != 30000 {
+		t.Fatalf("Steps = %v", w.Steps())
+	}
+}
+
+func TestWanderThreeWayChain(t *testing.T) {
+	// R1 -> R2 -> R3 with small, fully enumerable join.
+	r1 := NewRelation("R1", []Tuple{{Right: 0, Value: 1}, {Right: 1, Value: 2}})
+	r2 := NewRelation("R2", []Tuple{
+		{Left: 0, Right: 10, Value: 3}, {Left: 0, Right: 11, Value: 4}, {Left: 1, Right: 10, Value: 5},
+	})
+	r3 := NewRelation("R3", []Tuple{{Left: 10, Value: 6}, {Left: 10, Value: 7}, {Left: 11, Value: 8}})
+	c := mustChain(t, r1, r2, r3)
+	truth, truthSum := c.ExactAggregates()
+	if truth != c.JoinCount() {
+		t.Fatalf("enumerate (%v) and DP (%v) disagree", truth, c.JoinCount())
+	}
+	w := NewWanderEstimator(c)
+	rg := rng.New(6)
+	for i := 0; i < 50000; i++ {
+		w.Step(rg)
+	}
+	count, _ := w.Count(0.95)
+	if stats.RelativeError(count, truth) > 0.05 {
+		t.Fatalf("3-way wander COUNT = %v, truth %v", count, truth)
+	}
+	sum, _ := w.Sum(0.95)
+	if stats.RelativeError(sum, truthSum) > 0.05 {
+		t.Fatalf("3-way wander SUM = %v, truth %v", sum, truthSum)
+	}
+	// The exact sampler agrees with enumeration on the 3-way chain too.
+	u := NewUniformEstimator(c)
+	for i := 0; i < 30000; i++ {
+		u.Step(rg)
+	}
+	est, _ := u.Sum(0.95)
+	if stats.RelativeError(est, truthSum) > 0.05 {
+		t.Fatalf("3-way uniform SUM = %v, truth %v", est, truthSum)
+	}
+}
+
+func TestUniformEstimator(t *testing.T) {
+	r, s := skewedPair()
+	c := mustChain(t, r, s)
+	truth, truthSum := c.ExactAggregates()
+	u := NewUniformEstimator(c)
+	rg := rng.New(7)
+	for i := 0; i < 20000; i++ {
+		u.Step(rg)
+	}
+	sum, ci := u.Sum(0.95)
+	if math.Abs(sum-truthSum) > 4*ci {
+		t.Fatalf("uniform SUM = %v ± %v, truth %v", sum, ci, truthSum)
+	}
+	avg, _ := u.Avg(0.95)
+	if stats.RelativeError(avg, truthSum/truth) > 0.05 {
+		t.Fatalf("uniform AVG = %v, truth %v", avg, truthSum/truth)
+	}
+}
+
+func TestRippleConvergesToExact(t *testing.T) {
+	r, s := skewedPair()
+	rp, err := NewRipple(r, s, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, truthSum := mustChain(t, r, s).ExactAggregates()
+	for !rp.Done() {
+		rp.Step()
+	}
+	if rp.CountEstimate() != truth {
+		t.Fatalf("final ripple COUNT = %v, want %v", rp.CountEstimate(), truth)
+	}
+	// Ripple aggregates r.Value + s.Value; recompute that ground truth.
+	c := mustChain(t, r, s)
+	wantSum := 0.0
+	c.Enumerate(func(p []int) {
+		wantSum += c.Rels[0].Tuples[p[0]].Value + c.Rels[1].Tuples[p[1]].Value
+	})
+	if math.Abs(rp.SumEstimate()-wantSum) > 1e-9 {
+		t.Fatalf("final ripple SUM = %v, want %v", rp.SumEstimate(), wantSum)
+	}
+	_ = truthSum
+}
+
+func TestRippleMidwayEstimate(t *testing.T) {
+	r, s := skewedPair()
+	rp, err := NewRipple(r, s, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustChain(t, r, s)
+	truth := c.JoinCount()
+	// Consume half the inputs.
+	for rp.Steps() < (r.Len()+s.Len())/2 {
+		rp.Step()
+	}
+	est := rp.CountEstimate()
+	if est <= 0 {
+		t.Fatal("midway estimate is zero")
+	}
+	if stats.RelativeError(est, truth) > 0.8 {
+		t.Fatalf("midway ripple COUNT = %v, truth %v (error too large)", est, truth)
+	}
+	avg, ci := rp.AvgEstimate(0.95)
+	if math.IsNaN(avg) || ci <= 0 {
+		t.Fatalf("AvgEstimate = %v ± %v", avg, ci)
+	}
+}
+
+func TestRippleErrors(t *testing.T) {
+	r, _ := skewedPair()
+	if _, err := NewRipple(NewRelation("E", nil), r, rng.New(1)); err == nil {
+		t.Fatal("empty relation accepted")
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "zip", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "income", Kind: dataset.Numeric},
+	))
+	d.MustAppendRow(dataset.Cat("a"), dataset.Num(10))
+	d.MustAppendRow(dataset.Cat("b"), dataset.Num(20))
+	d.MustAppendRow(dataset.Cat("a"), dataset.Num(30))
+	d.MustAppendRow(dataset.NullValue(dataset.Categorical), dataset.Num(40))
+
+	rel, err := FromDataset(d, "T", "zip", "", "income")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("relation has %d tuples, want 3 (null key skipped)", rel.Len())
+	}
+	if rel.MaxLeftFrequency() != 2 {
+		t.Fatalf("MaxLeftFrequency = %d", rel.MaxLeftFrequency())
+	}
+	if _, err := FromDataset(d, "T", "", "", "income"); err == nil {
+		t.Fatal("no join attribute accepted")
+	}
+}
+
+func TestPathKey(t *testing.T) {
+	if PathKey([]int{1, 23, 0}) != "1:23:0" {
+		t.Fatalf("PathKey = %q", PathKey([]int{1, 23, 0}))
+	}
+}

@@ -1,0 +1,134 @@
+// Package joinsample implements random sampling over joins, the §3.4
+// toolbox of the tutorial: the biased stream sampler that motivated the
+// problem, the Chaudhuri–Motwani–Narasayya accept/reject sampler (SIGMOD
+// 1999), exact weighted sampling over multi-way chain joins (the exact-
+// frequency instantiation of Zhao et al., SIGMOD 2018), wander join random
+// walks with Horvitz–Thompson estimates (Li et al., SIGMOD 2016), and
+// ripple join online aggregation (Haas & Hellerstein; Luo et al., SIGMOD
+// 2002).
+//
+// Relations are flat tuple arrays with integer join keys: a chain join
+// R1 ⋈ R2 ⋈ ... ⋈ Rn matches Ri's right key with Ri+1's left key. Each
+// tuple carries a float64 value so that SUM/AVG/COUNT aggregates over the
+// join can be estimated and compared against exact answers.
+package joinsample
+
+import (
+	"errors"
+	"fmt"
+
+	"redi/internal/dataset"
+)
+
+// Tuple is one row of a join relation: a left key (matching the previous
+// relation in the chain), a right key (matching the next), and a value used
+// by aggregates.
+type Tuple struct {
+	Left  int64
+	Right int64
+	Value float64
+}
+
+// Relation is an array of tuples indexed by left key.
+type Relation struct {
+	Name   string
+	Tuples []Tuple
+
+	byLeft map[int64][]int
+}
+
+// NewRelation builds a relation and its left-key index.
+func NewRelation(name string, tuples []Tuple) *Relation {
+	r := &Relation{Name: name, Tuples: tuples, byLeft: map[int64][]int{}}
+	for i, t := range tuples {
+		r.byLeft[t.Left] = append(r.byLeft[t.Left], i)
+	}
+	return r
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// MatchLeft returns the indices of tuples whose left key equals k.
+func (r *Relation) MatchLeft(k int64) []int { return r.byLeft[k] }
+
+// MaxLeftFrequency returns the largest number of tuples sharing one left
+// key (the M statistic of the accept/reject sampler).
+func (r *Relation) MaxLeftFrequency() int {
+	m := 0
+	for _, idx := range r.byLeft {
+		if len(idx) > m {
+			m = len(idx)
+		}
+	}
+	return m
+}
+
+// FromDataset converts a dataset into a relation: leftAttr and rightAttr
+// are categorical attributes whose dictionary codes become join keys, and
+// valueAttr (optional, "" to use 1) is a numeric attribute providing tuple
+// values. Rows with a null in any used attribute are skipped.
+func FromDataset(d *dataset.Dataset, name, leftAttr, rightAttr, valueAttr string) (*Relation, error) {
+	if leftAttr == "" && rightAttr == "" {
+		return nil, errors.New("joinsample: need at least one join attribute")
+	}
+	var leftCodes, rightCodes []int32
+	if leftAttr != "" {
+		leftCodes, _ = d.Codes(leftAttr)
+	}
+	if rightAttr != "" {
+		rightCodes, _ = d.Codes(rightAttr)
+	}
+	var vals []float64
+	var nulls []bool
+	if valueAttr != "" {
+		vals, nulls = d.NumericFull(valueAttr)
+	}
+	var tuples []Tuple
+	for i := 0; i < d.NumRows(); i++ {
+		t := Tuple{Value: 1}
+		if leftCodes != nil {
+			if leftCodes[i] < 0 {
+				continue
+			}
+			t.Left = int64(leftCodes[i])
+		}
+		if rightCodes != nil {
+			if rightCodes[i] < 0 {
+				continue
+			}
+			t.Right = int64(rightCodes[i])
+		}
+		if vals != nil {
+			if nulls[i] {
+				continue
+			}
+			t.Value = vals[i]
+		}
+		tuples = append(tuples, t)
+	}
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("joinsample: relation %q has no usable rows", name)
+	}
+	return NewRelation(name, tuples), nil
+}
+
+// PathKey canonically encodes a join-result path (one tuple index per
+// relation) for use as a map key in uniformity tests.
+func PathKey(path []int) string {
+	b := make([]byte, 0, len(path)*6)
+	for i, p := range path {
+		if i > 0 {
+			b = append(b, ':')
+		}
+		b = appendUint(b, p)
+	}
+	return string(b)
+}
+
+func appendUint(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}

@@ -1,0 +1,120 @@
+package joinsample
+
+import (
+	"errors"
+	"math"
+
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// Ripple is a two-relation square ripple join for online aggregation (Haas
+// & Hellerstein, SIGMOD 1999; hash variant of Luo et al., SIGMOD 2002): it
+// consumes the two inputs in random order, alternating sides, maintains the
+// join of the consumed prefixes with hash indexes, and reports scaled
+// running estimates of COUNT, SUM, and AVG over the full join. Its samples
+// are random but not independent — the textbook contrast to wander join.
+type Ripple struct {
+	R, S *Relation
+
+	permR, permS []int
+	kr, ks       int
+	hashR, hashS map[int64][]int // key -> consumed tuple indices
+
+	matchCount float64
+	matchSum   float64 // sum of (r.Value + s.Value) over matched pairs
+	// Welford accumulators over per-pair values for the CI on AVG.
+	pairMean, pairM2 float64
+}
+
+// NewRipple prepares a ripple join over r and s, consuming both in a random
+// order derived from rg. It returns an error if either relation is empty.
+func NewRipple(r, s *Relation, rg *rng.RNG) (*Ripple, error) {
+	if r.Len() == 0 || s.Len() == 0 {
+		return nil, errors.New("joinsample: empty relation")
+	}
+	return &Ripple{
+		R:     r,
+		S:     s,
+		permR: rg.Perm(r.Len()),
+		permS: rg.Perm(s.Len()),
+		hashR: map[int64][]int{},
+		hashS: map[int64][]int{},
+	}, nil
+}
+
+// Done reports whether both inputs are fully consumed (at which point the
+// estimates are exact).
+func (rp *Ripple) Done() bool { return rp.kr == rp.R.Len() && rp.ks == rp.S.Len() }
+
+// Step consumes one tuple, alternating sides (preferring the side that is
+// proportionally less consumed, which keeps the ripple square).
+func (rp *Ripple) Step() {
+	if rp.Done() {
+		return
+	}
+	takeR := rp.ks == rp.S.Len() ||
+		(rp.kr < rp.R.Len() && float64(rp.kr)*float64(rp.S.Len()) <= float64(rp.ks)*float64(rp.R.Len()))
+	if takeR {
+		idx := rp.permR[rp.kr]
+		rp.kr++
+		t := rp.R.Tuples[idx]
+		for _, j := range rp.hashS[t.Right] {
+			rp.addPair(t, rp.S.Tuples[j])
+		}
+		rp.hashR[t.Right] = append(rp.hashR[t.Right], idx)
+	} else {
+		idx := rp.permS[rp.ks]
+		rp.ks++
+		t := rp.S.Tuples[idx]
+		for _, j := range rp.hashR[t.Left] {
+			rp.addPair(rp.R.Tuples[j], t)
+		}
+		rp.hashS[t.Left] = append(rp.hashS[t.Left], idx)
+	}
+}
+
+func (rp *Ripple) addPair(r, s Tuple) {
+	v := r.Value + s.Value
+	rp.matchCount++
+	rp.matchSum += v
+	d := v - rp.pairMean
+	rp.pairMean += d / rp.matchCount
+	rp.pairM2 += d * (v - rp.pairMean)
+}
+
+// Steps returns the number of consumed tuples across both inputs.
+func (rp *Ripple) Steps() int { return rp.kr + rp.ks }
+
+// scale is the prefix-to-full extrapolation factor |R||S|/(kR·kS).
+func (rp *Ripple) scale() float64 {
+	if rp.kr == 0 || rp.ks == 0 {
+		return 0
+	}
+	return float64(rp.R.Len()) * float64(rp.S.Len()) / (float64(rp.kr) * float64(rp.ks))
+}
+
+// CountEstimate returns the running estimate of |R ⋈ S|.
+func (rp *Ripple) CountEstimate() float64 { return rp.matchCount * rp.scale() }
+
+// SumEstimate returns the running estimate of SUM(r.Value + s.Value) over
+// the join.
+func (rp *Ripple) SumEstimate() float64 { return rp.matchSum * rp.scale() }
+
+// AvgEstimate returns the running estimate of AVG(r.Value + s.Value) over
+// the join and a (heuristic) CLT half-width at the given confidence level,
+// treating matched pairs as samples. The half-width is +Inf before two
+// pairs have matched. Ripple samples are not independent, so this interval
+// is approximate — the classic caveat of the method.
+func (rp *Ripple) AvgEstimate(level float64) (est, ci float64) {
+	if rp.matchCount == 0 {
+		return 0, math.Inf(1)
+	}
+	est = rp.matchSum / rp.matchCount
+	if rp.matchCount < 2 {
+		return est, math.Inf(1)
+	}
+	variance := rp.pairM2 / (rp.matchCount - 1)
+	z := stats.NormalQuantile(0.5 + level/2)
+	return est, z * math.Sqrt(variance/rp.matchCount)
+}

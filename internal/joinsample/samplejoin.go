@@ -1,0 +1,91 @@
+package joinsample
+
+import (
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// BernoulliJoinSample is sample-then-join, the approach §3.4 opens with:
+// every tuple of R and S is kept independently with probability p and the
+// kept halves are joined. Each join result survives with probability p²,
+// so the result IS a uniform (Bernoulli) sample of R ⋈ S — but results
+// sharing a kept tuple survive together, so the sample is highly
+// correlated: aggregates computed from it have far higher variance than
+// the same number of independent samples. The returned paths are (R index,
+// S index) pairs.
+func BernoulliJoinSample(R, S *Relation, p float64, r *rng.RNG) [][2]int {
+	keepR := make([]bool, R.Len())
+	for i := range keepR {
+		keepR[i] = r.Bool(p)
+	}
+	var out [][2]int
+	for j, t := range S.Tuples {
+		if !r.Bool(p) {
+			continue
+		}
+		for _, i := range matchRight(R, t.Left) {
+			if keepR[i] {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// matchRight returns indices of R tuples whose Right key equals k. R is
+// indexed on Left, so this is a scan; BernoulliJoinSample is a baseline,
+// not a fast path.
+func matchRight(R *Relation, k int64) []int {
+	var out []int
+	for i, t := range R.Tuples {
+		if t.Right == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AvgEstimatorVariance empirically compares the variance of the AVG
+// estimator under sample-then-join versus independent uniform samples of
+// the same expected size, over trials repetitions. It returns the two
+// variances; the correlation penalty is their ratio. The aggregate is
+// r.Value + s.Value per result.
+func AvgEstimatorVariance(R, S *Relation, p float64, trials int, r *rng.RNG) (stjVar, iidVar float64, err error) {
+	chain, err := NewChain(R, S)
+	if err != nil {
+		return 0, 0, err
+	}
+	var stj, iid stats.Estimator
+	var stjSq, iidSq stats.Estimator
+	expected := 0
+	for trial := 0; trial < trials; trial++ {
+		paths := BernoulliJoinSample(R, S, p, r)
+		if len(paths) == 0 {
+			continue
+		}
+		expected += len(paths)
+		sum := 0.0
+		for _, pr := range paths {
+			sum += R.Tuples[pr[0]].Value + S.Tuples[pr[1]].Value
+		}
+		avg := sum / float64(len(paths))
+		stj.Add(avg)
+		stjSq.Add(avg * avg)
+
+		// Independent samples of the same size from the same join.
+		sum = 0.0
+		for i := 0; i < len(paths); i++ {
+			path, ok := chain.ExactSample(r)
+			if !ok {
+				return 0, 0, err
+			}
+			sum += chain.PathValue(path)
+		}
+		avg = sum / float64(len(paths))
+		iid.Add(avg)
+		iidSq.Add(avg * avg)
+	}
+	stjVar = stjSq.Mean() - stj.Mean()*stj.Mean()
+	iidVar = iidSq.Mean() - iid.Mean()*iid.Mean()
+	return stjVar, iidVar, nil
+}

@@ -1,0 +1,81 @@
+package joinsample
+
+import (
+	"testing"
+
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+func TestBernoulliJoinSampleMarginallyUniform(t *testing.T) {
+	R, S := skewedPair()
+	chain := mustChain(t, R, S)
+	r := rng.New(1)
+	// Pool many sample-then-join runs; marginally each result appears
+	// with probability p², so the pooled empirical distribution over
+	// results is uniform.
+	counts := map[string]float64{}
+	total := 0.0
+	for trial := 0; trial < 4000; trial++ {
+		for _, pr := range BernoulliJoinSample(R, S, 0.3, r) {
+			counts[PathKey([]int{pr[0], pr[1]})]++
+			total++
+		}
+	}
+	results := int(chain.JoinCount())
+	if len(counts) != results {
+		t.Fatalf("observed %d of %d results", len(counts), results)
+	}
+	emp := make([]float64, 0, results)
+	uni := make([]float64, 0, results)
+	for _, c := range counts {
+		emp = append(emp, c/total)
+		uni = append(uni, 1/float64(results))
+	}
+	if tv := stats.TotalVariation(emp, uni); tv > 0.05 {
+		t.Fatalf("pooled sample-then-join TV from uniform = %v (marginal uniformity should hold)", tv)
+	}
+}
+
+func TestSampleThenJoinCorrelationPenalty(t *testing.T) {
+	// The §3.4 observation: with heavy fan-out skew, sample-then-join's
+	// AVG estimator has materially higher variance than the same number
+	// of independent samples — because results sharing a kept R tuple
+	// survive together.
+	var rt []Tuple
+	for k := int64(0); k < 20; k++ {
+		rt = append(rt, Tuple{Right: k, Value: float64(k * 10)})
+	}
+	var st []Tuple
+	// One enormous key, many tiny ones.
+	for i := 0; i < 400; i++ {
+		st = append(st, Tuple{Left: 0, Value: 1})
+	}
+	for k := int64(1); k < 20; k++ {
+		st = append(st, Tuple{Left: k, Value: 1})
+	}
+	R := NewRelation("R", rt)
+	S := NewRelation("S", st)
+	stjVar, iidVar, err := AvgEstimatorVariance(R, S, 0.3, 300, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iidVar <= 0 {
+		t.Fatalf("iid variance = %v", iidVar)
+	}
+	if stjVar < 3*iidVar {
+		t.Fatalf("correlation penalty too small: stj %v vs iid %v", stjVar, iidVar)
+	}
+}
+
+func TestBernoulliJoinSampleDegenerate(t *testing.T) {
+	R, S := skewedPair()
+	if got := BernoulliJoinSample(R, S, 0, rng.New(3)); len(got) != 0 {
+		t.Fatalf("p=0 produced %d results", len(got))
+	}
+	chain := mustChain(t, R, S)
+	all := BernoulliJoinSample(R, S, 1, rng.New(4))
+	if float64(len(all)) != chain.JoinCount() {
+		t.Fatalf("p=1 produced %d results, want %v", len(all), chain.JoinCount())
+	}
+}

@@ -1,0 +1,144 @@
+package joinsample
+
+import (
+	"errors"
+
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// AcceptReject is the two-relation uniform join sampler of Chaudhuri,
+// Motwani, and Narasayya (SIGMOD 1999). It draws a tuple r from R uniformly
+// and accepts it with probability d(r)/M, where d(r) is the number of S
+// tuples joining r and M the maximum such fan-out; on acceptance it returns
+// r paired with a uniform matching S tuple. Accepted samples are uniform
+// and independent over R ⋈ S, and the sampler needs only the fan-out
+// statistics of S — not the full completion weights of the exact sampler.
+type AcceptReject struct {
+	R, S *Relation
+	maxM int
+}
+
+// NewAcceptReject prepares the sampler. It returns an error if either
+// relation is empty or S has no join keys at all.
+func NewAcceptReject(r, s *Relation) (*AcceptReject, error) {
+	if r.Len() == 0 || s.Len() == 0 {
+		return nil, errors.New("joinsample: empty relation")
+	}
+	m := s.MaxLeftFrequency()
+	if m == 0 {
+		return nil, errors.New("joinsample: S has no tuples")
+	}
+	return &AcceptReject{R: r, S: s, maxM: m}, nil
+}
+
+// Sample attempts one draw. ok is false on rejection (including when the
+// drawn R tuple has no matches); callers loop until ok. attempts counts the
+// R draws consumed, for throughput accounting.
+func (a *AcceptReject) Sample(rg *rng.RNG) (rIdx, sIdx int, ok bool) {
+	rIdx = rg.Intn(a.R.Len())
+	matches := a.S.MatchLeft(a.R.Tuples[rIdx].Right)
+	if len(matches) == 0 {
+		return 0, 0, false
+	}
+	if !rg.Bool(float64(len(matches)) / float64(a.maxM)) {
+		return 0, 0, false
+	}
+	return rIdx, matches[rg.Intn(len(matches))], true
+}
+
+// SampleN draws n accepted samples, looping over rejections. It returns the
+// samples and the total number of attempts consumed.
+func (a *AcceptReject) SampleN(rg *rng.RNG, n int) (paths [][2]int, attempts int) {
+	paths = make([][2]int, 0, n)
+	for len(paths) < n {
+		attempts++
+		if r, s, ok := a.Sample(rg); ok {
+			paths = append(paths, [2]int{r, s})
+		}
+		if attempts > 1000*(n+1000) {
+			// Pathological acceptance rate; bail out rather than spin.
+			return paths, attempts
+		}
+	}
+	return paths, attempts
+}
+
+// WanderEstimator estimates COUNT and SUM aggregates over a chain join from
+// wander-join walks using Horvitz–Thompson weighting. Failed walks
+// contribute zero, keeping the estimator unbiased.
+type WanderEstimator struct {
+	Chain *Chain
+	count stats.Estimator
+	sum   stats.Estimator
+}
+
+// NewWanderEstimator wraps a chain.
+func NewWanderEstimator(c *Chain) *WanderEstimator { return &WanderEstimator{Chain: c} }
+
+// Step performs one walk and folds it into the running estimates.
+func (w *WanderEstimator) Step(r *rng.RNG) {
+	path, invProb, ok := w.Chain.WanderSample(r)
+	if !ok {
+		w.count.Add(0)
+		w.sum.Add(0)
+		return
+	}
+	w.count.Add(invProb)
+	w.sum.Add(invProb * w.Chain.PathValue(path))
+}
+
+// Count returns the running COUNT estimate and its half-width confidence
+// interval at the given level.
+func (w *WanderEstimator) Count(level float64) (est, ci float64) {
+	return w.count.Mean(), w.count.CI(level)
+}
+
+// Sum returns the running SUM estimate and confidence interval.
+func (w *WanderEstimator) Sum(level float64) (est, ci float64) {
+	return w.sum.Mean(), w.sum.CI(level)
+}
+
+// Avg returns the running AVG estimate (SUM/COUNT). Its error bound is not
+// a simple CI because it is a ratio estimator; experiments report relative
+// error against ground truth instead.
+func (w *WanderEstimator) Avg() float64 {
+	c := w.count.Mean()
+	if c == 0 {
+		return 0
+	}
+	return w.sum.Mean() / c
+}
+
+// Steps returns the number of walks performed.
+func (w *WanderEstimator) Steps() float64 { return w.count.N() }
+
+// UniformEstimator estimates SUM/AVG aggregates from exact uniform samples
+// (Chain.ExactSample): since samples are uniform over the join result and
+// the result size is known exactly, SUM = JoinCount × mean(f).
+type UniformEstimator struct {
+	Chain *Chain
+	f     stats.Estimator
+}
+
+// NewUniformEstimator wraps a chain.
+func NewUniformEstimator(c *Chain) *UniformEstimator { return &UniformEstimator{Chain: c} }
+
+// Step draws one uniform sample. It is a no-op on an empty join.
+func (u *UniformEstimator) Step(r *rng.RNG) {
+	path, ok := u.Chain.ExactSample(r)
+	if !ok {
+		return
+	}
+	u.f.Add(u.Chain.PathValue(path))
+}
+
+// Sum returns the running SUM estimate and confidence interval.
+func (u *UniformEstimator) Sum(level float64) (est, ci float64) {
+	return u.Chain.JoinCount() * u.f.Mean(), u.Chain.JoinCount() * u.f.CI(level)
+}
+
+// Avg returns the running AVG estimate and confidence interval.
+func (u *UniformEstimator) Avg(level float64) (est, ci float64) {
+	return u.f.Mean(), u.f.CI(level)
+}

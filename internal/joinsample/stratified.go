@@ -1,0 +1,115 @@
+package joinsample
+
+import (
+	"errors"
+	"fmt"
+
+	"redi/internal/rng"
+)
+
+// Stratified samples join results uniformly *within demographic groups*:
+// the marriage of §3.4 (random sampling over joins) and §2.2 (group
+// representation) that the tutorial's "Uniform Sampling over Data Lakes"
+// opportunity calls for. A result's group is the group of its first-
+// relation tuple (e.g. the patient row); per-group completion weights make
+// each within-group draw exactly uniform and independent, so a caller can
+// assemble a join sample that meets group count requirements without
+// materializing the join.
+type Stratified struct {
+	Chain   *Chain
+	GroupOf []int // group of each R1 tuple
+	K       int
+
+	groupTotals []float64
+	groupCats   []*rng.Categorical
+	groupTuples [][]int
+}
+
+// NewStratified prepares per-group samplers over the chain. groupOf[i] is
+// the group (in [0, k)) of the chain's first relation's tuple i. It returns
+// an error on length mismatch or an out-of-range group.
+func NewStratified(c *Chain, groupOf []int, k int) (*Stratified, error) {
+	if len(groupOf) != c.Rels[0].Len() {
+		return nil, fmt.Errorf("joinsample: groupOf has %d entries, R1 has %d tuples",
+			len(groupOf), c.Rels[0].Len())
+	}
+	s := &Stratified{
+		Chain:       c,
+		GroupOf:     append([]int(nil), groupOf...),
+		K:           k,
+		groupTotals: make([]float64, k),
+		groupCats:   make([]*rng.Categorical, k),
+		groupTuples: make([][]int, k),
+	}
+	weights := make([][]float64, k)
+	for t, g := range groupOf {
+		if g < 0 || g >= k {
+			return nil, fmt.Errorf("joinsample: tuple %d has group %d outside [0,%d)", t, g, k)
+		}
+		w := c.weights[0][t]
+		s.groupTotals[g] += w
+		if w > 0 {
+			s.groupTuples[g] = append(s.groupTuples[g], t)
+			weights[g] = append(weights[g], w)
+		}
+	}
+	for g := 0; g < k; g++ {
+		if s.groupTotals[g] > 0 {
+			s.groupCats[g] = rng.NewCategorical(weights[g])
+		}
+	}
+	return s, nil
+}
+
+// GroupJoinCount returns the exact number of join results whose first
+// tuple belongs to group g.
+func (s *Stratified) GroupJoinCount(g int) float64 { return s.groupTotals[g] }
+
+// Sample draws one join result uniformly among the results of group g,
+// independent of all other draws. ok is false when group g has no results.
+func (s *Stratified) Sample(g int, r *rng.RNG) (path []int, ok bool) {
+	if g < 0 || g >= s.K || s.groupCats[g] == nil {
+		return nil, false
+	}
+	path = make([]int, len(s.Chain.Rels))
+	path[0] = s.groupTuples[g][s.groupCats[g].Draw(r)]
+	for i := 1; i < len(s.Chain.Rels); i++ {
+		prev := s.Chain.Rels[i-1].Tuples[path[i-1]]
+		matches := s.Chain.Rels[i].MatchLeft(prev.Right)
+		total := 0.0
+		for _, j := range matches {
+			total += s.Chain.weights[i][j]
+		}
+		x := r.Float64() * total
+		pick := matches[len(matches)-1]
+		for _, j := range matches {
+			x -= s.Chain.weights[i][j]
+			if x <= 0 {
+				pick = j
+				break
+			}
+		}
+		path[i] = pick
+	}
+	return path, true
+}
+
+// SampleCounts draws need[g] results from each group (a distribution-
+// tailored join sample). It returns an error if a requested group has no
+// join results.
+func (s *Stratified) SampleCounts(need []int, r *rng.RNG) ([][]int, error) {
+	if len(need) != s.K {
+		return nil, errors.New("joinsample: need length mismatch")
+	}
+	var out [][]int
+	for g, n := range need {
+		if n > 0 && s.groupTotals[g] == 0 {
+			return nil, fmt.Errorf("joinsample: group %d has no join results", g)
+		}
+		for i := 0; i < n; i++ {
+			path, _ := s.Sample(g, r)
+			out = append(out, path)
+		}
+	}
+	return out, nil
+}

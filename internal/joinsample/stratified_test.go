@@ -1,0 +1,163 @@
+package joinsample
+
+import (
+	"testing"
+
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+// stratifiedFixture: R1 tuples belong to 2 groups with very different
+// fan-outs, so plain uniform join sampling under-represents group 1.
+func stratifiedFixture(t *testing.T) (*Chain, []int) {
+	t.Helper()
+	var rt []Tuple
+	groups := make([]int, 0, 20)
+	for k := int64(0); k < 20; k++ {
+		rt = append(rt, Tuple{Right: k, Value: float64(k)})
+		if k < 16 {
+			groups = append(groups, 0)
+		} else {
+			groups = append(groups, 1)
+		}
+	}
+	var st []Tuple
+	// Group-0 keys have fan-out 10; group-1 keys fan-out 1.
+	for k := int64(0); k < 16; k++ {
+		for i := 0; i < 10; i++ {
+			st = append(st, Tuple{Left: k, Value: 1})
+		}
+	}
+	for k := int64(16); k < 20; k++ {
+		st = append(st, Tuple{Left: k, Value: 1})
+	}
+	c, err := NewChain(NewRelation("R", rt), NewRelation("S", st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, groups
+}
+
+func TestStratifiedGroupCounts(t *testing.T) {
+	c, groups := stratifiedFixture(t)
+	s, err := NewStratified(c, groups, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 0: 16 keys x 10 = 160 results; group 1: 4 keys x 1 = 4.
+	if s.GroupJoinCount(0) != 160 || s.GroupJoinCount(1) != 4 {
+		t.Fatalf("group counts = %v %v", s.GroupJoinCount(0), s.GroupJoinCount(1))
+	}
+}
+
+func TestStratifiedSampleRespectsGroup(t *testing.T) {
+	c, groups := stratifiedFixture(t)
+	s, err := NewStratified(c, groups, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 500; i++ {
+		path, ok := s.Sample(1, r)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if groups[path[0]] != 1 {
+			t.Fatalf("group-1 sample came from group %d", groups[path[0]])
+		}
+	}
+}
+
+func TestStratifiedWithinGroupUniform(t *testing.T) {
+	c, groups := stratifiedFixture(t)
+	s, err := NewStratified(c, groups, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	counts := map[string]float64{}
+	const n = 32000
+	for i := 0; i < n; i++ {
+		path, _ := s.Sample(0, r)
+		counts[PathKey(path)]++
+	}
+	if len(counts) != 160 {
+		t.Fatalf("observed %d distinct group-0 results, want 160", len(counts))
+	}
+	emp := make([]float64, 0, 160)
+	uni := make([]float64, 0, 160)
+	for _, v := range counts {
+		emp = append(emp, v/n)
+		uni = append(uni, 1.0/160)
+	}
+	if tv := stats.TotalVariation(emp, uni); tv > 0.05 {
+		t.Fatalf("within-group TV from uniform = %v", tv)
+	}
+}
+
+func TestStratifiedSampleCounts(t *testing.T) {
+	c, groups := stratifiedFixture(t)
+	s, err := NewStratified(c, groups, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := s.SampleCounts([]int{10, 30}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 40 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	got := [2]int{}
+	for _, p := range paths {
+		got[groups[p[0]]]++
+	}
+	if got[0] != 10 || got[1] != 30 {
+		t.Fatalf("group sample counts = %v", got)
+	}
+}
+
+func TestStratifiedErrors(t *testing.T) {
+	c, groups := stratifiedFixture(t)
+	if _, err := NewStratified(c, groups[:3], 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := append([]int(nil), groups...)
+	bad[0] = 7
+	if _, err := NewStratified(c, bad, 2); err == nil {
+		t.Fatal("out-of-range group accepted")
+	}
+	s, err := NewStratified(c, groups, 3) // group 2 exists but is empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Sample(2, rng.New(4)); ok {
+		t.Fatal("empty group sampled")
+	}
+	if _, err := s.SampleCounts([]int{0, 0, 1}, rng.New(5)); err == nil {
+		t.Fatal("unsatisfiable count accepted")
+	}
+	if _, err := s.SampleCounts([]int{1}, rng.New(6)); err == nil {
+		t.Fatal("need length mismatch accepted")
+	}
+}
+
+func TestStratifiedDeadEndGroup(t *testing.T) {
+	// A group whose only R1 tuple has no S matches: zero join results.
+	rt := []Tuple{{Right: 0}, {Right: 99}}
+	st := []Tuple{{Left: 0}}
+	c, err := NewChain(NewRelation("R", rt), NewRelation("S", st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStratified(c, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GroupJoinCount(1) != 0 {
+		t.Fatalf("dead-end group count = %v", s.GroupJoinCount(1))
+	}
+	if _, ok := s.Sample(1, rng.New(7)); ok {
+		t.Fatal("dead-end group sampled")
+	}
+}

@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"sort"
+
+	"redi/internal/dataset"
+	"redi/internal/stats"
+)
+
+// AttrDrift measures one attribute's distribution shift between a baseline
+// dataset and a candidate dataset — the drift widget of the Scope-of-use
+// requirement (§2.5): data collected under one distribution must not be
+// silently used under another.
+type AttrDrift struct {
+	Attr string
+	// PSI is the population stability index (< 0.1 stable, > 0.25 major
+	// drift).
+	PSI float64
+	// TV is the total-variation distance of the aligned distributions.
+	TV float64
+	// W1 is the 1-Wasserstein distance (numeric attributes only; 0 for
+	// categorical).
+	W1 float64
+}
+
+// DriftLevel classifies the PSI score with the conventional bands.
+func (d AttrDrift) DriftLevel() string {
+	switch {
+	case d.PSI < 0.1:
+		return "stable"
+	case d.PSI < 0.25:
+		return "moderate"
+	default:
+		return "major"
+	}
+}
+
+// Drift compares every shared attribute of baseline and candidate:
+// categorical attributes by aligned value frequencies, numeric attributes
+// by equi-width histograms over the combined range. Results are sorted by
+// PSI descending (worst drift first).
+func Drift(baseline, candidate *dataset.Dataset, bins int) []AttrDrift {
+	if bins <= 0 {
+		bins = 10
+	}
+	var out []AttrDrift
+	s := baseline.Schema()
+	for i := 0; i < s.Len(); i++ {
+		a := s.Attr(i)
+		if a.Role == dataset.ID {
+			// Identifier columns are unique per row; their "drift"
+			// is always maximal and always meaningless.
+			continue
+		}
+		if _, ok := candidate.Schema().Index(a.Name); !ok {
+			continue
+		}
+		var d AttrDrift
+		if a.Kind == dataset.Categorical {
+			d = catDrift(baseline, candidate, a.Name)
+		} else {
+			d = numDrift(baseline, candidate, a.Name, bins)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PSI != out[b].PSI {
+			return out[a].PSI > out[b].PSI
+		}
+		return out[a].Attr < out[b].Attr
+	})
+	return out
+}
+
+func catDrift(baseline, candidate *dataset.Dataset, attr string) AttrDrift {
+	count := func(d *dataset.Dataset) map[string]float64 {
+		out := map[string]float64{}
+		for _, v := range d.Strings(attr) {
+			if v != "" {
+				out[v]++
+			}
+		}
+		return out
+	}
+	cb, cc := count(baseline), count(candidate)
+	keys := map[string]bool{}
+	for v := range cb {
+		keys[v] = true
+	}
+	for v := range cc {
+		keys[v] = true
+	}
+	var p, q []float64
+	for v := range keys {
+		p = append(p, cb[v])
+		q = append(q, cc[v])
+	}
+	if len(p) == 0 {
+		return AttrDrift{Attr: attr}
+	}
+	p = stats.Smooth(p, 1e-9)
+	q = stats.Smooth(q, 1e-9)
+	return AttrDrift{Attr: attr, PSI: stats.PSI(p, q), TV: stats.TotalVariation(p, q)}
+}
+
+func numDrift(baseline, candidate *dataset.Dataset, attr string, bins int) AttrDrift {
+	vb, _ := baseline.Numeric(attr)
+	vc, _ := candidate.Numeric(attr)
+	if len(vb) == 0 || len(vc) == 0 {
+		return AttrDrift{Attr: attr}
+	}
+	minB, maxB := stats.MinMax(vb)
+	minC, maxC := stats.MinMax(vc)
+	lo, hi := minB, maxB
+	if minC < lo {
+		lo = minC
+	}
+	if maxC > hi {
+		hi = maxC
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	hb := stats.NewHistogram(lo, hi, bins)
+	hb.AddAll(vb)
+	hc := stats.NewHistogram(lo, hi, bins)
+	hc.AddAll(vc)
+	p, q := hb.PMF(), hc.PMF()
+	return AttrDrift{
+		Attr: attr,
+		PSI:  stats.PSI(p, q),
+		TV:   stats.TotalVariation(p, q),
+		W1:   stats.Wasserstein1(p, q) * (hi - lo) / float64(bins),
+	}
+}

@@ -1,0 +1,88 @@
+package profile
+
+import (
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+func TestDriftSelfIsStable(t *testing.T) {
+	d := pop(t, 3000, 10)
+	a, b := d.Split(rng.New(11), 0.5)
+	drifts := Drift(a, b, 10)
+	if len(drifts) == 0 {
+		t.Fatal("no drifts computed")
+	}
+	for _, dr := range drifts {
+		if dr.DriftLevel() != "stable" {
+			t.Fatalf("same-population halves drifted: %+v", dr)
+		}
+	}
+}
+
+func TestDriftDetectsShift(t *testing.T) {
+	// Baseline vs a candidate with a shifted f0 and re-weighted race.
+	base := pop(t, 3000, 12)
+	shifted := base.Clone()
+	for r := 0; r < shifted.NumRows(); r++ {
+		v := shifted.Value(r, "f0")
+		if !v.Null {
+			if err := shifted.SetValue(r, "f0", dataset.Num(v.Num+3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Flip most non-white rows to white: categorical drift.
+		if rv := shifted.Value(r, "race"); !rv.Null && rv.Cat != "white" && r%3 != 0 {
+			if err := shifted.SetValue(r, "race", dataset.Cat("white")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drifts := Drift(base, shifted, 10)
+	byAttr := map[string]AttrDrift{}
+	for _, d := range drifts {
+		byAttr[d.Attr] = d
+	}
+	if byAttr["f0"].DriftLevel() != "major" {
+		t.Fatalf("f0 shift not detected: %+v", byAttr["f0"])
+	}
+	if byAttr["f0"].W1 < 2 {
+		t.Fatalf("f0 W1 = %v, want ~3", byAttr["f0"].W1)
+	}
+	if byAttr["race"].DriftLevel() == "stable" {
+		t.Fatalf("race reweighting not detected: %+v", byAttr["race"])
+	}
+	if byAttr["f1"].DriftLevel() != "stable" {
+		t.Fatalf("untouched f1 drifted: %+v", byAttr["f1"])
+	}
+	// Sorted worst-first.
+	for i := 1; i < len(drifts); i++ {
+		if drifts[i].PSI > drifts[i-1].PSI {
+			t.Fatal("drifts not sorted by PSI")
+		}
+	}
+}
+
+func TestDriftSkipsMissingAttrs(t *testing.T) {
+	a := pop(t, 100, 13)
+	b := dataset.New(dataset.NewSchema(dataset.Attribute{Name: "other", Kind: dataset.Numeric}))
+	if got := Drift(a, b, 5); len(got) != 0 {
+		t.Fatalf("drift over disjoint schemas = %v", got)
+	}
+}
+
+func TestDriftEmptyNumeric(t *testing.T) {
+	mk := func() *dataset.Dataset {
+		return dataset.New(dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric}))
+	}
+	a, b := mk(), mk()
+	a.MustAppendRow(dataset.NullValue(dataset.Numeric))
+	b.MustAppendRow(dataset.Num(1))
+	drifts := Drift(a, b, 5)
+	if len(drifts) != 1 || drifts[0].PSI != 0 {
+		t.Fatalf("empty-side drift = %v", drifts)
+	}
+	_ = synth.FeatureNames // keep synth import for pop helper parity
+}

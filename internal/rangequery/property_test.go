@@ -1,0 +1,108 @@
+package rangequery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redi/internal/dataset"
+)
+
+// Property: for arbitrary small score/group data and any bound, the
+// rewritten range satisfies the bound, its similarity is in [0,1], and an
+// already-fair query is returned unchanged (similarity 1).
+func TestFairRewriteProperty(t *testing.T) {
+	f := func(scores []uint8, eps8 uint8) bool {
+		if len(scores) < 4 {
+			return true
+		}
+		if len(scores) > 40 {
+			scores = scores[:40]
+		}
+		d := dataset.New(dataset.NewSchema(
+			dataset.Attribute{Name: "s", Kind: dataset.Numeric},
+			dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+		))
+		for i, sc := range scores {
+			grp := "a"
+			if sc%3 == 0 {
+				grp = "b"
+			}
+			d.MustAppendRow(dataset.Num(float64(sc)), dataset.Cat(grp))
+			_ = i
+		}
+		ix, err := NewIndex(d, "s", []string{"g"})
+		if err != nil {
+			return true // single-group or empty data; nothing to check
+		}
+		eps := int(eps8 % 10)
+		lo, hi := 50.0, 200.0
+		res, err := ix.FairestSimilarRange(lo, hi, eps)
+		if err != nil {
+			return false
+		}
+		if res.Disparity > eps {
+			return false
+		}
+		if res.Similarity < 0 || res.Similarity > 1 {
+			return false
+		}
+		orig := ix.Query(lo, hi)
+		if orig.Disparity <= eps && res.Similarity != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CoverageRelax never shrinks the query interval and, when it
+// succeeds, meets every count.
+func TestCoverageRelaxProperty(t *testing.T) {
+	f := func(scores []uint8, minCount8 uint8) bool {
+		if len(scores) < 6 {
+			return true
+		}
+		if len(scores) > 40 {
+			scores = scores[:40]
+		}
+		d := dataset.New(dataset.NewSchema(
+			dataset.Attribute{Name: "s", Kind: dataset.Numeric},
+			dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+		))
+		for _, sc := range scores {
+			grp := "a"
+			if sc%2 == 0 {
+				grp = "b"
+			}
+			d.MustAppendRow(dataset.Num(float64(sc)), dataset.Cat(grp))
+		}
+		ix, err := NewIndex(d, "s", []string{"g"})
+		if err != nil || len(ix.Groups) < 2 {
+			return true
+		}
+		min := int(minCount8 % 4)
+		need := make([]int, len(ix.Groups))
+		for g := range need {
+			need[g] = min
+		}
+		orig := ix.Query(100, 150)
+		res, err := ix.CoverageRelax(100, 150, need)
+		if err != nil {
+			return true // unsatisfiable on this draw
+		}
+		for g, c := range res.Counts {
+			if c < need[g] {
+				return false
+			}
+			if c < orig.Counts[g] {
+				return false // relaxation must not lose rows
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

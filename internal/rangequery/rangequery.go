@@ -1,0 +1,251 @@
+// Package rangequery implements fairness-aware range queries (Shetiya,
+// Swift, Asudeh, Das, ICDE 2022) and coverage-based query rewriting
+// (Accinelli et al., EDBT workshops 2020/21), the §5 "Fairness-aware Query
+// Answering" toolbox of the tutorial.
+//
+// Given a selection query `attr BETWEEN lo AND hi` whose result is
+// demographically skewed, FairestSimilarRange returns the most similar
+// range (by Jaccard similarity of the result sets) whose result satisfies a
+// disparity bound on group counts. CoverageRelax instead minimally expands
+// the range until every group reaches a required count.
+package rangequery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"redi/internal/dataset"
+)
+
+// row is one record eligible for range queries: its attribute value and
+// group index.
+type row struct {
+	val   float64
+	group int
+}
+
+// Index is a prepared fairness-aware range-query structure over one numeric
+// attribute and one demographic grouping: rows sorted by value with
+// per-group prefix counts, so any candidate range's group histogram is
+// O(groups) and its result-set similarity to the query is O(1).
+type Index struct {
+	Attr   string
+	Groups []dataset.GroupKey
+
+	rows   []row
+	prefix [][]int // prefix[i][g]: count of group g among rows[0..i)
+}
+
+// NewIndex prepares the structure over d's numeric attribute attr grouped
+// by the categorical sensitive attributes. Rows with a null attribute or
+// null group are excluded. It returns an error when nothing remains.
+func NewIndex(d *dataset.Dataset, attr string, sensitive []string) (*Index, error) {
+	groups := d.GroupBy(sensitive...)
+	vals, nulls := d.NumericFull(attr)
+	ix := &Index{Attr: attr, Groups: groups.Keys}
+	for r := 0; r < d.NumRows(); r++ {
+		if nulls[r] || groups.ByRow[r] < 0 {
+			continue
+		}
+		ix.rows = append(ix.rows, row{val: vals[r], group: groups.ByRow[r]})
+	}
+	if len(ix.rows) == 0 {
+		return nil, errors.New("rangequery: no usable rows")
+	}
+	sort.Slice(ix.rows, func(a, b int) bool { return ix.rows[a].val < ix.rows[b].val })
+	k := len(ix.Groups)
+	ix.prefix = make([][]int, len(ix.rows)+1)
+	ix.prefix[0] = make([]int, k)
+	for i, rw := range ix.rows {
+		next := make([]int, k)
+		copy(next, ix.prefix[i])
+		next[rw.group]++
+		ix.prefix[i+1] = next
+	}
+	return ix, nil
+}
+
+// NumRows returns the number of indexed rows.
+func (ix *Index) NumRows() int { return len(ix.rows) }
+
+// span returns the half-open row interval [i, j) containing values in
+// [lo, hi].
+func (ix *Index) span(lo, hi float64) (int, int) {
+	i := sort.Search(len(ix.rows), func(a int) bool { return ix.rows[a].val >= lo })
+	j := sort.Search(len(ix.rows), func(a int) bool { return ix.rows[a].val > hi })
+	return i, j
+}
+
+// counts returns the per-group counts of rows[i:j].
+func (ix *Index) counts(i, j int) []int {
+	k := len(ix.Groups)
+	out := make([]int, k)
+	for g := 0; g < k; g++ {
+		out[g] = ix.prefix[j][g] - ix.prefix[i][g]
+	}
+	return out
+}
+
+// disparity is the max−min spread of group counts.
+func disparity(counts []int) int {
+	if len(counts) == 0 {
+		return 0
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max - min
+}
+
+// Result describes a (possibly rewritten) range and its demographics.
+type Result struct {
+	Lo, Hi float64
+	// Counts are per-group result counts aligned with Index.Groups.
+	Counts []int
+	// Disparity is max−min of Counts.
+	Disparity int
+	// Similarity is the Jaccard similarity between this range's result
+	// set and the original query's result set (1 for the query itself).
+	Similarity float64
+	// Size is the total result count.
+	Size int
+}
+
+func (ix *Index) result(i, j, qi, qj int) Result {
+	counts := ix.counts(i, j)
+	res := Result{Counts: counts, Disparity: disparity(counts)}
+	for _, c := range counts {
+		res.Size += c
+	}
+	// Jaccard over row intervals.
+	interLo, interHi := maxInt(i, qi), minInt(j, qj)
+	inter := maxInt(0, interHi-interLo)
+	union := (j - i) + (qj - qi) - inter
+	if union == 0 {
+		res.Similarity = 1
+	} else {
+		res.Similarity = float64(inter) / float64(union)
+	}
+	if i < j {
+		res.Lo, res.Hi = ix.rows[i].val, ix.rows[j-1].val
+	}
+	return res
+}
+
+// Query evaluates the original range without rewriting.
+func (ix *Index) Query(lo, hi float64) Result {
+	i, j := ix.span(lo, hi)
+	res := ix.result(i, j, i, j)
+	res.Lo, res.Hi = lo, hi
+	return res
+}
+
+// FairestSimilarRange returns the range whose result set is most similar
+// (Jaccard) to the query's while keeping group-count disparity at most eps.
+// The empty range always qualifies, so a solution always exists; ties
+// prefer larger results. The search exactly enumerates all O(n²) row
+// intervals, matching the ICDE'22 problem statement (their contribution is
+// a faster sweep for the single-predicate case; see DESIGN.md).
+func (ix *Index) FairestSimilarRange(lo, hi float64, eps int) (Result, error) {
+	if eps < 0 {
+		return Result{}, fmt.Errorf("rangequery: negative disparity bound %d", eps)
+	}
+	qi, qj := ix.span(lo, hi)
+	n := len(ix.rows)
+	best := ix.result(qi, qi, qi, qj) // empty range fallback
+	for i := 0; i <= n; i++ {
+		for j := i; j <= n; j++ {
+			counts := ix.counts(i, j)
+			if disparity(counts) > eps {
+				continue
+			}
+			cand := ix.result(i, j, qi, qj)
+			if cand.Similarity > best.Similarity ||
+				(cand.Similarity == best.Similarity && cand.Size > best.Size) {
+				best = cand
+			}
+		}
+	}
+	return best, nil
+}
+
+// CoverageRelax minimally expands the query range until every group g has
+// at least minCounts[g] rows (coverage-based rewriting). Expansion proceeds
+// by repeatedly adding the adjacent row (left or right) that is closest in
+// value to the current boundary. It returns an error if the requirement is
+// unsatisfiable even over the full data, along with the full-range result.
+func (ix *Index) CoverageRelax(lo, hi float64, minCounts []int) (Result, error) {
+	if len(minCounts) != len(ix.Groups) {
+		return Result{}, fmt.Errorf("rangequery: minCounts has %d groups, index has %d",
+			len(minCounts), len(ix.Groups))
+	}
+	qi, qj := ix.span(lo, hi)
+	i, j := qi, qj
+	satisfied := func() bool {
+		counts := ix.counts(i, j)
+		for g, c := range counts {
+			if c < minCounts[g] {
+				return false
+			}
+		}
+		return true
+	}
+	for !satisfied() {
+		canLeft := i > 0
+		canRight := j < len(ix.rows)
+		switch {
+		case !canLeft && !canRight:
+			res := ix.result(i, j, qi, qj)
+			return res, errors.New("rangequery: coverage requirement unsatisfiable on this data")
+		case !canLeft:
+			j++
+		case !canRight:
+			i--
+		default:
+			// Take the value closer to the current range boundary.
+			dl := boundaryLo(ix, i) - ix.rows[i-1].val
+			dr := ix.rows[j].val - boundaryHi(ix, j)
+			if dl <= dr {
+				i--
+			} else {
+				j++
+			}
+		}
+	}
+	return ix.result(i, j, qi, qj), nil
+}
+
+func boundaryLo(ix *Index, i int) float64 {
+	if i < len(ix.rows) {
+		return ix.rows[i].val
+	}
+	return ix.rows[len(ix.rows)-1].val
+}
+
+func boundaryHi(ix *Index, j int) float64 {
+	if j > 0 {
+		return ix.rows[j-1].val
+	}
+	return ix.rows[0].val
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

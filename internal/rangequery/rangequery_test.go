@@ -1,0 +1,198 @@
+package rangequery
+
+import (
+	"testing"
+
+	"redi/internal/dataset"
+)
+
+// build constructs a dataset of (score, group) rows from parallel slices.
+func build(t *testing.T, scores []float64, groups []string) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "score", Kind: dataset.Numeric, Role: dataset.Feature},
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical, Role: dataset.Sensitive},
+	))
+	for i := range scores {
+		d.MustAppendRow(dataset.Num(scores[i]), dataset.Cat(groups[i]))
+	}
+	return d
+}
+
+// skewed builds data where low scores are group a, high scores group b:
+// a query over low scores is maximally unfair.
+func skewed(t *testing.T) *Index {
+	scores := make([]float64, 0, 40)
+	groups := make([]string, 0, 40)
+	for i := 0; i < 20; i++ {
+		scores = append(scores, float64(i))
+		groups = append(groups, "a")
+	}
+	for i := 20; i < 40; i++ {
+		scores = append(scores, float64(i))
+		groups = append(groups, "b")
+	}
+	ix, err := NewIndex(build(t, scores, groups), "score", []string{"grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestQueryCounts(t *testing.T) {
+	ix := skewed(t)
+	res := ix.Query(0, 9)
+	if res.Size != 10 || res.Counts[0] != 10 || res.Counts[1] != 0 {
+		t.Fatalf("query result = %+v", res)
+	}
+	if res.Disparity != 10 || res.Similarity != 1 {
+		t.Fatalf("query metrics = %+v", res)
+	}
+}
+
+func TestFairRewriteReducesDisparity(t *testing.T) {
+	ix := skewed(t)
+	// Query [10, 29]: 10 of a, 10 of b — already fair.
+	res, err := ix.FairestSimilarRange(10, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Similarity != 1 || res.Disparity != 0 {
+		t.Fatalf("already-fair query rewritten: %+v", res)
+	}
+	// Query [0, 9]: all group a. The fairest similar range must include
+	// balanced counts at some similarity cost.
+	res, err = ix.FairestSimilarRange(0, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disparity != 0 {
+		t.Fatalf("rewrite not fair: %+v", res)
+	}
+	if res.Similarity <= 0 || res.Similarity >= 1 {
+		t.Fatalf("similarity should be in (0,1): %+v", res)
+	}
+	if res.Size == 0 {
+		t.Fatalf("degenerate empty rewrite chosen: %+v", res)
+	}
+}
+
+func TestFairRewriteEpsilonLoosens(t *testing.T) {
+	ix := skewed(t)
+	strict, err := ix.FairestSimilarRange(0, 14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := ix.FairestSimilarRange(0, 14, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Similarity < strict.Similarity {
+		t.Fatalf("looser bound reduced similarity: %v < %v", loose.Similarity, strict.Similarity)
+	}
+	if loose.Disparity > 5 {
+		t.Fatalf("loose disparity = %d", loose.Disparity)
+	}
+}
+
+func TestFairRewriteValidation(t *testing.T) {
+	ix := skewed(t)
+	if _, err := ix.FairestSimilarRange(0, 1, -1); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+}
+
+func TestNewIndexErrors(t *testing.T) {
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "score", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "grp", Kind: dataset.Categorical},
+	))
+	if _, err := NewIndex(d, "score", []string{"grp"}); err == nil {
+		t.Fatal("empty index accepted")
+	}
+	// Rows with nulls are excluded.
+	d.MustAppendRow(dataset.NullValue(dataset.Numeric), dataset.Cat("a"))
+	d.MustAppendRow(dataset.Num(1), dataset.NullValue(dataset.Categorical))
+	d.MustAppendRow(dataset.Num(2), dataset.Cat("a"))
+	ix, err := NewIndex(d, "score", []string{"grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumRows() != 1 {
+		t.Fatalf("indexed rows = %d, want 1", ix.NumRows())
+	}
+}
+
+func TestCoverageRelaxExpands(t *testing.T) {
+	ix := skewed(t)
+	// Query [0, 4] has 5 of a, 0 of b; require 3 of each.
+	res, err := ix.CoverageRelax(0, 4, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] < 3 || res.Counts[1] < 3 {
+		t.Fatalf("coverage not met: %+v", res)
+	}
+	// Expansion must be minimal in the sense of not over-expanding past
+	// the third b row (value 22).
+	if res.Hi > 22 {
+		t.Fatalf("over-expanded: %+v", res)
+	}
+	if res.Similarity <= 0 {
+		t.Fatalf("similarity = %v", res.Similarity)
+	}
+}
+
+func TestCoverageRelaxAlreadySatisfied(t *testing.T) {
+	ix := skewed(t)
+	res, err := ix.CoverageRelax(15, 24, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Similarity != 1 {
+		t.Fatalf("satisfied query was expanded: %+v", res)
+	}
+}
+
+func TestCoverageRelaxUnsatisfiable(t *testing.T) {
+	ix := skewed(t)
+	if _, err := ix.CoverageRelax(0, 39, []int{100, 1}); err == nil {
+		t.Fatal("unsatisfiable requirement accepted")
+	}
+	if _, err := ix.CoverageRelax(0, 1, []int{1}); err == nil {
+		t.Fatal("group-count mismatch accepted")
+	}
+}
+
+func TestThreeGroups(t *testing.T) {
+	scores := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	groups := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	ix, err := NewIndex(build(t, scores, groups), "score", []string{"grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Query(1, 4)
+	// Counts: a=2, b=1, c=1 -> disparity 1.
+	if res.Disparity != 1 {
+		t.Fatalf("disparity = %d", res.Disparity)
+	}
+	fair, err := ix.FairestSimilarRange(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fair.Disparity != 0 {
+		t.Fatalf("fair rewrite disparity = %d", fair.Disparity)
+	}
+	if fair.Similarity < 0.5 {
+		t.Fatalf("similarity collapsed: %+v", fair)
+	}
+}
+
+func TestDisparityHelper(t *testing.T) {
+	if disparity(nil) != 0 {
+		t.Fatal("empty disparity")
+	}
+	if disparity([]int{3, 7, 5}) != 4 {
+		t.Fatal("disparity calc")
+	}
+}

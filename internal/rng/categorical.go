@@ -1,0 +1,98 @@
+package rng
+
+// Categorical samples indices from a fixed discrete distribution in O(1)
+// time per draw using Vose's alias method. It is the workhorse behind the
+// synthetic source generators: each data source's group distribution is one
+// Categorical.
+type Categorical struct {
+	prob  []float64
+	alias []int
+	p     []float64 // normalized input probabilities, for inspection
+}
+
+// NewCategorical builds an alias table for the given non-negative weights.
+// Weights need not sum to one; they are normalized. It panics if weights is
+// empty, contains a negative entry, or sums to zero.
+func NewCategorical(weights []float64) *Categorical {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewCategorical requires at least one weight")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: NewCategorical weight is negative")
+		}
+		sum += w
+	}
+	if sum == 0 {
+		panic("rng: NewCategorical weights sum to zero")
+	}
+
+	c := &Categorical{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		p:     make([]float64, n),
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		c.p[i] = w / sum
+		scaled[i] = c.p[i] * float64(n)
+	}
+
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		c.prob[l] = scaled[l]
+		c.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		c.prob[g] = 1
+	}
+	for _, l := range small {
+		// Only reachable through floating-point round-off.
+		c.prob[l] = 1
+	}
+	return c
+}
+
+// Draw returns an index distributed according to the table's weights.
+func (c *Categorical) Draw(r *RNG) int {
+	i := r.Intn(len(c.prob))
+	if r.Float64() < c.prob[i] {
+		return i
+	}
+	return c.alias[i]
+}
+
+// K returns the number of categories.
+func (c *Categorical) K() int { return len(c.prob) }
+
+// P returns the normalized probability of category i.
+func (c *Categorical) P(i int) float64 { return c.p[i] }
+
+// Probs returns a copy of the normalized probability vector.
+func (c *Categorical) Probs() []float64 {
+	out := make([]float64, len(c.p))
+	copy(out, c.p)
+	return out
+}

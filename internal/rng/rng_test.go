@@ -1,0 +1,339 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestZeroSeedIsUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced only %d distinct values out of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const k, n = 10, 100000
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(k)]++
+	}
+	want := float64(n) / k
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(4)
+	for _, n := range []int{0, 1, 5, 50} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(3, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Fatalf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(17)
+	for _, tc := range []struct{ shape, scale float64 }{{0.5, 1}, {2, 3}, {9, 0.5}} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(tc.shape, tc.scale)
+		}
+		want := tc.shape * tc.scale
+		if mean := sum / n; math.Abs(mean-want) > 0.05*want+0.02 {
+			t.Fatalf("Gamma(%v,%v) mean = %v, want ~%v", tc.shape, tc.scale, mean, want)
+		}
+	}
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		v := r.Dirichlet([]float64{0.5, 1, 2, 4})
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				t.Fatalf("Dirichlet produced negative coordinate %v", v)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sum = %v, want 1", sum)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(23)
+	z := NewZipf(r, 1.5, 1, 999)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Uint64()]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[4] {
+		t.Fatalf("Zipf counts not decreasing: c0=%d c1=%d c4=%d", counts[0], counts[1], counts[4])
+	}
+	// P(0)/P(1) should be about 2^1.5 ≈ 2.83 for v=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.2 || ratio > 3.6 {
+		t.Fatalf("Zipf head ratio = %v, want ~2.83", ratio)
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	w := ZipfWeights(10, 2)
+	sum := 0.0
+	for i, x := range w {
+		if i > 0 && x >= w[i-1] {
+			t.Fatalf("ZipfWeights not decreasing at %d: %v", i, w)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("ZipfWeights sum = %v", sum)
+	}
+}
+
+func TestCategoricalMatchesWeights(t *testing.T) {
+	r := New(29)
+	weights := []float64{1, 2, 3, 4}
+	c := NewCategorical(weights)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[c.Draw(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("category %d count %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestCategoricalSingle(t *testing.T) {
+	r := New(31)
+	c := NewCategorical([]float64{5})
+	for i := 0; i < 10; i++ {
+		if c.Draw(r) != 0 {
+			t.Fatal("single-category draw returned nonzero index")
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverDrawn(t *testing.T) {
+	r := New(37)
+	c := NewCategorical([]float64{1, 0, 1})
+	for i := 0; i < 10000; i++ {
+		if c.Draw(r) == 1 {
+			t.Fatal("zero-weight category was drawn")
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"negative": {1, -1},
+		"zero-sum": {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewCategorical(%s) did not panic", name)
+				}
+			}()
+			NewCategorical(weights)
+		}()
+	}
+}
+
+func TestCategoricalProbs(t *testing.T) {
+	c := NewCategorical([]float64{2, 6})
+	if p := c.P(0); math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("P(0) = %v, want 0.25", p)
+	}
+	probs := c.Probs()
+	probs[0] = 99
+	if c.P(0) == 99 {
+		t.Fatal("Probs did not return a copy")
+	}
+	if c.K() != 2 {
+		t.Fatalf("K = %d, want 2", c.K())
+	}
+}
+
+// Property: Uint64n(n) is always < n, for arbitrary nonzero n.
+func TestUint64nProperty(t *testing.T) {
+	r := New(41)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: seeding is stable — the first value of New(s) is a pure
+// function of s.
+func TestSeedStabilityProperty(t *testing.T) {
+	f := func(s uint64) bool {
+		return New(s).Uint64() == New(s).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkCategoricalDraw(b *testing.B) {
+	r := New(1)
+	c := NewCategorical(ZipfWeights(1000, 1.2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Draw(r)
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1.3, 1, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Uint64()
+	}
+}

@@ -1,0 +1,80 @@
+package rng
+
+import "math"
+
+// Zipf samples from a Zipf (zeta) distribution over {0, 1, ..., imax} with
+// skew s > 1 and offset v >= 1, matching the parameterization of
+// math/rand.Zipf: P(k) is proportional to ((v + k) ** -s).
+//
+// Sampling uses rejection-inversion (Hörmann & Derflinger), which is O(1)
+// per draw regardless of imax.
+type Zipf struct {
+	r            *RNG
+	imax         float64
+	v            float64
+	q            float64
+	oneminusQ    float64
+	oneminusQinv float64
+	hxm          float64
+	hx0minusHxm  float64
+	s            float64
+}
+
+// NewZipf returns a Zipf sampler. It panics if s <= 1, v < 1, or imax < 0.
+func NewZipf(r *RNG, s, v float64, imax uint64) *Zipf {
+	if s <= 1 || v < 1 {
+		panic("rng: NewZipf requires s > 1 and v >= 1")
+	}
+	z := &Zipf{
+		r:    r,
+		imax: float64(imax),
+		v:    v,
+		q:    s,
+	}
+	z.oneminusQ = 1 - z.q
+	z.oneminusQinv = 1 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1)))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+// Uint64 returns a Zipf-distributed value in [0, imax].
+func (z *Zipf) Uint64() uint64 {
+	for {
+		r := z.r.Float64()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}
+
+// ZipfWeights returns the normalized probability mass of a Zipf distribution
+// with skew s over n ranks (rank 1 most probable). It is used to construct
+// ground-truth distributions against which samplers are validated.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation of xs and ys, a
+// value in [-1, 1]. It returns 0 when either input is constant (the
+// correlation is undefined; 0 is the conventional "no linear association"
+// answer for feature ranking). It panics if the lengths differ or are zero.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(xs) == 0 {
+		panic("stats: Pearson of empty input")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns Spearman's rank correlation of xs and ys, computed as the
+// Pearson correlation of ranks with ties assigned their average rank.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Ranks returns the 1-based fractional ranks of xs: equal values receive the
+// average of the ranks they occupy.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// ContingencyTable is a cross-tabulation of two categorical variables, the
+// common input to chi-square, Cramér's V, and mutual information.
+type ContingencyTable struct {
+	Counts [][]float64 // Counts[i][j]: co-occurrences of x-category i and y-category j
+	Total  float64
+}
+
+// NewContingencyTable cross-tabulates the paired category indices xs and ys,
+// where xs[i] in [0, kx) and ys[i] in [0, ky). It panics on length mismatch
+// or out-of-range category.
+func NewContingencyTable(xs, ys []int, kx, ky int) *ContingencyTable {
+	if len(xs) != len(ys) {
+		panic("stats: contingency table length mismatch")
+	}
+	t := &ContingencyTable{Counts: make([][]float64, kx)}
+	for i := range t.Counts {
+		t.Counts[i] = make([]float64, ky)
+	}
+	for i := range xs {
+		if xs[i] < 0 || xs[i] >= kx || ys[i] < 0 || ys[i] >= ky {
+			panic("stats: contingency table category out of range")
+		}
+		t.Counts[xs[i]][ys[i]]++
+		t.Total++
+	}
+	return t
+}
+
+// Marginals returns the row and column marginal counts.
+func (t *ContingencyTable) Marginals() (rows, cols []float64) {
+	rows = make([]float64, len(t.Counts))
+	if len(t.Counts) > 0 {
+		cols = make([]float64, len(t.Counts[0]))
+	}
+	for i, row := range t.Counts {
+		for j, c := range row {
+			rows[i] += c
+			cols[j] += c
+		}
+	}
+	return rows, cols
+}
+
+// ChiSquareStat returns the chi-square statistic of independence for the
+// table. An empty table yields 0.
+func (t *ContingencyTable) ChiSquareStat() float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	rows, cols := t.Marginals()
+	s := 0.0
+	for i, row := range t.Counts {
+		for j, obs := range row {
+			exp := rows[i] * cols[j] / t.Total
+			if exp == 0 {
+				continue
+			}
+			d := obs - exp
+			s += d * d / exp
+		}
+	}
+	return s
+}
+
+// CramersV returns Cramér's V association measure in [0, 1] for the table,
+// the standard measure of association between a candidate feature and a
+// sensitive attribute. Degenerate tables (a single row or column, or no
+// data) yield 0.
+func (t *ContingencyTable) CramersV() float64 {
+	r := len(t.Counts)
+	if r == 0 || t.Total == 0 {
+		return 0
+	}
+	c := len(t.Counts[0])
+	k := r
+	if c < k {
+		k = c
+	}
+	if k < 2 {
+		return 0
+	}
+	chi2 := t.ChiSquareStat()
+	v := math.Sqrt(chi2 / (t.Total * float64(k-1)))
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// MutualInformation returns the mutual information (in nats) between the two
+// variables of the table. An empty table yields 0.
+func (t *ContingencyTable) MutualInformation() float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	rows, cols := t.Marginals()
+	mi := 0.0
+	for i, row := range t.Counts {
+		for j, c := range row {
+			if c == 0 {
+				continue
+			}
+			pxy := c / t.Total
+			px := rows[i] / t.Total
+			py := cols[j] / t.Total
+			mi += pxy * math.Log(pxy/(px*py))
+		}
+	}
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}
+
+// NormalizedMI returns mutual information scaled by the smaller of the two
+// marginal entropies, yielding a value in [0, 1]; 0 for degenerate tables.
+func (t *ContingencyTable) NormalizedMI() float64 {
+	rows, cols := t.Marginals()
+	if t.Total == 0 {
+		return 0
+	}
+	hr := Entropy(Normalize(safeCounts(rows)))
+	hc := Entropy(Normalize(safeCounts(cols)))
+	h := hr
+	if hc < h {
+		h = hc
+	}
+	if h == 0 {
+		return 0
+	}
+	v := t.MutualInformation() / h
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+func safeCounts(xs []float64) []float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 {
+		out := make([]float64, len(xs))
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	return xs
+}
+
+// PointBiserial returns the correlation between a binary variable (0/1 in
+// ys) and a continuous variable xs; it equals the Pearson correlation.
+func PointBiserial(xs []float64, ys []int) float64 {
+	f := make([]float64, len(ys))
+	for i, y := range ys {
+		f[i] = float64(y)
+	}
+	return Pearson(xs, f)
+}

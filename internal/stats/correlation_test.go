@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); !almostEq(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almostEq(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstant(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("Pearson with constant input = %v, want 0", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // nonlinear but monotone
+	if r := Spearman(xs, ys); !almostEq(r, 1, 1e-12) {
+		t.Fatalf("Spearman = %v, want 1", r)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestContingencyIndependent(t *testing.T) {
+	// Perfectly independent 2x2 table.
+	xs := []int{0, 0, 1, 1}
+	ys := []int{0, 1, 0, 1}
+	ct := NewContingencyTable(xs, ys, 2, 2)
+	if chi := ct.ChiSquareStat(); chi != 0 {
+		t.Fatalf("chi2 = %v, want 0", chi)
+	}
+	if v := ct.CramersV(); v != 0 {
+		t.Fatalf("V = %v, want 0", v)
+	}
+	if mi := ct.MutualInformation(); !almostEq(mi, 0, 1e-12) {
+		t.Fatalf("MI = %v, want 0", mi)
+	}
+}
+
+func TestContingencyPerfectAssociation(t *testing.T) {
+	xs := []int{0, 0, 1, 1, 2, 2}
+	ct := NewContingencyTable(xs, xs, 3, 3)
+	if v := ct.CramersV(); !almostEq(v, 1, 1e-9) {
+		t.Fatalf("V = %v, want 1", v)
+	}
+	// MI of identical variables equals the entropy: ln 3.
+	if mi := ct.MutualInformation(); !almostEq(mi, math.Log(3), 1e-9) {
+		t.Fatalf("MI = %v, want ln3", mi)
+	}
+	if nmi := ct.NormalizedMI(); !almostEq(nmi, 1, 1e-9) {
+		t.Fatalf("NMI = %v, want 1", nmi)
+	}
+}
+
+func TestContingencyMarginals(t *testing.T) {
+	ct := NewContingencyTable([]int{0, 0, 1}, []int{1, 1, 0}, 2, 2)
+	rows, cols := ct.Marginals()
+	if rows[0] != 2 || rows[1] != 1 || cols[0] != 1 || cols[1] != 2 {
+		t.Fatalf("marginals = %v %v", rows, cols)
+	}
+}
+
+func TestContingencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range category did not panic")
+		}
+	}()
+	NewContingencyTable([]int{5}, []int{0}, 2, 2)
+}
+
+func TestEmptyTableDegenerate(t *testing.T) {
+	ct := NewContingencyTable(nil, nil, 2, 2)
+	if ct.CramersV() != 0 || ct.MutualInformation() != 0 || ct.NormalizedMI() != 0 {
+		t.Fatal("empty table should report zero association")
+	}
+}
+
+func TestPointBiserial(t *testing.T) {
+	xs := []float64{1, 2, 3, 10, 11, 12}
+	ys := []int{0, 0, 0, 1, 1, 1}
+	if r := PointBiserial(xs, ys); r < 0.9 {
+		t.Fatalf("PointBiserial = %v, want near 1", r)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0, 1, 2.5, 5, 9.99, 10, -3})
+	if h.Total() != 7 {
+		t.Fatalf("Total = %v, want 7", h.Total())
+	}
+	// -3 clamps to bin 0, 10 clamps to last bin.
+	if h.Counts[0] != 3 { // 0, 1, -3
+		t.Fatalf("bin0 = %v, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99, 10
+		t.Fatalf("bin4 = %v, want 2", h.Counts[4])
+	}
+	pmf := h.PMF()
+	sum := 0.0
+	for _, p := range pmf {
+		sum += p
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Fatalf("PMF sum = %v", sum)
+	}
+}
+
+func TestHistogramEmptyPMFUniform(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, p := range h.PMF() {
+		if p != 0.25 {
+			t.Fatalf("empty PMF = %v, want uniform", h.PMF())
+		}
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.AddAll([]float64{0.5, 1.5, 1.6})
+	if s := h.String(); len(s) == 0 {
+		t.Fatal("String returned empty")
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	bins := Discretize([]float64{0, 5, 10}, 2)
+	if bins[0] != 0 || bins[2] != 1 {
+		t.Fatalf("Discretize = %v", bins)
+	}
+	constant := Discretize([]float64{3, 3, 3}, 4)
+	for _, b := range constant {
+		if b != 0 {
+			t.Fatalf("Discretize(constant) = %v, want zeros", constant)
+		}
+	}
+	if out := Discretize(nil, 3); len(out) != 0 {
+		t.Fatalf("Discretize(nil) = %v", out)
+	}
+}
+
+func TestEstimatorConverges(t *testing.T) {
+	var e Estimator
+	if !math.IsNaN(e.Mean()) {
+		t.Fatal("empty estimator mean should be NaN")
+	}
+	if !math.IsInf(e.CI(0.95), 1) {
+		t.Fatal("empty estimator CI should be +Inf")
+	}
+	for i := 0; i < 1000; i++ {
+		e.Add(float64(i % 10))
+	}
+	if !almostEq(e.Mean(), 4.5, 1e-9) {
+		t.Fatalf("mean = %v, want 4.5", e.Mean())
+	}
+	if e.N() != 1000 {
+		t.Fatalf("N = %v", e.N())
+	}
+	ciWide := e.CI(0.99)
+	ciNarrow := e.CI(0.9)
+	if ciWide <= ciNarrow {
+		t.Fatalf("CI(0.99)=%v should exceed CI(0.9)=%v", ciWide, ciNarrow)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	if q := NormalQuantile(0.5); !almostEq(q, 0, 1e-9) {
+		t.Fatalf("Q(0.5) = %v, want 0", q)
+	}
+	if q := NormalQuantile(0.975); !almostEq(q, 1.959964, 1e-5) {
+		t.Fatalf("Q(0.975) = %v, want 1.96", q)
+	}
+	if q := NormalQuantile(0.025); !almostEq(q, -1.959964, 1e-5) {
+		t.Fatalf("Q(0.025) = %v, want -1.96", q)
+	}
+	if q := NormalQuantile(0.001); !almostEq(q, -3.090232, 1e-4) {
+		t.Fatalf("Q(0.001) = %v, want -3.09", q)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if e := RelativeError(110, 100); !almostEq(e, 0.1, 1e-12) {
+		t.Fatalf("RelativeError = %v, want 0.1", e)
+	}
+	if e := RelativeError(5, 0); e != 5 {
+		t.Fatalf("RelativeError(truth=0) = %v, want 5", e)
+	}
+}

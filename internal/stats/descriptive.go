@@ -1,0 +1,145 @@
+// Package stats implements the statistical measures that responsible data
+// integration is audited with: distribution divergences (KL, JS, total
+// variation), association measures (Pearson, Spearman, mutual information,
+// Cramér's V), descriptive statistics, histograms, and the confidence
+// intervals used by online aggregation.
+//
+// All functions are pure and operate on plain slices so that they can be
+// applied both to raw columns and to derived quantities.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if len(xs) == 0.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (n-1 denominator), or
+// NaN if len(xs) < 2.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest values in xs. It returns
+// (NaN, NaN) for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns NaN for an empty slice
+// and panics if q is outside [0, 1]. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: Quantile requires 0 <= q <= 1")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Normalize returns xs scaled to sum to 1. It panics if xs is empty, has a
+// negative entry, or sums to zero; such inputs indicate a logic error in a
+// caller that believes it holds a distribution.
+func Normalize(xs []float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Normalize of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			panic("stats: Normalize with negative entry")
+		}
+		sum += x
+	}
+	if sum == 0 {
+		panic("stats: Normalize with zero sum")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / sum
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (in nats) of the distribution p.
+// Zero-probability entries contribute zero. p is assumed normalized.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if v := Variance(xs); !almostEq(v, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if sv := SampleVariance(xs); !almostEq(sv, 32.0/7, 1e-12) {
+		t.Fatalf("SampleVariance = %v, want %v", sv, 32.0/7)
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Fatal("SampleVariance of single element should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%v,%v), want (-1,7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Fatal("MinMax(nil) should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("Q0 = %v, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("Q1 = %v, want 4", q)
+	}
+	if q := Median(xs); q != 2.5 {
+		t.Fatalf("median = %v, want 2.5", q)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile(nil) should be NaN")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(q=2) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 2)
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{1, 3})
+	if p[0] != 0.25 || p[1] != 0.75 {
+		t.Fatalf("Normalize = %v", p)
+	}
+	for name, in := range map[string][]float64{"empty": {}, "negative": {1, -1}, "zero": {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Normalize(%s) did not panic", name)
+				}
+			}()
+			Normalize(in)
+		}()
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]float64{0.5, 0.5}); !almostEq(h, math.Ln2, 1e-12) {
+		t.Fatalf("Entropy(uniform2) = %v, want ln2", h)
+	}
+	if h := Entropy([]float64{1, 0}); h != 0 {
+		t.Fatalf("Entropy(point mass) = %v, want 0", h)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.9, 0.1}
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if d := KLDivergence(p, q); !almostEq(d, want, 1e-12) {
+		t.Fatalf("KL = %v, want %v", d, want)
+	}
+	if d := KLDivergence(p, p); d != 0 {
+		t.Fatalf("KL(p,p) = %v, want 0", d)
+	}
+	if d := KLDivergence([]float64{1, 0}, []float64{0, 1}); !math.IsInf(d, 1) {
+		t.Fatalf("KL with empty support = %v, want +Inf", d)
+	}
+}
+
+func TestJSDivergenceBounds(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if d := JSDivergence(p, q); !almostEq(d, math.Ln2, 1e-12) {
+		t.Fatalf("JS(disjoint) = %v, want ln2", d)
+	}
+	if d := JSDivergence(p, p); d != 0 {
+		t.Fatalf("JS(p,p) = %v, want 0", d)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if d := TotalVariation([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Fatalf("TV(disjoint) = %v, want 1", d)
+	}
+	if d := TotalVariation([]float64{0.4, 0.6}, []float64{0.5, 0.5}); !almostEq(d, 0.1, 1e-12) {
+		t.Fatalf("TV = %v, want 0.1", d)
+	}
+}
+
+func TestSmoothRemovesZeros(t *testing.T) {
+	q := Smooth([]float64{1, 0, 0}, 0.01)
+	for i, x := range q {
+		if x <= 0 {
+			t.Fatalf("Smooth left non-positive mass at %d: %v", i, q)
+		}
+	}
+	if d := KLDivergence([]float64{0.2, 0.4, 0.4}, q); math.IsInf(d, 1) {
+		t.Fatal("KL against smoothed q should be finite")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	if s := ChiSquare([]float64{10, 10}, []float64{10, 10}); s != 0 {
+		t.Fatalf("chi2 = %v, want 0", s)
+	}
+	if s := ChiSquare([]float64{5}, []float64{0}); !math.IsInf(s, 1) {
+		t.Fatalf("chi2 zero-expectation = %v, want +Inf", s)
+	}
+}
+
+// Property: TV is symmetric and within [0, 1] for random distributions.
+func TestTVProperty(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		p := make([]float64, 4)
+		q := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			p[i] = float64(a[i]) + 1
+			q[i] = float64(b[i]) + 1
+		}
+		p, q = Normalize(p), Normalize(q)
+		d1, d2 := TotalVariation(p, q), TotalVariation(q, p)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KL(p, p) == 0 and KL >= 0 for strictly positive distributions.
+func TestKLNonNegativityProperty(t *testing.T) {
+	f := func(a, b [5]uint8) bool {
+		p := make([]float64, 5)
+		q := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			p[i] = float64(a[i]) + 1
+			q[i] = float64(b[i]) + 1
+		}
+		p, q = Normalize(p), Normalize(q)
+		return KLDivergence(p, q) >= 0 && KLDivergence(p, p) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

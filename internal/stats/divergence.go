@@ -1,0 +1,88 @@
+package stats
+
+import "math"
+
+// KLDivergence returns the Kullback–Leibler divergence D(p ‖ q) in nats.
+// Both inputs must be distributions of the same length. Entries where
+// p[i] > 0 but q[i] == 0 contribute +Inf, mirroring the mathematical
+// definition; callers that need a finite value should smooth q first (see
+// Smooth). It panics if the lengths differ.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDivergence length mismatch")
+	}
+	d := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	if d < 0 {
+		// Round-off on near-identical distributions.
+		return 0
+	}
+	return d
+}
+
+// JSDivergence returns the Jensen–Shannon divergence between p and q in
+// nats. It is symmetric, finite, and bounded by ln 2.
+func JSDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: JSDivergence length mismatch")
+	}
+	m := make([]float64, len(p))
+	for i := range p {
+		m[i] = (p[i] + q[i]) / 2
+	}
+	return (KLDivergence(p, m) + KLDivergence(q, m)) / 2
+}
+
+// TotalVariation returns the total-variation distance between p and q:
+// half the L1 distance. It panics if the lengths differ.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: TotalVariation length mismatch")
+	}
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}
+
+// Smooth returns p with Laplace smoothing applied: every entry receives an
+// additive eps mass and the result is renormalized. Use before KLDivergence
+// when q may have empty cells.
+func Smooth(p []float64, eps float64) []float64 {
+	out := make([]float64, len(p))
+	for i, x := range p {
+		out[i] = x + eps
+	}
+	return Normalize(out)
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected counts. Cells with zero expectation and zero observation are
+// skipped; a cell with zero expectation but positive observation yields
+// +Inf. It panics if lengths differ.
+func ChiSquare(observed, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquare length mismatch")
+	}
+	s := 0.0
+	for i := range observed {
+		if expected[i] == 0 {
+			if observed[i] != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		d := observed[i] - expected[i]
+		s += d * d / expected[i]
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package stats
+
+import "math"
+
+// Estimator accumulates a stream of observations and reports a running mean
+// with a CLT-based confidence interval. Online aggregation over join samples
+// (ripple join, wander join) reports its estimates through this type.
+type Estimator struct {
+	n    float64
+	mean float64
+	m2   float64 // sum of squared deviations (Welford)
+}
+
+// Add records one observation.
+func (e *Estimator) Add(x float64) {
+	e.n++
+	d := x - e.mean
+	e.mean += d / e.n
+	e.m2 += d * (x - e.mean)
+}
+
+// N returns the number of observations.
+func (e *Estimator) N() float64 { return e.n }
+
+// Mean returns the running mean, or NaN before any observation.
+func (e *Estimator) Mean() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	return e.mean
+}
+
+// Variance returns the running sample variance, or NaN with fewer than two
+// observations.
+func (e *Estimator) Variance() float64 {
+	if e.n < 2 {
+		return math.NaN()
+	}
+	return e.m2 / (e.n - 1)
+}
+
+// CI returns the half-width of the confidence interval on the mean at the
+// given confidence level (e.g. 0.95), using the normal approximation. It
+// returns +Inf with fewer than two observations.
+func (e *Estimator) CI(level float64) float64 {
+	if e.n < 2 {
+		return math.Inf(1)
+	}
+	z := NormalQuantile(0.5 + level/2)
+	return z * math.Sqrt(e.Variance()/e.n)
+}
+
+// NormalQuantile returns the p-th quantile of the standard normal
+// distribution using the Acklam rational approximation (relative error
+// below 1.15e-9). It panics if p is outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile requires 0 < p < 1")
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// RelativeError returns |est-truth| / |truth|, or |est| when truth == 0.
+// Experiment harnesses report estimator quality with it.
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is an equi-width histogram over a fixed numeric range. It is the
+// discretization used when distribution requirements are stated over
+// continuous attributes.
+type Histogram struct {
+	Min, Max float64
+	Counts   []float64
+	total    float64
+}
+
+// NewHistogram creates a histogram with the given number of bins spanning
+// [min, max]. It panics if bins <= 0 or max <= min.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram requires bins > 0")
+	}
+	if max <= min {
+		panic("stats: NewHistogram requires max > min")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]float64, bins)}
+}
+
+// Bin returns the bin index for x. Values below Min clamp to bin 0 and
+// values at or above Max clamp to the last bin.
+func (h *Histogram) Bin(x float64) int {
+	if x <= h.Min {
+		return 0
+	}
+	if x >= h.Max {
+		return len(h.Counts) - 1
+	}
+	b := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Add records one observation of x.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.Bin(x)]++
+	h.total++
+}
+
+// AddAll records every value in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() float64 { return h.total }
+
+// PMF returns the normalized bin mass. An empty histogram yields the uniform
+// distribution, the least-informative prior.
+func (h *Histogram) PMF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = c / h.total
+	}
+	return out
+}
+
+// String renders a compact textual bar chart, used by the CLI profiler.
+func (h *Histogram) String() string {
+	const width = 30
+	maxC := 0.0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	s := ""
+	binW := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = int(math.Round(c / maxC * width))
+		}
+		s += fmt.Sprintf("[%8.3g,%8.3g) %6.0f |%s\n", h.Min+float64(i)*binW, h.Min+float64(i+1)*binW, c, repeat('#', bar))
+	}
+	return s
+}
+
+func repeat(ch byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}
+
+// Discretize maps each value in xs to its equi-width bin index over the
+// observed min/max of xs, a convenience for feeding continuous columns into
+// categorical association measures. Constant columns map to bin 0.
+func Discretize(xs []float64, bins int) []int {
+	if bins <= 0 {
+		panic("stats: Discretize requires bins > 0")
+	}
+	min, max := MinMax(xs)
+	out := make([]int, len(xs))
+	if len(xs) == 0 || min == max || math.IsNaN(min) {
+		return out
+	}
+	h := NewHistogram(min, max, bins)
+	for i, x := range xs {
+		out[i] = h.Bin(x)
+	}
+	return out
+}

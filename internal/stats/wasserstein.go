@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// Wasserstein1 returns the 1-Wasserstein (earth mover's) distance between
+// two distributions over the same *ordered* support with unit spacing:
+// the sum of absolute differences of their CDFs. Unlike TV or KL, it
+// respects the ordering of bins, which makes it the right distance for
+// distribution requirements over ordinal attributes (tutorial §2.2,
+// Asudeh et al. SIGMOD'21 setting). It panics on length mismatch.
+func Wasserstein1(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: Wasserstein1 length mismatch")
+	}
+	d, cdf := 0.0, 0.0
+	for i := range p {
+		cdf += p[i] - q[i]
+		d += math.Abs(cdf)
+	}
+	return d
+}
+
+// PSI returns the population stability index between an expected and an
+// observed distribution: Σ (obs−exp)·ln(obs/exp), with additive smoothing
+// so empty cells stay finite. PSI is the industry-standard drift score the
+// Scope-of-use requirement (§2.5) asks labels to monitor: < 0.1 is stable,
+// 0.1–0.25 moderate drift, > 0.25 major drift. It panics on length
+// mismatch.
+func PSI(expected, observed []float64) float64 {
+	if len(expected) != len(observed) {
+		panic("stats: PSI length mismatch")
+	}
+	const eps = 1e-4
+	e := Smooth(expected, eps)
+	o := Smooth(observed, eps)
+	s := 0.0
+	for i := range e {
+		s += (o[i] - e[i]) * math.Log(o[i]/e[i])
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}

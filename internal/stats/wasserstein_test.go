@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWasserstein1(t *testing.T) {
+	// Point masses one bin apart: W1 = 1.
+	if d := Wasserstein1([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Fatalf("W1 adjacent = %v", d)
+	}
+	// Point masses three bins apart: W1 = 3 (TV would still be 1 —
+	// the whole reason to use W1 on ordinal supports).
+	if d := Wasserstein1([]float64{1, 0, 0, 0}, []float64{0, 0, 0, 1}); d != 3 {
+		t.Fatalf("W1 far = %v", d)
+	}
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	if d := Wasserstein1(p, p); d != 0 {
+		t.Fatalf("W1 self = %v", d)
+	}
+}
+
+func TestWasserstein1Symmetric(t *testing.T) {
+	f := func(a, b [5]uint8) bool {
+		p := make([]float64, 5)
+		q := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			p[i] = float64(a[i]) + 1
+			q[i] = float64(b[i]) + 1
+		}
+		p, q = Normalize(p), Normalize(q)
+		d1, d2 := Wasserstein1(p, q), Wasserstein1(q, p)
+		return almostEq(d1, d2, 1e-12) && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSI(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if s := PSI(p, p); s != 0 {
+		t.Fatalf("PSI self = %v", s)
+	}
+	shifted := PSI([]float64{0.5, 0.5}, []float64{0.9, 0.1})
+	if shifted < 0.25 {
+		t.Fatalf("major shift PSI = %v, want > 0.25", shifted)
+	}
+	mild := PSI([]float64{0.5, 0.5}, []float64{0.55, 0.45})
+	if mild > 0.1 {
+		t.Fatalf("mild shift PSI = %v, want < 0.1", mild)
+	}
+	// Zero cells stay finite thanks to smoothing.
+	if s := PSI([]float64{1, 0}, []float64{0, 1}); s <= 0 || s > 100 {
+		t.Fatalf("disjoint PSI = %v", s)
+	}
+}
+
+func TestWassersteinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Wasserstein1([]float64{1}, []float64{0.5, 0.5})
+}

@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"fmt"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+)
+
+// CorpusConfig parameterizes a synthetic table corpus for dataset-discovery
+// experiments. The corpus consists of a query table plus NumTables
+// candidate tables whose join columns overlap the query's key domain by a
+// controlled amount, so containment/Jaccard ground truth is known exactly.
+type CorpusConfig struct {
+	NumTables    int
+	RowsPerTable int
+	// KeyUniverse is the size of the global key domain.
+	KeyUniverse int
+	// QueryKeys is the number of distinct keys in the query table.
+	QueryKeys int
+}
+
+// CorpusTable is one candidate table plus its ground-truth overlap with the
+// query table.
+type CorpusTable struct {
+	Name        string
+	Data        *dataset.Dataset
+	Overlap     int     // distinct keys shared with the query table
+	Jaccard     float64 // |Q ∩ T| / |Q ∪ T| on the key columns
+	Containment float64 // |Q ∩ T| / |Q| — the joinability measure
+}
+
+// Corpus holds a query table and its candidates.
+type Corpus struct {
+	Query  *dataset.Dataset
+	Tables []CorpusTable
+}
+
+// GenerateCorpus builds the corpus. Candidate i's key set overlaps the
+// query's keys by roughly i/(NumTables-1) of the query's key count, sweeping
+// containment from ~0 to ~1 across the corpus. Each table also carries a
+// numeric "val" column correlated with the key rank so that join-correlation
+// experiments have signal, plus per-table noise.
+func GenerateCorpus(cfg CorpusConfig, r *rng.RNG) *Corpus {
+	if cfg.QueryKeys > cfg.KeyUniverse {
+		panic("synth: QueryKeys exceeds KeyUniverse")
+	}
+	if cfg.NumTables < 1 {
+		panic("synth: corpus needs at least one table")
+	}
+
+	universe := r.Perm(cfg.KeyUniverse)
+	queryKeys := universe[:cfg.QueryKeys]
+	nonQuery := universe[cfg.QueryKeys:]
+
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "key", Kind: dataset.Categorical, Role: dataset.ID},
+		dataset.Attribute{Name: "val", Kind: dataset.Numeric, Role: dataset.Feature},
+	)
+	keyName := func(k int) string { return fmt.Sprintf("k%05d", k) }
+
+	query := dataset.New(schema)
+	for _, k := range queryKeys {
+		query.MustAppendRow(dataset.Cat(keyName(k)), dataset.Num(float64(k)+r.Normal(0, 1)))
+	}
+
+	c := &Corpus{Query: query}
+	for t := 0; t < cfg.NumTables; t++ {
+		frac := 0.0
+		if cfg.NumTables > 1 {
+			frac = float64(t) / float64(cfg.NumTables-1)
+		}
+		overlap := int(frac * float64(cfg.QueryKeys))
+		fresh := cfg.RowsPerTable - overlap
+		if fresh < 0 {
+			fresh = 0
+		}
+		var keys []int
+		perm := r.Perm(cfg.QueryKeys)
+		for i := 0; i < overlap; i++ {
+			keys = append(keys, queryKeys[perm[i]])
+		}
+		if len(nonQuery) > 0 {
+			permN := r.Perm(len(nonQuery))
+			for i := 0; i < fresh && i < len(nonQuery); i++ {
+				keys = append(keys, nonQuery[permN[i]])
+			}
+		}
+		tbl := dataset.New(schema)
+		for _, k := range keys {
+			tbl.MustAppendRow(dataset.Cat(keyName(k)), dataset.Num(float64(k)+r.Normal(0, 1)))
+		}
+		union := cfg.QueryKeys + len(keys) - overlap
+		ct := CorpusTable{
+			Name:        fmt.Sprintf("table%03d", t),
+			Data:        tbl,
+			Overlap:     overlap,
+			Containment: float64(overlap) / float64(cfg.QueryKeys),
+		}
+		if union > 0 {
+			ct.Jaccard = float64(overlap) / float64(union)
+		}
+		c.Tables = append(c.Tables, ct)
+	}
+	return c
+}

@@ -1,0 +1,226 @@
+package synth
+
+import (
+	"math"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+)
+
+// Mechanism is a missing-data mechanism, the standard taxonomy used when
+// auditing imputation fairness (Zhang & Long, NeurIPS'21).
+type Mechanism int
+
+const (
+	// MCAR: missing completely at random — every cell is erased with
+	// equal probability.
+	MCAR Mechanism = iota
+	// MAR: missing at random — the erasure probability depends on an
+	// observed conditioning attribute (here: the row's group), so
+	// missingness correlates with group membership but not with the
+	// erased value itself.
+	MAR
+	// MNAR: missing not at random — the erasure probability depends on
+	// the value being erased (here: larger values are more likely to go
+	// missing).
+	MNAR
+)
+
+// String returns the mechanism's conventional acronym.
+func (m Mechanism) String() string {
+	switch m {
+	case MCAR:
+		return "MCAR"
+	case MAR:
+		return "MAR"
+	case MNAR:
+		return "MNAR"
+	default:
+		return "Mechanism(?)"
+	}
+}
+
+// MissingConfig parameterizes missing-value injection on one numeric
+// attribute.
+type MissingConfig struct {
+	Attr string
+	Rate float64 // overall target missing rate in (0, 1)
+	Mech Mechanism
+	// CondAttr is the categorical conditioning attribute for MAR; rows
+	// whose CondAttr equals CondValue get boosted missingness
+	// (3x the base rate), others get reduced missingness.
+	CondAttr  string
+	CondValue string
+}
+
+// InjectMissing returns a copy of d with nulls injected into cfg.Attr
+// according to the mechanism. For MNAR, cells above the attribute's median
+// are erased at 3x the rate of cells below it. The overall expected missing
+// rate is cfg.Rate under every mechanism.
+func InjectMissing(d *dataset.Dataset, cfg MissingConfig, r *rng.RNG) *dataset.Dataset {
+	out := d.Clone()
+	vals, nulls := d.NumericFull(cfg.Attr)
+
+	// Split the rate so that E[missing] = Rate with the 3:1 odds split
+	// used by MAR and MNAR. With fraction fHigh of rows in the boosted
+	// class: 3p*fHigh + p*(1-fHigh) = Rate.
+	erase := func(row int, boosted func(int) bool, fHigh float64) {
+		p := cfg.Rate / (1 + 2*fHigh)
+		prob := p
+		if boosted(row) {
+			prob = 3 * p
+		}
+		if prob > 1 {
+			prob = 1
+		}
+		if r.Bool(prob) {
+			if err := out.SetValue(row, cfg.Attr, dataset.NullValue(dataset.Numeric)); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	switch cfg.Mech {
+	case MCAR:
+		for row := range vals {
+			if nulls[row] {
+				continue
+			}
+			if r.Bool(cfg.Rate) {
+				if err := out.SetValue(row, cfg.Attr, dataset.NullValue(dataset.Numeric)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	case MAR:
+		match := 0
+		for row := 0; row < d.NumRows(); row++ {
+			v := d.Value(row, cfg.CondAttr)
+			if !v.Null && v.Cat == cfg.CondValue {
+				match++
+			}
+		}
+		fHigh := float64(match) / float64(max(1, d.NumRows()))
+		boosted := func(row int) bool {
+			v := d.Value(row, cfg.CondAttr)
+			return !v.Null && v.Cat == cfg.CondValue
+		}
+		for row := range vals {
+			if !nulls[row] {
+				erase(row, boosted, fHigh)
+			}
+		}
+	case MNAR:
+		present := make([]float64, 0, len(vals))
+		for row, v := range vals {
+			if !nulls[row] {
+				present = append(present, v)
+			}
+		}
+		med := median(present)
+		boosted := func(row int) bool { return vals[row] > med }
+		for row := range vals {
+			if !nulls[row] {
+				erase(row, boosted, 0.5)
+			}
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	// Simple selection by sorting; inputs here are small-to-medium.
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	return tmp[len(tmp)/2]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// InjectOutliers returns a copy of d where a fraction rate of the non-null
+// cells of the numeric attribute are replaced by extreme values (the cell
+// value shifted by scale standard deviations). The returned row indices
+// identify the corrupted cells, serving as ground truth for error-detection
+// experiments.
+func InjectOutliers(d *dataset.Dataset, attr string, rate, scale float64, r *rng.RNG) (*dataset.Dataset, []int) {
+	out := d.Clone()
+	vals, rows := d.Numeric(attr)
+	sd := stddev(vals)
+	if sd == 0 {
+		sd = 1
+	}
+	var corrupted []int
+	for i, row := range rows {
+		if r.Bool(rate) {
+			sign := 1.0
+			if r.Bool(0.5) {
+				sign = -1
+			}
+			if err := out.SetValue(row, attr, dataset.Num(vals[i]+sign*scale*sd)); err != nil {
+				panic(err)
+			}
+			corrupted = append(corrupted, row)
+		}
+	}
+	return out, corrupted
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	v /= float64(len(xs))
+	return math.Sqrt(v)
+}
+
+// InjectTypos returns a copy of d where a fraction rate of the non-null
+// cells of the categorical attribute are perturbed by a single-character
+// edit, emulating entry errors for entity-resolution experiments. The
+// returned row indices are the corrupted cells.
+func InjectTypos(d *dataset.Dataset, attr string, rate float64, r *rng.RNG) (*dataset.Dataset, []int) {
+	out := d.Clone()
+	var corrupted []int
+	for row := 0; row < d.NumRows(); row++ {
+		v := d.Value(row, attr)
+		if v.Null || v.Cat == "" || !r.Bool(rate) {
+			continue
+		}
+		s := []byte(v.Cat)
+		pos := r.Intn(len(s))
+		switch r.Intn(3) {
+		case 0: // substitute
+			s[pos] = byte('a' + r.Intn(26))
+		case 1: // delete
+			s = append(s[:pos], s[pos+1:]...)
+		default: // insert
+			c := byte('a' + r.Intn(26))
+			s = append(s[:pos], append([]byte{c}, s[pos:]...)...)
+		}
+		if err := out.SetValue(row, attr, dataset.Cat(string(s))); err != nil {
+			panic(err)
+		}
+		corrupted = append(corrupted, row)
+	}
+	return out, corrupted
+}

@@ -1,0 +1,193 @@
+// Package synth generates the synthetic data that stands in for the data
+// sources REDI's experiments cannot ship: skewed health-record style
+// populations with sensitive attributes, multi-source collections with
+// per-source group skew, missing-value injection under MCAR/MAR/MNAR, error
+// injection, and table corpora with controlled overlap for dataset
+// discovery. See DESIGN.md ("Substitutions") for how each generator maps to
+// the data used by the papers the tutorial surveys.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+)
+
+// SensitiveAttr describes one sensitive attribute of a synthetic
+// population: its name, domain, and marginal distribution.
+type SensitiveAttr struct {
+	Name    string
+	Values  []string
+	Weights []float64 // unnormalized; len must equal len(Values)
+}
+
+// PopulationConfig parameterizes a synthetic population. The generated
+// schema is: id (ID), one categorical column per sensitive attribute
+// (Sensitive), Features numeric columns f0..f{m-1} (Feature), and a binary
+// categorical label column "label" with values "pos"/"neg" (Target).
+//
+// The data-generating process makes group membership matter: each
+// intersectional group gets a mean shift on every feature drawn from
+// N(0, GroupEffect²), and the label is a logistic function of the features
+// plus a per-group intercept. Models trained on data that under-represents
+// a group therefore lose accuracy on that group — the phenomenon Example 1
+// of the paper is about.
+type PopulationConfig struct {
+	Rows        int
+	Sensitive   []SensitiveAttr
+	Features    int
+	GroupEffect float64 // stddev of per-group feature mean shifts
+	LabelNoise  float64 // probability of flipping each label
+}
+
+// DefaultPopulation returns the configuration used throughout the examples:
+// a two-attribute population (race with a skewed 4-value marginal, sex
+// balanced), 4 features, and a moderate group effect.
+func DefaultPopulation(rows int) PopulationConfig {
+	return PopulationConfig{
+		Rows: rows,
+		Sensitive: []SensitiveAttr{
+			{Name: "race", Values: []string{"white", "black", "hispanic", "asian"}, Weights: []float64{0.64, 0.18, 0.12, 0.06}},
+			{Name: "sex", Values: []string{"F", "M"}, Weights: []float64{0.5, 0.5}},
+		},
+		Features:    4,
+		GroupEffect: 1.0,
+		LabelNoise:  0.05,
+	}
+}
+
+// Population holds a generated dataset together with the hidden parameters
+// of its data-generating process, so experiments can compare estimates
+// against ground truth.
+type Population struct {
+	Data *dataset.Dataset
+	// GroupMeans maps each intersectional group to its feature mean
+	// vector.
+	GroupMeans map[dataset.GroupKey][]float64
+	// GroupBias maps each intersectional group to its label intercept.
+	GroupBias map[dataset.GroupKey]float64
+	// FeatureWeights are the logistic coefficients of the label model.
+	FeatureWeights []float64
+	// SensitiveNames lists the sensitive attribute names in schema order.
+	SensitiveNames []string
+}
+
+// Generate samples a population. Generation is deterministic in r.
+func Generate(cfg PopulationConfig, r *rng.RNG) *Population {
+	if cfg.Rows < 0 {
+		panic("synth: negative row count")
+	}
+	if len(cfg.Sensitive) == 0 {
+		panic("synth: population needs at least one sensitive attribute")
+	}
+
+	attrs := []dataset.Attribute{{Name: "id", Kind: dataset.Categorical, Role: dataset.ID}}
+	var sensNames []string
+	for _, s := range cfg.Sensitive {
+		attrs = append(attrs, dataset.Attribute{Name: s.Name, Kind: dataset.Categorical, Role: dataset.Sensitive})
+		sensNames = append(sensNames, s.Name)
+	}
+	for f := 0; f < cfg.Features; f++ {
+		attrs = append(attrs, dataset.Attribute{Name: featureName(f), Kind: dataset.Numeric, Role: dataset.Feature})
+	}
+	attrs = append(attrs, dataset.Attribute{Name: "label", Kind: dataset.Categorical, Role: dataset.Target})
+	d := dataset.New(dataset.NewSchema(attrs...))
+
+	samplers := make([]*rng.Categorical, len(cfg.Sensitive))
+	for i, s := range cfg.Sensitive {
+		samplers[i] = rng.NewCategorical(s.Weights)
+	}
+
+	p := &Population{
+		Data:           d,
+		GroupMeans:     map[dataset.GroupKey][]float64{},
+		GroupBias:      map[dataset.GroupKey]float64{},
+		FeatureWeights: make([]float64, cfg.Features),
+		SensitiveNames: sensNames,
+	}
+	// Hidden label model. A dedicated child generator keeps the model
+	// parameters stable regardless of Rows.
+	mr := r.Split()
+	for f := range p.FeatureWeights {
+		p.FeatureWeights[f] = mr.Normal(0, 1)
+	}
+	// Enumerate all intersectional groups and fix their parameters.
+	var assign func(i int, vals []string)
+	assign = func(i int, vals []string) {
+		if i == len(cfg.Sensitive) {
+			k := dataset.MakeGroupKey(sensNames, vals)
+			means := make([]float64, cfg.Features)
+			for f := range means {
+				means[f] = mr.Normal(0, cfg.GroupEffect)
+			}
+			p.GroupMeans[k] = means
+			p.GroupBias[k] = mr.Normal(0, cfg.GroupEffect)
+			return
+		}
+		for _, v := range cfg.Sensitive[i].Values {
+			assign(i+1, append(vals, v))
+		}
+	}
+	assign(0, nil)
+
+	vals := make([]string, len(cfg.Sensitive))
+	row := make([]dataset.Value, len(attrs))
+	for i := 0; i < cfg.Rows; i++ {
+		row[0] = dataset.Cat(fmt.Sprintf("p%06d", i))
+		for j, s := range samplers {
+			vals[j] = cfg.Sensitive[j].Values[s.Draw(r)]
+			row[1+j] = dataset.Cat(vals[j])
+		}
+		k := dataset.MakeGroupKey(sensNames, vals)
+		means := p.GroupMeans[k]
+		z := p.GroupBias[k]
+		for f := 0; f < cfg.Features; f++ {
+			x := r.Normal(means[f], 1)
+			row[1+len(samplers)+f] = dataset.Num(x)
+			z += p.FeatureWeights[f] * x
+		}
+		label := sigmoid(z) > 0.5
+		if r.Bool(cfg.LabelNoise) {
+			label = !label
+		}
+		if label {
+			row[len(row)-1] = dataset.Cat("pos")
+		} else {
+			row[len(row)-1] = dataset.Cat("neg")
+		}
+		d.MustAppendRow(row...)
+	}
+	return p
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func featureName(i int) string { return fmt.Sprintf("f%d", i) }
+
+// FeatureNames returns the feature column names of a population generated
+// with n features.
+func FeatureNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = featureName(i)
+	}
+	return out
+}
+
+// SkewedWeights returns a k-group weight vector where the last group holds
+// fraction minority of the mass and the remaining mass is split evenly. It
+// is the canonical majority/minority skew used by the experiments. It panics
+// unless k >= 2 and 0 < minority < 1.
+func SkewedWeights(k int, minority float64) []float64 {
+	if k < 2 || minority <= 0 || minority >= 1 {
+		panic("synth: SkewedWeights requires k >= 2 and 0 < minority < 1")
+	}
+	w := make([]float64, k)
+	for i := 0; i < k-1; i++ {
+		w[i] = (1 - minority) / float64(k-1)
+	}
+	w[k-1] = minority
+	return w
+}

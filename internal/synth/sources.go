@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"redi/internal/dataset"
+	"redi/internal/rng"
+)
+
+// SourceConfig parameterizes a collection of data sources over the same
+// schema but with different group distributions — the setting of
+// distribution tailoring (paper §4.2): "each data source is collected in
+// some manner over some population [and] will have its own distribution".
+type SourceConfig struct {
+	// Population is the shared data-generating process.
+	Population PopulationConfig
+	// NumSources is the number of sources to generate.
+	NumSources int
+	// RowsPerSource is the size of each source.
+	RowsPerSource int
+	// SkewConcentration controls how much each source's group
+	// distribution deviates from the population marginal: group weights
+	// are drawn from Dirichlet(alpha * concentration). Small values
+	// (e.g. 0.5) give highly skewed sources; large values (e.g. 50)
+	// give sources close to the global distribution.
+	SkewConcentration float64
+	// Costs[i] is the per-sample cost of source i; if nil, all costs
+	// are 1.
+	Costs []float64
+	// HoldoutRows reserves that many reference-population rows, never
+	// handed to any source, as an i.i.d. test set from the same
+	// data-generating process (SourceSet.Holdout). Default 0.
+	HoldoutRows int
+}
+
+// SourceSet is a generated collection of sources.
+type SourceSet struct {
+	Sources []*dataset.Dataset
+	Costs   []float64
+	// GroupDists[i] is source i's realized group distribution aligned
+	// with Groups.
+	GroupDists [][]float64
+	// Groups lists the intersectional group keys, sorted, aligned with
+	// the columns of GroupDists.
+	Groups []dataset.GroupKey
+	// SensitiveNames lists the sensitive attributes defining the groups.
+	SensitiveNames []string
+	// Holdout is an i.i.d. sample of the reference population (same
+	// hidden label model as every source), disjoint from all source
+	// rows. Nil unless HoldoutRows was set.
+	Holdout *dataset.Dataset
+}
+
+// GenerateSources builds a source collection. Each source draws its own
+// group mixture from a Dirichlet centered on the population marginal, then
+// samples rows with group-conditional features/labels from the shared
+// population process.
+func GenerateSources(cfg SourceConfig, r *rng.RNG) *SourceSet {
+	if cfg.NumSources <= 0 || cfg.RowsPerSource < 0 {
+		panic("synth: GenerateSources requires NumSources > 0 and RowsPerSource >= 0")
+	}
+	if cfg.SkewConcentration <= 0 {
+		cfg.SkewConcentration = 1
+	}
+
+	// A big reference population provides group-conditional row pools:
+	// we generate one large population and partition rows by group, then
+	// each source samples group indices from its own mixture and rows
+	// from the pools (with replacement).
+	popRows := cfg.NumSources*cfg.RowsPerSource*2 + cfg.HoldoutRows + 1000
+	pop := Generate(PopulationConfig{
+		Rows:        popRows,
+		Sensitive:   cfg.Population.Sensitive,
+		Features:    cfg.Population.Features,
+		GroupEffect: cfg.Population.GroupEffect,
+		LabelNoise:  cfg.Population.LabelNoise,
+	}, r.Split())
+
+	// Rows are generated i.i.d., so a prefix is an unbiased holdout.
+	var holdoutIdx []int
+	sourceData := pop.Data
+	if cfg.HoldoutRows > 0 {
+		holdoutIdx = make([]int, cfg.HoldoutRows)
+		srcIdx := make([]int, 0, popRows-cfg.HoldoutRows)
+		for i := 0; i < popRows; i++ {
+			if i < cfg.HoldoutRows {
+				holdoutIdx[i] = i
+			} else {
+				srcIdx = append(srcIdx, i)
+			}
+		}
+		sourceData = pop.Data.Gather(srcIdx)
+	}
+
+	groups := sourceData.GroupBy(pop.SensitiveNames...)
+	set := &SourceSet{
+		Groups:         groups.Keys,
+		SensitiveNames: pop.SensitiveNames,
+		Costs:          make([]float64, cfg.NumSources),
+	}
+	marginal := groups.Distribution()
+
+	alpha := make([]float64, len(marginal))
+	for i, m := range marginal {
+		// Keep every group reachable even if it is absent from the
+		// realized reference marginal.
+		alpha[i] = (m + 1e-3) * cfg.SkewConcentration
+	}
+
+	for s := 0; s < cfg.NumSources; s++ {
+		mix := r.Dirichlet(alpha)
+		cat := rng.NewCategorical(mix)
+		src := dataset.New(sourceData.Schema())
+		realized := make([]float64, len(groups.Keys))
+		for i := 0; i < cfg.RowsPerSource; i++ {
+			g := cat.Draw(r)
+			rows := groups.Rows[groups.Keys[g]]
+			if len(rows) == 0 {
+				// Extremely rare: the group never appeared in the
+				// reference population. Redraw.
+				i--
+				continue
+			}
+			src.MustAppendRow(sourceData.Row(rows[r.Intn(len(rows))])...)
+			realized[g]++
+		}
+		if cfg.RowsPerSource > 0 {
+			for i := range realized {
+				realized[i] /= float64(cfg.RowsPerSource)
+			}
+		}
+		set.Sources = append(set.Sources, src)
+		set.GroupDists = append(set.GroupDists, realized)
+		if cfg.Costs != nil {
+			set.Costs[s] = cfg.Costs[s]
+		} else {
+			set.Costs[s] = 1
+		}
+	}
+	if cfg.HoldoutRows > 0 {
+		set.Holdout = pop.Data.Gather(holdoutIdx)
+	}
+	return set
+}

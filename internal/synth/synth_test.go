@@ -1,0 +1,320 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"redi/internal/dataset"
+	"redi/internal/rng"
+	"redi/internal/stats"
+)
+
+func TestGenerateShape(t *testing.T) {
+	p := Generate(DefaultPopulation(500), rng.New(1))
+	d := p.Data
+	if d.NumRows() != 500 {
+		t.Fatalf("rows = %d", d.NumRows())
+	}
+	// id + race + sex + 4 features + label = 8 columns.
+	if d.NumCols() != 8 {
+		t.Fatalf("cols = %d", d.NumCols())
+	}
+	if got := d.Schema().ByRole(dataset.Sensitive); len(got) != 2 {
+		t.Fatalf("sensitive attrs = %v", got)
+	}
+	if got := d.Schema().ByRole(dataset.Target); len(got) != 1 || got[0] != "label" {
+		t.Fatalf("target attrs = %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultPopulation(100), rng.New(7)).Data
+	b := Generate(DefaultPopulation(100), rng.New(7)).Data
+	for r := 0; r < 100; r++ {
+		for c := 0; c < a.NumCols(); c++ {
+			if !a.ValueAt(r, c).Equal(b.ValueAt(r, c)) {
+				t.Fatalf("row %d col %d differs", r, c)
+			}
+		}
+	}
+}
+
+func TestGenerateMarginals(t *testing.T) {
+	cfg := DefaultPopulation(20000)
+	p := Generate(cfg, rng.New(3))
+	g := p.Data.GroupBy("race")
+	dist := g.Distribution()
+	// race marginal should approximate the configured weights.
+	want := map[dataset.GroupKey]float64{
+		"race=white": 0.64, "race=black": 0.18, "race=hispanic": 0.12, "race=asian": 0.06,
+	}
+	for i, k := range g.Keys {
+		if math.Abs(dist[i]-want[k]) > 0.02 {
+			t.Fatalf("marginal %s = %v, want %v", k, dist[i], want[k])
+		}
+	}
+}
+
+func TestGroupEffectSeparatesGroups(t *testing.T) {
+	cfg := DefaultPopulation(5000)
+	cfg.GroupEffect = 3
+	p := Generate(cfg, rng.New(5))
+	// Feature means per group should differ noticeably from each other.
+	g := p.Data.GroupBy(p.SensitiveNames...)
+	var means []float64
+	for _, k := range g.Keys {
+		sub := p.Data.Gather(g.Rows[k])
+		vals, _ := sub.Numeric("f0")
+		if len(vals) == 0 {
+			continue
+		}
+		means = append(means, stats.Mean(vals))
+	}
+	min, max := stats.MinMax(means)
+	if max-min < 1 {
+		t.Fatalf("group means too close: spread %v", max-min)
+	}
+}
+
+func TestGenerateLabelsBothClasses(t *testing.T) {
+	p := Generate(DefaultPopulation(1000), rng.New(9))
+	pos := p.Data.Count(dataset.Eq("label", "pos"))
+	if pos == 0 || pos == 1000 {
+		t.Fatalf("degenerate label distribution: %d/1000 positive", pos)
+	}
+}
+
+func TestSkewedWeights(t *testing.T) {
+	w := SkewedWeights(5, 0.05)
+	if len(w) != 5 || math.Abs(w[4]-0.05) > 1e-12 {
+		t.Fatalf("SkewedWeights = %v", w)
+	}
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum = %v", sum)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SkewedWeights(1, .5) did not panic")
+		}
+	}()
+	SkewedWeights(1, 0.5)
+}
+
+func TestGenerateSources(t *testing.T) {
+	cfg := SourceConfig{
+		Population:        DefaultPopulation(0),
+		NumSources:        4,
+		RowsPerSource:     300,
+		SkewConcentration: 1,
+	}
+	set := GenerateSources(cfg, rng.New(11))
+	if len(set.Sources) != 4 {
+		t.Fatalf("sources = %d", len(set.Sources))
+	}
+	for i, s := range set.Sources {
+		if s.NumRows() != 300 {
+			t.Fatalf("source %d rows = %d", i, s.NumRows())
+		}
+		sum := 0.0
+		for _, p := range set.GroupDists[i] {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("source %d dist sum = %v", i, sum)
+		}
+		if set.Costs[i] != 1 {
+			t.Fatalf("default cost = %v", set.Costs[i])
+		}
+	}
+	// With low concentration, sources should differ from each other.
+	tv := stats.TotalVariation(set.GroupDists[0], set.GroupDists[1])
+	if tv < 0.01 {
+		t.Fatalf("sources suspiciously similar: TV = %v", tv)
+	}
+}
+
+func TestGenerateSourcesHoldout(t *testing.T) {
+	cfg := SourceConfig{
+		Population:        DefaultPopulation(0),
+		NumSources:        3,
+		RowsPerSource:     400,
+		SkewConcentration: 2,
+		HoldoutRows:       800,
+	}
+	set := GenerateSources(cfg, rng.New(41))
+	if set.Holdout == nil || set.Holdout.NumRows() != 800 {
+		t.Fatalf("holdout = %v", set.Holdout)
+	}
+	// Holdout ids must be disjoint from every source's ids.
+	held := map[string]bool{}
+	for r := 0; r < set.Holdout.NumRows(); r++ {
+		held[set.Holdout.Value(r, "id").Cat] = true
+	}
+	for si, s := range set.Sources {
+		for r := 0; r < s.NumRows(); r++ {
+			if held[s.Value(r, "id").Cat] {
+				t.Fatalf("source %d shares row %s with the holdout", si, s.Value(r, "id").Cat)
+			}
+		}
+	}
+	// No holdout requested -> nil.
+	cfg.HoldoutRows = 0
+	if set := GenerateSources(cfg, rng.New(42)); set.Holdout != nil {
+		t.Fatal("unexpected holdout")
+	}
+}
+
+func TestGenerateSourcesCustomCosts(t *testing.T) {
+	cfg := SourceConfig{
+		Population:    DefaultPopulation(0),
+		NumSources:    2,
+		RowsPerSource: 50,
+		Costs:         []float64{2, 5},
+	}
+	set := GenerateSources(cfg, rng.New(13))
+	if set.Costs[0] != 2 || set.Costs[1] != 5 {
+		t.Fatalf("costs = %v", set.Costs)
+	}
+}
+
+func TestInjectMissingMCAR(t *testing.T) {
+	p := Generate(DefaultPopulation(5000), rng.New(17))
+	out := InjectMissing(p.Data, MissingConfig{Attr: "f0", Rate: 0.2, Mech: MCAR}, rng.New(18))
+	miss := 0
+	for r := 0; r < out.NumRows(); r++ {
+		if out.IsNull(r, "f0") {
+			miss++
+		}
+	}
+	rate := float64(miss) / float64(out.NumRows())
+	if math.Abs(rate-0.2) > 0.03 {
+		t.Fatalf("MCAR rate = %v, want ~0.2", rate)
+	}
+	// Original untouched.
+	if p.Data.IsNull(0, "f0") && p.Data.IsNull(1, "f0") && p.Data.IsNull(2, "f0") {
+		t.Fatal("InjectMissing mutated its input")
+	}
+}
+
+func TestInjectMissingMARSkew(t *testing.T) {
+	p := Generate(DefaultPopulation(8000), rng.New(19))
+	cfg := MissingConfig{Attr: "f0", Rate: 0.2, Mech: MAR, CondAttr: "race", CondValue: "black"}
+	out := InjectMissing(p.Data, cfg, rng.New(20))
+	missBlack, nBlack, missOther, nOther := 0, 0, 0, 0
+	for r := 0; r < out.NumRows(); r++ {
+		isBlack := out.Value(r, "race").Cat == "black"
+		isMiss := out.IsNull(r, "f0")
+		if isBlack {
+			nBlack++
+			if isMiss {
+				missBlack++
+			}
+		} else {
+			nOther++
+			if isMiss {
+				missOther++
+			}
+		}
+	}
+	rb := float64(missBlack) / float64(nBlack)
+	ro := float64(missOther) / float64(nOther)
+	if rb < 2*ro {
+		t.Fatalf("MAR missingness not skewed: black=%v other=%v", rb, ro)
+	}
+}
+
+func TestInjectMissingMNARSkew(t *testing.T) {
+	p := Generate(DefaultPopulation(8000), rng.New(21))
+	vals, _ := p.Data.Numeric("f0")
+	med := stats.Median(vals)
+	out := InjectMissing(p.Data, MissingConfig{Attr: "f0", Rate: 0.2, Mech: MNAR}, rng.New(22))
+	// Missing cells should disproportionately be those whose (original)
+	// value exceeded the median.
+	origVals, origNulls := p.Data.NumericFull("f0")
+	missHigh, missLow := 0, 0
+	for r := 0; r < out.NumRows(); r++ {
+		if !origNulls[r] && out.IsNull(r, "f0") {
+			if origVals[r] > med {
+				missHigh++
+			} else {
+				missLow++
+			}
+		}
+	}
+	if missHigh < 2*missLow {
+		t.Fatalf("MNAR not value-dependent: high=%d low=%d", missHigh, missLow)
+	}
+}
+
+func TestInjectOutliers(t *testing.T) {
+	p := Generate(DefaultPopulation(2000), rng.New(23))
+	out, corrupted := InjectOutliers(p.Data, "f1", 0.05, 8, rng.New(24))
+	if len(corrupted) == 0 {
+		t.Fatal("no outliers injected")
+	}
+	for _, row := range corrupted {
+		orig := p.Data.Value(row, "f1").Num
+		got := out.Value(row, "f1").Num
+		if math.Abs(got-orig) < 3 {
+			t.Fatalf("outlier at row %d barely moved: %v -> %v", row, orig, got)
+		}
+	}
+}
+
+func TestInjectTypos(t *testing.T) {
+	p := Generate(DefaultPopulation(2000), rng.New(25))
+	out, corrupted := InjectTypos(p.Data, "id", 0.1, rng.New(26))
+	if len(corrupted) < 100 {
+		t.Fatalf("too few typos: %d", len(corrupted))
+	}
+	changed := 0
+	for _, row := range corrupted {
+		if out.Value(row, "id").Cat != p.Data.Value(row, "id").Cat {
+			changed++
+		}
+	}
+	// A substitution can occasionally reproduce the original character;
+	// nearly all corruptions must actually change the string.
+	if float64(changed) < 0.9*float64(len(corrupted)) {
+		t.Fatalf("only %d/%d typos changed the value", changed, len(corrupted))
+	}
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	c := GenerateCorpus(CorpusConfig{NumTables: 5, RowsPerTable: 100, KeyUniverse: 1000, QueryKeys: 100}, rng.New(27))
+	if c.Query.NumRows() != 100 {
+		t.Fatalf("query rows = %d", c.Query.NumRows())
+	}
+	if len(c.Tables) != 5 {
+		t.Fatalf("tables = %d", len(c.Tables))
+	}
+	// Containment sweeps from 0 to 1.
+	if c.Tables[0].Containment != 0 {
+		t.Fatalf("first containment = %v", c.Tables[0].Containment)
+	}
+	if c.Tables[4].Containment != 1 {
+		t.Fatalf("last containment = %v", c.Tables[4].Containment)
+	}
+	// Verify ground truth by brute force on table 2.
+	qKeys := map[string]bool{}
+	for r := 0; r < c.Query.NumRows(); r++ {
+		qKeys[c.Query.Value(r, "key").Cat] = true
+	}
+	tbl := c.Tables[2]
+	got := 0
+	seen := map[string]bool{}
+	for r := 0; r < tbl.Data.NumRows(); r++ {
+		k := tbl.Data.Value(r, "key").Cat
+		if qKeys[k] && !seen[k] {
+			seen[k] = true
+			got++
+		}
+	}
+	if got != tbl.Overlap {
+		t.Fatalf("table 2 overlap = %d, claimed %d", got, tbl.Overlap)
+	}
+}
