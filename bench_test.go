@@ -10,13 +10,17 @@
 package redi
 
 import (
+	"fmt"
 	"testing"
 
+	"redi/internal/cleaning"
 	"redi/internal/coverage"
+	"redi/internal/dataset"
 	"redi/internal/discovery"
 	"redi/internal/dt"
 	"redi/internal/experiments"
 	"redi/internal/joinsample"
+	"redi/internal/parallel"
 	"redi/internal/rng"
 	"redi/internal/synth"
 )
@@ -51,6 +55,91 @@ func BenchmarkE17FairPrep(b *testing.B)    { benchExperiment(b, experiments.E17F
 func BenchmarkE18JoinCoverage(b *testing.B) {
 	benchExperiment(b, experiments.E18JoinCoverage)
 }
+
+// --- parallel variants ---
+//
+// Each *Parallel benchmark runs the identical workload as its serial
+// sibling with the worker count set to parallel.Auto (one worker per CPU);
+// the outputs are asserted bit-identical by the determinism tests, so the
+// pair isolates the scheduling cost/benefit. Compare with benchstat; see
+// BENCH_PR1.json for the recorded baseline.
+
+// BenchmarkE6DiscoveryParallel regenerates the E6 table with the LSH
+// ensemble's index build and query fan-out sharded across all CPUs.
+func BenchmarkE6DiscoveryParallel(b *testing.B) {
+	benchExperiment(b, func(seed uint64) *experiments.Table {
+		return experiments.E6DiscoveryWorkers(seed, parallel.Auto)
+	})
+}
+
+// BenchmarkE14ERParallel regenerates the E14 table with candidate-pair
+// comparison sharded across all CPUs.
+func BenchmarkE14ERParallel(b *testing.B) {
+	benchExperiment(b, func(seed uint64) *experiments.Table {
+		return experiments.E14ERWorkers(seed, parallel.Auto)
+	})
+}
+
+// BenchmarkMUPsParallel is BenchmarkMUPs with the pattern-breaker search
+// sharded by the root's children.
+func BenchmarkMUPsParallel(b *testing.B) {
+	cfg := synth.DefaultPopulation(5000)
+	p := synth.Generate(cfg, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := coverage.NewSpace(p.Data, []string{"race", "sex", "label"}, 25)
+		if mups := s.MUPsParallel(parallel.Auto); len(mups) > 1000 {
+			b.Fatal("unexpected MUP explosion")
+		}
+	}
+}
+
+// erBenchCorpus builds a blocking-friendly duplicated-record corpus large
+// enough that pair comparison dominates.
+func erBenchCorpus(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	r := rng.New(7)
+	d := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "entity", Kind: dataset.Categorical, Role: dataset.ID},
+		dataset.Attribute{Name: "name", Kind: dataset.Categorical, Role: dataset.Feature},
+	))
+	for e := 0; e < 400; e++ {
+		base := make([]byte, 10)
+		for i := range base {
+			base[i] = byte('a' + r.Intn(26))
+		}
+		for c := 0; c < 5; c++ {
+			n := append([]byte(nil), base...)
+			if c > 0 {
+				n[1+r.Intn(len(n)-1)] = byte('a' + r.Intn(26))
+			}
+			d.MustAppendRow(dataset.Cat(fmt.Sprintf("e%03d", e)), dataset.Cat(string(n)))
+		}
+	}
+	return d
+}
+
+func benchERResolve(b *testing.B, workers int) {
+	d := erBenchCorpus(b)
+	cfg := cleaning.ERConfig{NameAttr: "name", BlockPrefix: 1, Threshold: 0.88, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cleaning.ResolveEntities(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PairsCompared == 0 {
+			b.Fatal("no pairs compared")
+		}
+	}
+}
+
+// BenchmarkERResolve / BenchmarkERResolveParallel measure blocking +
+// Jaro–Winkler pair comparison + union-find, serial vs all-CPU.
+func BenchmarkERResolve(b *testing.B)         { benchERResolve(b, 0) }
+func BenchmarkERResolveParallel(b *testing.B) { benchERResolve(b, parallel.Auto) }
 
 // --- substrate micro-benchmarks ---
 
@@ -174,9 +263,10 @@ func discoveryCorpus(b *testing.B) (*discovery.Repository, map[string]bool) {
 	return repo, discovery.DomainOf(c.Query, "key")
 }
 
-// BenchmarkLSHQuery measures containment queries per second against a
-// 200-column index.
-func BenchmarkLSHQuery(b *testing.B) {
+// lshBenchSetup builds the 200-column corpus shared by the LSH index and
+// query benchmarks.
+func lshBenchSetup(b *testing.B) (refs []discovery.ColumnRef, domains []map[string]bool, query map[string]bool) {
+	b.Helper()
 	c := synth.GenerateCorpus(synth.CorpusConfig{
 		NumTables: 200, RowsPerTable: 200, KeyUniverse: 50000, QueryKeys: 200,
 	}, rng.New(3))
@@ -186,23 +276,52 @@ func BenchmarkLSHQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	var refs []discovery.ColumnRef
-	var domains []map[string]bool
 	for _, ref := range repo.Columns() {
 		if ref.Column == "key" {
 			refs = append(refs, ref)
 			domains = append(domains, repo.Domain(ref))
 		}
 	}
+	return refs, domains, discovery.DomainOf(c.Query, "key")
+}
+
+func benchLSHIndex(b *testing.B, workers int) {
+	refs, domains, _ := lshBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens, err := discovery.NewLSHEnsemble(128, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ens.Workers = workers
+		ens.Index(refs, domains)
+	}
+}
+
+// BenchmarkLSHIndex / BenchmarkLSHIndexParallel measure MinHash signature
+// construction plus bucket builds for a 200-column index, serial vs
+// all-CPU.
+func BenchmarkLSHIndex(b *testing.B)         { benchLSHIndex(b, 0) }
+func BenchmarkLSHIndexParallel(b *testing.B) { benchLSHIndex(b, parallel.Auto) }
+
+func benchLSHQuery(b *testing.B, workers int) {
+	refs, domains, query := lshBenchSetup(b)
 	ens, err := discovery.NewLSHEnsemble(128, 8)
 	if err != nil {
 		b.Fatal(err)
 	}
+	ens.Workers = workers
 	ens.Index(refs, domains)
-	query := discovery.DomainOf(c.Query, "key")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ens.Query(query, 0.5)
 	}
 }
+
+// BenchmarkLSHQuery measures containment queries per second against a
+// 200-column index; the Parallel variant fans out partition probes and
+// candidate scoring.
+func BenchmarkLSHQuery(b *testing.B)         { benchLSHQuery(b, 0) }
+func BenchmarkLSHQueryParallel(b *testing.B) { benchLSHQuery(b, parallel.Auto) }

@@ -2,9 +2,14 @@
 // (E1–E18). With no arguments it runs everything; pass experiment ids to
 // run a subset.
 //
-//	go run ./cmd/experiments            # all tables
-//	go run ./cmd/experiments E1 E12     # selected tables
-//	go run ./cmd/experiments -seed 7 E4 # alternate seed
+//	go run ./cmd/experiments                # all tables, serially
+//	go run ./cmd/experiments E1 E12         # selected tables
+//	go run ./cmd/experiments -seed 7 E4     # alternate seed
+//	go run ./cmd/experiments -parallel -1   # run experiments on all CPUs
+//
+// Experiments are pure functions of the seed, so -parallel changes only
+// wall time, never table contents (the measured-ms cells of E3/E18 vary
+// with machine load either way).
 package main
 
 import (
@@ -14,10 +19,12 @@ import (
 	"time"
 
 	"redi/internal/experiments"
+	"redi/internal/parallel"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "base seed for all experiments")
+	workers := flag.Int("parallel", 0, "experiments to run concurrently (0 = serial, -1 = all CPUs)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -43,13 +50,19 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var selected []experiments.Experiment
 	for _, e := range all {
-		if len(want) > 0 && !want[e.ID] {
-			continue
+		if len(want) == 0 || want[e.ID] {
+			selected = append(selected, e)
 		}
-		start := time.Now()
-		table := e.Run(*seed)
-		fmt.Println(table.String())
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	start := time.Now()
+	results := experiments.RunAll(selected, *seed, *workers)
+	total := time.Since(start)
+	for _, res := range results {
+		fmt.Println(res.Table.String())
+		fmt.Printf("(%s completed in %v)\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("ran %d experiments in %v (workers=%d)\n",
+		len(results), total.Round(time.Millisecond), parallel.Workers(*workers))
 }

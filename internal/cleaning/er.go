@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"redi/internal/dataset"
+	"redi/internal/parallel"
 )
 
 // ERConfig parameterizes entity resolution over a dataset of records.
@@ -22,6 +23,10 @@ type ERConfig struct {
 	// Threshold is the minimum Jaro–Winkler similarity to declare a
 	// match (default 0.9).
 	Threshold float64
+	// Workers bounds the goroutines used for candidate-pair comparison:
+	// 0 (the zero value) keeps the serial path, parallel.Auto uses every
+	// CPU. Results are bit-identical at any worker count.
+	Workers int
 }
 
 // ERResult is the outcome of entity resolution: a cluster id per row and
@@ -34,6 +39,13 @@ type ERResult struct {
 // ResolveEntities clusters the rows of d whose NameAttr values are similar:
 // records are blocked by name prefix, pairs within a block are scored with
 // Jaro–Winkler, and matching pairs are merged with union-find.
+//
+// Blocks are processed in sorted key order, so the cluster ids (union-find
+// representatives) are a deterministic function of the input. With
+// cfg.Workers set, pair comparison — the hot loop — is sharded across
+// blocks; the matched pairs are merged into the union-find in block order,
+// replaying the exact union sequence of the serial path, so the result is
+// bit-identical at any worker count.
 func ResolveEntities(d *dataset.Dataset, cfg ERConfig) (*ERResult, error) {
 	if cfg.NameAttr == "" {
 		return nil, fmt.Errorf("cleaning: ERConfig.NameAttr is required")
@@ -60,15 +72,35 @@ func ResolveEntities(d *dataset.Dataset, cfg ERConfig) (*ERResult, error) {
 		}
 		blocks[key] = append(blocks[key], i)
 	}
-	res := &ERResult{}
-	for _, rows := range blocks {
+	keys := make([]string, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	type pair struct{ a, b int }
+	type blockMatches struct {
+		pairs    []pair
+		compared int
+	}
+	matched := parallel.Map(cfg.Workers, keys, func(_ int, key string) blockMatches {
+		rows := blocks[key]
+		var m blockMatches
 		for a := 0; a < len(rows); a++ {
 			for b := a + 1; b < len(rows); b++ {
-				res.PairsCompared++
+				m.compared++
 				if JaroWinkler(names[rows[a]], names[rows[b]]) >= thresh {
-					uf.union(rows[a], rows[b])
+					m.pairs = append(m.pairs, pair{rows[a], rows[b]})
 				}
 			}
+		}
+		return m
+	})
+	res := &ERResult{}
+	for _, m := range matched {
+		res.PairsCompared += m.compared
+		for _, p := range m.pairs {
+			uf.union(p.a, p.b)
 		}
 	}
 	res.Cluster = make([]int, len(names))

@@ -2,6 +2,7 @@ package coverage
 
 import (
 	"fmt"
+	"sync"
 
 	"redi/internal/dataset"
 )
@@ -28,6 +29,7 @@ type JoinSpace struct {
 	// rows for that key.
 	leftByKey  map[string][][]int
 	rightByKey map[string][][]int
+	mu         sync.Mutex
 	counts     map[string]int
 }
 
@@ -86,10 +88,14 @@ func (js *JoinSpace) split(p Pattern) (Pattern, Pattern) {
 	return Pattern(p[:js.numLeft]), Pattern(p[js.numLeft:])
 }
 
-// Count returns the number of join results matching p, memoized.
+// Count returns the number of join results matching p, memoized. Safe for
+// concurrent use; only the memo map is guarded (see Space.Count).
 func (js *JoinSpace) Count(p Pattern) int {
 	k := p.key()
-	if c, ok := js.counts[k]; ok {
+	js.mu.Lock()
+	c, ok := js.counts[k]
+	js.mu.Unlock()
+	if ok {
 		return c
 	}
 	pl, pr := js.split(p)
@@ -117,7 +123,9 @@ func (js *JoinSpace) Count(p Pattern) int {
 		}
 		total += nl * nr
 	}
+	js.mu.Lock()
 	js.counts[k] = total
+	js.mu.Unlock()
 	return total
 }
 
@@ -158,6 +166,10 @@ func (js *JoinSpace) Children(p Pattern) []Pattern {
 
 // MUPs enumerates the maximal uncovered patterns of the join.
 func (js *JoinSpace) MUPs() []MUP { return patternBreaker(js) }
+
+// MUPsParallel enumerates the same MUPs as MUPs with the search sharded
+// across workers; the result is bit-identical at any worker count.
+func (js *JoinSpace) MUPsParallel(workers int) []MUP { return patternBreakerWorkers(js, workers) }
 
 // Describe renders p with attribute names.
 func (js *JoinSpace) Describe(p Pattern) string {

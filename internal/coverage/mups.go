@@ -1,5 +1,7 @@
 package coverage
 
+import "redi/internal/parallel"
+
 // MUP is a maximal uncovered pattern with its observed count.
 type MUP struct {
 	Pattern Pattern
@@ -25,34 +27,57 @@ type patternSpace interface {
 // subtree is pruned. Patterns are visited at most once thanks to the
 // canonical child rule.
 func patternBreaker(s patternSpace) []MUP {
-	var out []MUP
-	var walk func(p Pattern)
-	walk = func(p Pattern) {
-		if !s.Covered(p) {
-			if allParentsCovered(s, p) {
-				out = append(out, MUP{Pattern: p, Count: s.Count(p)})
-			}
-			return
-		}
-		for _, c := range s.Children(p) {
-			walk(c)
-		}
-	}
+	return patternBreakerWorkers(s, 0)
+}
+
+// patternBreakerWorkers runs the pattern-breaker search with the given
+// worker count (parallel.Workers semantics; 0 = serial). The lattice is
+// sharded by the root's canonical children: each subtree is walked
+// independently and the per-subtree MUP lists are concatenated in child
+// order, which is exactly the order the serial DFS visits them — so the
+// output is bit-identical at any worker count. Count memoization in the
+// space is concurrency-safe but shared, so the pruning each subtree does is
+// unaffected by what the other workers discover.
+func patternBreakerWorkers(s patternSpace, workers int) []MUP {
 	root := s.Root()
 	if !s.Covered(root) {
 		// The whole dataset is smaller than the threshold: the root is
 		// the single MUP.
 		return []MUP{{Pattern: root, Count: s.Count(root)}}
 	}
-	for _, c := range s.Children(root) {
-		walk(c)
+	parts := parallel.Map(workers, s.Children(root), func(_ int, c Pattern) []MUP {
+		var out []MUP
+		walkSubtree(s, c, &out)
+		return out
+	})
+	var out []MUP
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out
+}
+
+// walkSubtree appends, in DFS order, the MUPs found under p (inclusive).
+func walkSubtree(s patternSpace, p Pattern, out *[]MUP) {
+	if !s.Covered(p) {
+		if allParentsCovered(s, p) {
+			*out = append(*out, MUP{Pattern: p, Count: s.Count(p)})
+		}
+		return
+	}
+	for _, c := range s.Children(p) {
+		walkSubtree(s, c, out)
+	}
 }
 
 // MUPs enumerates the maximal uncovered patterns of the space with the
 // pattern-breaker strategy.
 func (s *Space) MUPs() []MUP { return patternBreaker(s) }
+
+// MUPsParallel enumerates the same MUPs as MUPs, sharding the top-down
+// search across workers (parallel.Workers semantics). The result is
+// bit-identical to MUPs at any worker count.
+func (s *Space) MUPsParallel(workers int) []MUP { return patternBreakerWorkers(s, workers) }
 
 func allParentsCovered(s patternSpace, p Pattern) bool {
 	for _, parent := range s.Parents(p) {

@@ -13,6 +13,7 @@ package coverage
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"redi/internal/dataset"
 )
@@ -92,6 +93,7 @@ type Space struct {
 	Threshold int
 
 	rows   [][]int // coded rows; -1 for null
+	mu     sync.Mutex
 	counts map[string]int
 }
 
@@ -136,19 +138,27 @@ func (s *Space) Root() Pattern {
 	return p
 }
 
-// Count returns the number of rows matching p, memoized.
+// Count returns the number of rows matching p, memoized. It is safe for
+// concurrent use: only the memo map is guarded, so the row scan — the
+// expensive part — runs outside the lock (two workers may redundantly
+// count the same pattern, which is harmless).
 func (s *Space) Count(p Pattern) int {
 	k := p.key()
-	if c, ok := s.counts[k]; ok {
+	s.mu.Lock()
+	c, ok := s.counts[k]
+	s.mu.Unlock()
+	if ok {
 		return c
 	}
-	c := 0
+	c = 0
 	for _, row := range s.rows {
 		if p.Matches(row) {
 			c++
 		}
 	}
+	s.mu.Lock()
 	s.counts[k] = c
+	s.mu.Unlock()
 	return c
 }
 

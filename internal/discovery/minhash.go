@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"redi/internal/parallel"
 )
 
 // hash64 is a seeded 64-bit string hash (FNV-1a core mixed with a
@@ -99,6 +101,11 @@ type LSHEnsemble struct {
 	partitions []*lshPartition
 	refs       []ColumnRef
 	sigs       []*MinHash
+
+	// Workers bounds the goroutines used by Index and Query: 0 (the
+	// zero value) keeps the serial path, parallel.Auto uses every CPU.
+	// Output is bit-identical at any worker count.
+	Workers int
 }
 
 type lshPartition struct {
@@ -123,38 +130,55 @@ func NewLSHEnsemble(k, partitions int) (*LSHEnsemble, error) {
 }
 
 // Index builds the ensemble over the given columns. Must be called once,
-// before Query. Columns with empty domains are skipped.
+// before Query. Columns with empty domains are skipped. With Workers set,
+// signature construction and per-partition bucket builds run concurrently;
+// the resulting index is bit-identical to a serial build.
 func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
 	type entry struct {
 		ref  ColumnRef
 		size int
-		sig  *MinHash
+		dom  map[string]bool
 	}
 	var entries []entry
 	for i, ref := range refs {
 		if len(domains[i]) == 0 {
 			continue
 		}
-		entries = append(entries, entry{ref: ref, size: len(domains[i]), sig: NewMinHash(domains[i], e.k)})
-	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].size < entries[b].size })
-	for _, en := range entries {
-		e.refs = append(e.refs, en.ref)
-		e.sigs = append(e.sigs, en.sig)
+		entries = append(entries, entry{ref: ref, size: len(domains[i]), dom: domains[i]})
 	}
 	if len(entries) == 0 {
 		return
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].size != entries[b].size {
+			return entries[a].size < entries[b].size
+		}
+		return entries[a].ref.String() < entries[b].ref.String()
+	})
+	// Signature construction is the hot loop (|domain| × k hashes per
+	// column) and is independent across columns.
+	sigs := parallel.Map(e.Workers, entries, func(_ int, en entry) *MinHash {
+		return NewMinHash(en.dom, e.k)
+	})
+	for i, en := range entries {
+		e.refs = append(e.refs, en.ref)
+		e.sigs = append(e.sigs, sigs[i])
 	}
 	nPart := cap(e.partitions)
 	if nPart > len(entries) {
 		nPart = len(entries)
 	}
 	per := (len(entries) + nPart - 1) / nPart
+	var ranges [][2]int
 	for start := 0; start < len(entries); start += per {
 		end := start + per
 		if end > len(entries) {
 			end = len(entries)
 		}
+		ranges = append(ranges, [2]int{start, end})
+	}
+	parts := parallel.Map(e.Workers, ranges, func(_ int, rg [2]int) *lshPartition {
+		start, end := rg[0], rg[1]
 		p := &lshPartition{maxSize: entries[end-1].size}
 		p.buckets = make([][]map[string][]int, len(lshRowChoices))
 		for ri, rows := range lshRowChoices {
@@ -164,15 +188,16 @@ func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
 				p.buckets[ri][b] = map[string][]int{}
 			}
 			for id := start; id < end; id++ {
-				sig := entries[id].sig
+				sig := sigs[id]
 				for b := 0; b < bands; b++ {
 					key := bandKey(sig.Sig[b*rows : (b+1)*rows])
 					p.buckets[ri][b][key] = append(p.buckets[ri][b][key], id)
 				}
 			}
 		}
-		e.partitions = append(e.partitions, p)
-	}
+		return p
+	})
+	e.partitions = append(e.partitions, parts...)
 }
 
 func bandKey(sig []uint64) string {
@@ -197,8 +222,9 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 	}
 	qsig := NewMinHash(query, e.k)
 	q := float64(len(query))
-	cands := map[int]bool{}
-	for _, p := range e.partitions {
+	// Partition probes are independent: fan them out and union the
+	// candidate id sets afterwards (the union is order-insensitive).
+	partCands := parallel.Map(e.Workers, e.partitions, func(_ int, p *lshPartition) []int {
 		j := 0.0
 		if q > 0 {
 			denom := q + float64(p.maxSize) - threshold*q
@@ -209,18 +235,31 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 		ri := e.chooseRows(j)
 		rows := lshRowChoices[ri]
 		bands := e.k / rows
+		var ids []int
 		for b := 0; b < bands; b++ {
 			key := bandKey(qsig.Sig[b*rows : (b+1)*rows])
-			for _, id := range p.buckets[ri][b][key] {
-				cands[id] = true
-			}
+			ids = append(ids, p.buckets[ri][b][key]...)
+		}
+		return ids
+	})
+	cands := map[int]bool{}
+	for _, ids := range partCands {
+		for _, id := range ids {
+			cands[id] = true
 		}
 	}
-	var out []ColumnMatch
+	ids := make([]int, 0, len(cands))
 	for id := range cands {
-		c := qsig.EstimateContainment(e.sigs[id])
-		if c >= threshold {
-			out = append(out, ColumnMatch{Ref: e.refs[id], Score: c})
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	scored := parallel.Map(e.Workers, ids, func(_ int, id int) ColumnMatch {
+		return ColumnMatch{Ref: e.refs[id], Score: qsig.EstimateContainment(e.sigs[id])}
+	})
+	var out []ColumnMatch
+	for _, m := range scored {
+		if m.Score >= threshold {
+			out = append(out, m)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {

@@ -1,0 +1,67 @@
+package discovery
+
+import (
+	"reflect"
+	"testing"
+
+	"redi/internal/rng"
+	"redi/internal/synth"
+)
+
+// buildEnsemble indexes the synthetic corpus's key columns with the given
+// worker count and returns the ensemble plus the query domain.
+func buildEnsemble(t *testing.T, workers int) (*LSHEnsemble, map[string]bool) {
+	t.Helper()
+	c := synth.GenerateCorpus(synth.CorpusConfig{
+		NumTables: 30, RowsPerTable: 200, KeyUniverse: 8000, QueryKeys: 200,
+	}, rng.New(11))
+	r := NewRepository()
+	for _, tbl := range c.Tables {
+		if err := r.Add(tbl.Name, tbl.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var refs []ColumnRef
+	var domains []map[string]bool
+	for _, ref := range r.Columns() {
+		if ref.Column == "key" {
+			refs = append(refs, ref)
+			domains = append(domains, r.Domain(ref))
+		}
+	}
+	ens, err := NewLSHEnsemble(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens.Workers = workers
+	ens.Index(refs, domains)
+	return ens, DomainOf(c.Query, "key")
+}
+
+// TestLSHEnsembleParallelDeterminism pins the determinism contract: index
+// and query results are bit-identical at workers ∈ {1, 8}.
+func TestLSHEnsembleParallelDeterminism(t *testing.T) {
+	serial, query := buildEnsemble(t, 0)
+	par, _ := buildEnsemble(t, 8)
+	if !reflect.DeepEqual(serial.refs, par.refs) {
+		t.Fatal("indexed ref order diverged between serial and parallel builds")
+	}
+	for i := range serial.sigs {
+		if !reflect.DeepEqual(serial.sigs[i].Sig, par.sigs[i].Sig) {
+			t.Fatalf("signature %d diverged between serial and parallel builds", i)
+		}
+	}
+	if len(serial.partitions) != len(par.partitions) {
+		t.Fatalf("partition count diverged: %d vs %d", len(serial.partitions), len(par.partitions))
+	}
+	for _, th := range []float64{0.3, 0.5, 0.7} {
+		a := serial.Query(query, th)
+		b := par.Query(query, th)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("threshold %v: serial and parallel query results differ:\n%v\n%v", th, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("threshold %v: query returned nothing; determinism check is vacuous", th)
+		}
+	}
+}

@@ -52,7 +52,11 @@ func E7Imputation(seed uint64) *Table {
 // group as blocking becomes more aggressive. Minority names are generated
 // with more internal variation, so aggressive prefix blocking drops their
 // matching pairs first.
-func E14ER(seed uint64) *Table {
+func E14ER(seed uint64) *Table { return E14ERWorkers(seed, 0) }
+
+// E14ERWorkers is E14ER with candidate-pair comparison sharded across the
+// given workers (0 = serial). The table is bit-identical at any count.
+func E14ERWorkers(seed uint64, workers int) *Table {
 	t := &Table{
 		ID:      "E14",
 		Title:   "Entity resolution: pairwise quality vs blocking aggressiveness, overall and per group",
@@ -63,7 +67,7 @@ func E14ER(seed uint64) *Table {
 	for _, prefix := range []int{0, 1, 2, 3, 4} {
 		cfg := cleaning.ERConfig{
 			NameAttr: "name", TruthAttr: "entity",
-			BlockPrefix: prefix, Threshold: 0.84,
+			BlockPrefix: prefix, Threshold: 0.84, Workers: workers,
 		}
 		res, err := cleaning.ResolveEntities(d, cfg)
 		if err != nil {

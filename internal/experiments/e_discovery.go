@@ -12,7 +12,12 @@ import (
 // E6Discovery reproduces the domain-search and join-correlation sketch
 // experiments: LSH-ensemble precision/recall against exact containment
 // across thresholds, and correlation-sketch error across sketch sizes.
-func E6Discovery(seed uint64) *Table {
+func E6Discovery(seed uint64) *Table { return E6DiscoveryWorkers(seed, 0) }
+
+// E6DiscoveryWorkers is E6Discovery with the LSH-ensemble index build and
+// query fan-out sharded across the given workers (0 = serial). The table
+// is bit-identical at any worker count.
+func E6DiscoveryWorkers(seed uint64, workers int) *Table {
 	t := &Table{
 		ID:      "E6",
 		Title:   "Discovery: LSH-ensemble quality vs exact containment; correlation-sketch error vs size",
@@ -40,6 +45,7 @@ func E6Discovery(seed uint64) *Table {
 	if err != nil {
 		panic(err)
 	}
+	ens.Workers = workers
 	ens.Index(refs, domains)
 	query := discovery.DomainOf(c.Query, "key")
 

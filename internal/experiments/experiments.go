@@ -12,6 +12,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"redi/internal/parallel"
 )
 
 // Table is one experiment's output: a titled grid of formatted cells.
@@ -78,6 +81,27 @@ func d0(x int) string     { return fmt.Sprintf("%d", x) }
 type Experiment struct {
 	ID  string
 	Run func(seed uint64) *Table
+}
+
+// Result is one experiment's table plus its wall time.
+type Result struct {
+	ID      string
+	Table   *Table
+	Elapsed time.Duration
+}
+
+// RunAll runs the given experiments with the same base seed, concurrently
+// across `workers` goroutines (parallel.Workers semantics: 0 = serial,
+// parallel.Auto = all CPUs), and returns the results in input order. Every
+// experiment is a pure function of its seed, so the tables are identical at
+// any worker count; only Elapsed (and the wall-clock-derived cells of E3
+// and E18) varies with scheduling.
+func RunAll(exps []Experiment, seed uint64, workers int) []Result {
+	return parallel.Map(workers, exps, func(_ int, e Experiment) Result {
+		start := time.Now()
+		t := e.Run(seed)
+		return Result{ID: e.ID, Table: t, Elapsed: time.Since(start)}
+	})
 }
 
 // All lists every experiment in order.

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// timingCols lists the table columns whose cells are wall-clock
+// measurements (milliseconds / speedup ratios). They are the only cells
+// that legitimately vary between two runs of the same experiment, so the
+// worker-invariance comparison masks them.
+var timingCols = map[string][]int{
+	"E3":  {3, 4, 5}, // breaker_ms, naive_ms, speedup
+	"E18": {3, 4, 5}, // factorized_ms, materialized_ms, mat/fact
+}
+
+// masked returns the table's rows with timing cells blanked.
+func masked(tb *Table) [][]string {
+	mask := timingCols[tb.ID]
+	out := make([][]string, len(tb.Rows))
+	for i, row := range tb.Rows {
+		r := append([]string(nil), row...)
+		for _, c := range mask {
+			r[c] = "-"
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TestRunAllWorkerInvariance pins the determinism contract at the
+// experiment-suite level: every E-experiment produces an identical table at
+// workers ∈ {1, 8}, modulo cells that are wall-clock measurements.
+func TestRunAllWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	serial := RunAll(All(), 5, 1)
+	par := RunAll(All(), 5, 8)
+	if len(serial) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		s, p := serial[i], par[i]
+		if s.ID != p.ID {
+			t.Fatalf("result %d: order diverged: %s vs %s", i, s.ID, p.ID)
+		}
+		if s.Table.Title != p.Table.Title || !reflect.DeepEqual(s.Table.Columns, p.Table.Columns) {
+			t.Fatalf("%s: header diverged", s.ID)
+		}
+		if !reflect.DeepEqual(masked(s.Table), masked(p.Table)) {
+			t.Fatalf("%s: table contents diverged between workers=1 and workers=8:\n%v\n%v",
+				s.ID, s.Table, p.Table)
+		}
+	}
+}
+
+// The two experiments that exercise intra-experiment parallelism must also
+// be bit-identical across worker counts — including their timing-free
+// cells, with no masking needed.
+func TestE6WorkerInvariance(t *testing.T) {
+	serial := E6DiscoveryWorkers(6, 1)
+	for _, w := range []int{2, 8} {
+		if got := E6DiscoveryWorkers(6, w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("E6 diverged at workers=%d", w)
+		}
+	}
+}
+
+func TestE14WorkerInvariance(t *testing.T) {
+	serial := E14ERWorkers(14, 1)
+	for _, w := range []int{2, 8} {
+		if got := E14ERWorkers(14, w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("E14 diverged at workers=%d", w)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package parallel is REDI's deterministic fork-join layer: a small,
+// dependency-free set of helpers that shard work across goroutines while
+// guaranteeing that results are assembled in stable input order, so a
+// parallel run is bit-identical to a serial run at any worker count.
+//
+// The contract every helper honors:
+//
+//   - Results are merged in input (or shard) order, never in completion
+//     order. A caller that is itself deterministic therefore stays
+//     deterministic at workers ∈ {1, 2, ..., N}.
+//   - Work is split into at most `workers` contiguous chunks, so goroutine
+//     overhead is bounded by the worker count, not the item count.
+//   - A panic inside a worker is re-raised in the caller (first chunk
+//     wins), so parallel call sites fail the same way serial ones do.
+//   - Below a small size threshold (or at one effective worker) the
+//     helpers run inline on the calling goroutine — the serial fallback.
+//
+// Randomized work sharded across workers must not share one RNG stream;
+// use rng.Split(seed, shard) to give each shard its own decorrelated,
+// reproducible stream.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Auto requests one worker per available CPU (GOMAXPROCS).
+const Auto = -1
+
+// ForGrain is the minimum item count at which For dispatches goroutines;
+// below it the loop body is assumed too fine-grained to amortize fork-join
+// overhead and runs inline.
+const ForGrain = 32
+
+// Workers resolves a requested worker count: n > 0 means exactly n, 0 means
+// serial (one worker, the zero-value default at every call site), and any
+// negative value (canonically Auto) means one worker per CPU.
+func Workers(requested int) int {
+	switch {
+	case requested > 0:
+		return requested
+	case requested == 0:
+		return 1
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
+}
+
+// Chunks splits [0, n) into at most workers contiguous [lo, hi) ranges of
+// near-equal size, in order. It returns nil when n <= 0.
+func Chunks(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	per, extra := n/w, n%w
+	lo := 0
+	for s := 0; s < w; s++ {
+		hi := lo + per
+		if s < extra {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// runChunks executes fn once per chunk on its own goroutine and re-raises
+// the first (lowest-chunk-index) panic after all chunks finish.
+func runChunks(chunks [][2]int, fn func(shard, lo, hi int)) {
+	var wg sync.WaitGroup
+	panics := make([]any, len(chunks))
+	for s, c := range chunks {
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[s] = p
+				}
+			}()
+			fn(s, lo, hi)
+		}(s, c[0], c[1])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// For runs fn(i) for every i in [0, n). The iterations are assumed
+// fine-grained: with one effective worker or fewer than ForGrain items the
+// loop runs inline. fn must not depend on iteration order across chunks.
+func For(workers, n int, fn func(i int)) {
+	w := Workers(workers)
+	if w <= 1 || n < ForGrain {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	runChunks(Chunks(n, w), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map applies fn to every element of in and returns the results in input
+// order. Items are assumed coarse enough to be worth dispatching whenever
+// there are at least two of them and more than one effective worker.
+func Map[T, R any](workers int, in []T, fn func(i int, v T) R) []R {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]R, len(in))
+	w := Workers(workers)
+	if w <= 1 || len(in) < 2 {
+		for i, v := range in {
+			out[i] = fn(i, v)
+		}
+		return out
+	}
+	runChunks(Chunks(len(in), w), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i, in[i])
+		}
+	})
+	return out
+}
+
+// MapChunks shards [0, n) into contiguous chunks, runs fn once per chunk,
+// and returns the per-chunk results in shard order. It is the primitive for
+// reductions that carry per-shard state (local accumulators, RNG streams
+// from rng.Split) and merge deterministically afterwards.
+func MapChunks[R any](workers, n int, fn func(shard, lo, hi int) R) []R {
+	chunks := Chunks(n, workers)
+	if chunks == nil {
+		return nil
+	}
+	out := make([]R, len(chunks))
+	if len(chunks) == 1 {
+		out[0] = fn(0, chunks[0][0], chunks[0][1])
+		return out
+	}
+	runChunks(chunks, func(s, lo, hi int) {
+		out[s] = fn(s, lo, hi)
+	})
+	return out
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != 1 {
+		t.Fatalf("Workers(0) = %d, want serial fallback 1", got)
+	}
+	if got := Workers(Auto); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(Auto) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 31, 32, 100, 1001} {
+		for _, w := range []int{1, 2, 3, 8, 200} {
+			chunks := Chunks(n, w)
+			next := 0
+			for _, c := range chunks {
+				if c[0] != next || c[1] <= c[0] {
+					t.Fatalf("n=%d w=%d: bad chunk %v after %d", n, w, c, next)
+				}
+				next = c[1]
+			}
+			if next != n {
+				t.Fatalf("n=%d w=%d: chunks cover %d items", n, w, next)
+			}
+			if len(chunks) > w {
+				t.Fatalf("n=%d w=%d: %d chunks exceed workers", n, w, len(chunks))
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	square := func(_ int, v int) int { return v * v }
+	serial := Map(1, in, square)
+	for _, w := range []int{2, 3, 8, 64} {
+		if got := Map(w, in, square); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("Map workers=%d diverged from serial", w)
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, ForGrain - 1, ForGrain, 1000} {
+		for _, w := range []int{1, 4, 9} {
+			counts := make([]int32, n)
+			For(w, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapChunksShardOrder(t *testing.T) {
+	sum := func(_, lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	}
+	serial := MapChunks(1, 1000, sum)
+	total := 0
+	for _, s := range serial {
+		total += s
+	}
+	for _, w := range []int{2, 5, 16} {
+		parts := MapChunks(w, 1000, sum)
+		got := 0
+		for _, s := range parts {
+			got += s
+		}
+		if got != total {
+			t.Fatalf("MapChunks workers=%d total %d, want %d", w, got, total)
+		}
+		if len(parts) > w {
+			t.Fatalf("MapChunks workers=%d produced %d shards", w, len(parts))
+		}
+	}
+	if MapChunks(4, 0, sum) != nil {
+		t.Fatal("MapChunks over empty range should be nil")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want worker panic", r)
+		}
+	}()
+	Map(8, make([]int, 256), func(i int, _ int) int {
+		if i == 100 {
+			panic("boom")
+		}
+		return 0
+	})
+	t.Fatal("panic did not propagate")
+}

@@ -54,6 +54,22 @@ func (r *RNG) Split() *RNG {
 	return child
 }
 
+// Split returns the generator for one shard of a deterministic parallel
+// computation: the stream is a pure function of (seed, shard), so any
+// worker can recreate its shard's stream regardless of scheduling, and
+// distinct shards get decorrelated streams. Shard 0 is intentionally not
+// the same stream as New(seed), so sharded and unsharded consumers of the
+// same seed do not accidentally alias.
+func Split(seed uint64, shard int) *RNG {
+	r := &RNG{}
+	// Mix the shard into both state halves with distinct odd constants;
+	// seed() then scrambles each half through SplitMix64, which maps the
+	// (seed, shard) lattice onto well-separated internal states.
+	s := uint64(shard) + 1
+	r.seed(seed+s*0x632be59bd9b4e019, seed^(s*0xd1342543de82ef95))
+	return r
+}
+
 // Uint64 returns a uniformly distributed 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	// PCG-XSL-RR 128/64: a 128-bit LCG step followed by an

@@ -48,6 +48,57 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestShardSplitReproducible(t *testing.T) {
+	for shard := 0; shard < 8; shard++ {
+		a, b := Split(42, shard), Split(42, shard)
+		for i := 0; i < 100; i++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("shard %d: identical (seed, shard) diverged at step %d", shard, i)
+			}
+		}
+	}
+}
+
+func TestShardSplitDecorrelated(t *testing.T) {
+	const shards, steps = 64, 64
+	// No two shards of the same seed may collide anywhere in their first
+	// `steps` outputs, and no shard may alias the unsharded stream.
+	seen := map[uint64]int{}
+	base := New(9)
+	for i := 0; i < steps; i++ {
+		seen[base.Uint64()] = -1
+	}
+	for s := 0; s < shards; s++ {
+		r := Split(9, s)
+		for i := 0; i < steps; i++ {
+			v := r.Uint64()
+			if prev, ok := seen[v]; ok {
+				t.Fatalf("shard %d output collides with shard %d", s, prev)
+			}
+			seen[v] = s
+		}
+	}
+	// Adjacent shards must not produce correlated uniforms: the sample
+	// correlation of their Float64 streams should be near zero.
+	a, b := Split(9, 0), Split(9, 1)
+	const n = 4096
+	var sa, sb, saa, sbb, sab float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vb := sbb/n - (sb/n)*(sb/n)
+	if corr := cov / math.Sqrt(va*vb); math.Abs(corr) > 0.08 {
+		t.Fatalf("adjacent shard streams correlate: r = %v", corr)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 10000; i++ {
