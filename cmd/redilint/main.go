@@ -1,0 +1,106 @@
+// Command redilint runs REDI's determinism-contract analyzers (see
+// internal/lint) over the module and exits non-zero on any finding, so CI
+// can gate merges on the contract:
+//
+//	go run ./cmd/redilint ./...
+//
+// Findings print as file:line:col: [rule] message. A finding is suppressed
+// by an explicit, justified annotation on or directly above the offending
+// line:
+//
+//	//redi:allow <rule> <reason>
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"redi/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	debug := flag.Bool("debug", false, "also print type-check errors encountered while loading (diagnostic aid; never affects the exit code)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: redilint [-list] [-debug] [packages]\n\npackages are Go-tool style patterns relative to the module (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	// Patterns are resolved against the module root; when invoked from a
+	// subdirectory, rebase relative patterns onto it.
+	if cwd != root {
+		rel, err := filepath.Rel(root, cwd)
+		if err != nil {
+			fatal(err)
+		}
+		for i, p := range patterns {
+			if p != "./..." && p != "..." {
+				patterns[i] = "./" + filepath.ToSlash(filepath.Join(rel, p))
+			}
+		}
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("redilint: no packages matched %v", patterns))
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		if *debug {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "redilint: typecheck %s: %v\n", pkg.Path, terr)
+			}
+		}
+		for _, d := range lint.Run(pkg, lint.All()...) {
+			rel, err := filepath.Rel(cwd, d.Pos.Filename)
+			if err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "redilint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "redilint: ok (%d packages)\n", len(pkgs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -12,6 +12,12 @@ import (
 	"redi/internal/rng"
 )
 
+// now is the pipeline's clock seam. Provenance step durations are
+// observational metadata, never algorithm inputs, so wall-clock reads are
+// confined to this one injectable point; tests pin it to a fake clock to
+// make provenance output fully deterministic.
+var now = time.Now //redi:allow walltime single injectable clock seam for provenance durations
+
 // Pipeline is the end-to-end responsible data integration flow over a set
 // of candidate sources sharing one schema: tailor a dataset meeting group
 // count requirements at minimum cost, repair missing values with a
@@ -74,7 +80,10 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 			addKey(k)
 		}
 	}
-	for k := range need {
+	// Sorted keys: requested groups absent from every source would
+	// otherwise land in keys in map order (the append hides inside
+	// addKey, where maporder cannot see it).
+	for _, k := range dataset.SortedKeys(need) {
 		addKey(k)
 	}
 
@@ -133,7 +142,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		strategy = dt.NewUCBColl(costs, len(keys))
 	}
 	prov := &Provenance{}
-	start := time.Now()
+	start := now()
 	res, err := engine.Run(strategy, needVec, r)
 	if err != nil {
 		return nil, err
@@ -149,7 +158,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		map[string]string{
 			"strategy": res.Strategy,
 			"groups":   fmt.Sprintf("%d", len(keys)),
-		}, data.NumRows(), time.Since(start))
+		}, data.NumRows(), now().Sub(start))
 
 	// Clean: group-conditional mean imputation on numeric features.
 	s := data.Schema()
@@ -168,7 +177,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		if !hasNull {
 			continue
 		}
-		start = time.Now()
+		start = now()
 		repaired, err := cleaning.GroupMeanImputer{Sensitive: sensitive}.Impute(data, a.Name)
 		if err != nil {
 			return nil, fmt.Errorf("core: imputing %s: %w", a.Name, err)
@@ -177,11 +186,11 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		prov.add("impute",
 			fmt.Sprintf("group-mean imputation on %s", a.Name),
 			map[string]string{"attr": a.Name, "imputer": "group-mean"},
-			data.NumRows(), time.Since(start))
+			data.NumRows(), now().Sub(start))
 	}
 	out.Data = data
 
-	start = time.Now()
+	start = now()
 	out.Audit = Audit(data, reqs)
 	pass := "passed"
 	if !out.Audit.Satisfied() {
@@ -189,10 +198,10 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	}
 	prov.add("audit",
 		fmt.Sprintf("%d requirements checked: %s", len(reqs), pass),
-		nil, data.NumRows(), time.Since(start))
+		nil, data.NumRows(), now().Sub(start))
 
-	start = time.Now()
+	start = now()
 	out.Label = profile.BuildLabel(data, profile.LabelConfig{Sensitive: sensitive})
-	prov.add("label", "nutritional label built", nil, data.NumRows(), time.Since(start))
+	prov.add("label", "nutritional label built", nil, data.NumRows(), now().Sub(start))
 	return out, nil
 }

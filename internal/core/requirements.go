@@ -78,9 +78,12 @@ func Audit(d *dataset.Dataset, reqs []Requirement) *AuditReport {
 // exact). It is the bridge from §2.1 distribution requirements to the DT
 // problem's count inputs.
 func NeedForDistribution(target map[dataset.GroupKey]float64, totalRows int) map[dataset.GroupKey]int {
+	// Sorted-key iteration keeps the float total and the remainder ranking
+	// bit-identical across runs (maporder).
+	keys := dataset.SortedKeys(target)
 	total := 0.0
-	for _, p := range target {
-		if p > 0 {
+	for _, k := range keys {
+		if p := target[k]; p > 0 {
 			total += p
 		}
 	}
@@ -94,7 +97,8 @@ func NeedForDistribution(target map[dataset.GroupKey]float64, totalRows int) map
 	}
 	var fracs []frac
 	assigned := 0
-	for k, p := range target {
+	for _, k := range keys {
+		p := target[k]
 		if p <= 0 {
 			continue
 		}
@@ -157,19 +161,21 @@ func (r DistributionRequirement) Check(d *dataset.Dataset) CheckResult {
 	groups := d.GroupBy(r.Attrs...)
 	// Align the observed distribution with the target's key set: keys
 	// absent from the data get probability 0 and vice versa.
-	keys := map[dataset.GroupKey]bool{}
+	keySet := map[dataset.GroupKey]bool{}
 	for k := range r.Target {
-		keys[k] = true
+		keySet[k] = true
 	}
 	for _, k := range groups.Keys {
-		keys[k] = true
+		keySet[k] = true
 	}
 	total := 0
 	for _, k := range groups.Keys {
 		total += groups.Count(k)
 	}
+	// The aligned p/q vectors feed a float sum; build them in sorted key
+	// order so the TV distance is bit-identical across runs (maporder).
 	var p, q []float64
-	for k := range keys {
+	for _, k := range dataset.SortedKeys(keySet) {
 		q = append(q, r.Target[k])
 		if total > 0 {
 			p = append(p, float64(groups.Count(k))/float64(total))
@@ -198,7 +204,10 @@ func (r CountRequirement) Check(d *dataset.Dataset) CheckResult {
 	res := CheckResult{Requirement: r.Name(), Satisfied: true}
 	groups := d.GroupBy(r.Attrs...)
 	worst := math.Inf(1)
-	for k, min := range r.Min {
+	// Sorted keys keep the failing-group listing in Details stable
+	// (maporder flags the string accumulation below otherwise).
+	for _, k := range dataset.SortedKeys(r.Min) {
+		min := r.Min[k]
 		got := groups.Count(k)
 		ratio := 1.0
 		if min > 0 {
@@ -330,8 +339,11 @@ func (r CompletenessRequirement) Check(d *dataset.Dataset) CheckResult {
 			worst, worstAt = rate, a
 		}
 		if len(r.Sensitive) > 0 && nulls > 0 {
-			for k, frac := range profile.GroupMissingness(d, a, r.Sensitive) {
-				if frac > worst {
+			// Sorted keys make the argmax tie-break deterministic: with
+			// equal rates the lexicographically first group is reported.
+			byGroup := profile.GroupMissingness(d, a, r.Sensitive)
+			for _, k := range dataset.SortedKeys(byGroup) {
+				if frac := byGroup[k]; frac > worst {
 					worst, worstAt = frac, fmt.Sprintf("%s within %s", a, k)
 				}
 			}

@@ -1,0 +1,18 @@
+package dataset
+
+import "sort"
+
+// SortedKeys returns the keys of a GroupKey-keyed map in sorted order. It
+// is the standard way to iterate such maps on algorithm paths: ranging a
+// map directly leaks Go's randomized iteration order into anything
+// order-sensitive (redilint's maporder rule), while sorted keys keep every
+// downstream float accumulation and report string bit-identical across
+// runs.
+func SortedKeys[V any](m map[GroupKey]V) []GroupKey {
+	keys := make([]GroupKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}

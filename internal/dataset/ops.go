@@ -246,13 +246,9 @@ func (d *Dataset) GroupBy(attrs ...string) *Groups {
 	}
 	sort.Slice(g.Keys, func(a, b int) bool { return g.Keys[a] < g.Keys[b] })
 	// ByRow indexes into the sorted key order.
-	pos := make(map[GroupKey]int, len(g.Keys))
 	for i, k := range g.Keys {
-		pos[k] = i
-	}
-	for k, rows := range g.Rows {
-		for _, r := range rows {
-			g.ByRow[r] = pos[k]
+		for _, r := range g.Rows[k] {
+			g.ByRow[r] = i
 		}
 	}
 	return g

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"redi/internal/dataset"
 )
@@ -36,8 +37,12 @@ func PostStratify(d *dataset.Dataset, attrs []string, population map[dataset.Gro
 		return nil, errors.New("debias: empty population distribution")
 	}
 	groups := d.GroupBy(attrs...)
+	// Sorted keys keep the float total (and which unrepairable group is
+	// reported first) bit-identical across runs (maporder).
+	keys := dataset.SortedKeys(population)
 	total := 0.0
-	for _, p := range population {
+	for _, k := range keys {
+		p := population[k]
 		if p < 0 {
 			return nil, errors.New("debias: negative population share")
 		}
@@ -54,8 +59,8 @@ func PostStratify(d *dataset.Dataset, attrs []string, population map[dataset.Gro
 		return nil, errors.New("debias: no grouped rows in sample")
 	}
 	factor := make(map[dataset.GroupKey]float64, len(population))
-	for k, p := range population {
-		want := p / total
+	for _, k := range keys {
+		want := population[k] / total
 		got := float64(groups.Count(k)) / float64(sampled)
 		if got == 0 {
 			if want > 0 {
@@ -104,10 +109,20 @@ func Rake(d *dataset.Dataset, marginals []Marginal, tol float64, maxIter int) (W
 	w := make(Weights, n)
 	vals := make([][]string, len(marginals))
 	shares := make([]map[string]float64, len(marginals))
+	// order fixes each marginal's value iteration order: raking rescales
+	// in value order, so sorted values keep the fitted weights and the
+	// convergence trace bit-identical across runs (maporder).
+	order := make([][]string, len(marginals))
 	for mi, m := range marginals {
 		vals[mi] = d.Strings(m.Attr)
+		order[mi] = make([]string, 0, len(m.Share))
+		for v := range m.Share {
+			order[mi] = append(order[mi], v)
+		}
+		sort.Strings(order[mi])
 		total := 0.0
-		for _, p := range m.Share {
+		for _, v := range order[mi] {
+			p := m.Share[v]
 			if p < 0 {
 				return nil, errors.New("debias: negative marginal share")
 			}
@@ -156,7 +171,8 @@ func Rake(d *dataset.Dataset, marginals []Marginal, tol float64, maxIter int) (W
 			if total == 0 {
 				return nil, errors.New("debias: no eligible rows")
 			}
-			for v, want := range shares[mi] {
+			for _, v := range order[mi] {
+				want := shares[mi][v]
 				got := mass[v] / total
 				if got == 0 {
 					if want > 0 {

@@ -1,0 +1,48 @@
+package debias
+
+import (
+	"testing"
+
+	"redi/internal/dataset"
+)
+
+// Raking and post-stratification accumulate float totals over share maps;
+// before the maporder sweep the low bits (and raking's rescale order)
+// followed Go's randomized map iteration. Every repetition must now
+// produce bit-identical weights.
+func TestWeightsRepeatable(t *testing.T) {
+	d := biasedSample(t, 2000, 5)
+	pop := map[dataset.GroupKey]float64{"grp=a": 0.31, "grp=b": 0.69}
+	marginals := []Marginal{
+		{Attr: "grp", Share: map[string]float64{"a": 0.31, "b": 0.69}},
+		{Attr: "sex", Share: map[string]float64{"F": 0.55, "M": 0.45}},
+	}
+	firstPS, err := PostStratify(d, []string{"grp"}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstRake, err := Rake(d, marginals, 1e-9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 50; i++ {
+		ps, err := PostStratify(d, []string{"grp"}, pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk, err := Rake(d, marginals, 1e-9, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range firstPS {
+			if ps[r] != firstPS[r] {
+				t.Fatalf("run %d: PostStratify weight[%d] = %v, want %v", i, r, ps[r], firstPS[r])
+			}
+		}
+		for r := range firstRake {
+			if rk[r] != firstRake[r] {
+				t.Fatalf("run %d: Rake weight[%d] = %v, want %v", i, r, rk[r], firstRake[r])
+			}
+		}
+	}
+}

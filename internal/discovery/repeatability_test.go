@@ -1,0 +1,57 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+
+	"redi/internal/dataset"
+)
+
+// Cosine and the correlation sketches sum floats over map entries; before
+// the maporder sweep the summation order — and therefore the result's low
+// bits — followed Go's randomized map iteration. Bit-identical repetition
+// is the contract now.
+func TestCosineRepeatable(t *testing.T) {
+	a := NGramVector("socioeconomic_status_code", 3)
+	b := NGramVector("economic_status", 3)
+	first := Cosine(a, b)
+	if first == 0 {
+		t.Fatal("expected non-zero similarity")
+	}
+	for i := 1; i < 200; i++ {
+		if got := Cosine(a, b); got != first {
+			t.Fatalf("run %d: cosine = %v, want bit-identical %v", i, got, first)
+		}
+	}
+}
+
+func TestSketchCorrelationRepeatable(t *testing.T) {
+	d1 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "v", Kind: dataset.Numeric},
+	))
+	d2 := dataset.New(dataset.NewSchema(
+		dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "v", Kind: dataset.Numeric},
+	))
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		d1.MustAppendRow(dataset.Cat(key), dataset.Num(float64(i)+0.25))
+		d2.MustAppendRow(dataset.Cat(key), dataset.Num(float64(i)*1.5-7))
+	}
+	s1 := SketchColumn(d1, "k", "v", 64)
+	s2 := SketchColumn(d2, "k", "v", 64)
+	firstEst, firstAligned := s1.EstimateCorrelation(s2)
+	firstExact, _ := JoinCorrelationExact(d1, "k", "v", d2, "k", "v")
+	if firstAligned < 3 {
+		t.Fatalf("expected aligned keys, got %d", firstAligned)
+	}
+	for i := 1; i < 100; i++ {
+		if est, n := s1.EstimateCorrelation(s2); est != firstEst || n != firstAligned {
+			t.Fatalf("run %d: estimate (%v, %d), want (%v, %d)", i, est, n, firstEst, firstAligned)
+		}
+		if exact, _ := JoinCorrelationExact(d1, "k", "v", d2, "k", "v"); exact != firstExact {
+			t.Fatalf("run %d: exact %v, want %v", i, exact, firstExact)
+		}
+	}
+}

@@ -49,20 +49,35 @@ func Cosine(a, b map[string]float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
+	// Sorted-key accumulation keeps the similarity bit-identical across
+	// runs: float addition is not associative, so map order would leak
+	// into the low bits (maporder).
 	dot, na, nb := 0.0, 0.0, 0.0
-	for g, x := range a {
+	for _, g := range sortedKeys(a) {
+		x := a[g]
 		na += x * x
 		if y, ok := b[g]; ok {
 			dot += x * y
 		}
 	}
-	for _, y := range b {
-		nb += y * y
+	for _, g := range sortedKeys(b) {
+		nb += b[g] * b[g]
 	}
 	if dot == 0 {
 		return 0
 	}
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// sortedKeys returns the string keys of a float-valued map in sorted
+// order, for order-stable accumulation (maporder).
+func sortedKeys(v map[string]float64) []string {
+	out := make([]string, 0, len(v))
+	for g := range v {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // NameSimilarity scores two attribute names semantically (trigram cosine).

@@ -102,10 +102,12 @@ func SketchColumn(d *dataset.Dataset, keyAttr, valAttr string, b int) *Correlati
 // aligned keys the estimate is based on. Fewer than 3 aligned keys yield
 // (0, n).
 func (s *CorrelationSketch) EstimateCorrelation(o *CorrelationSketch) (corr float64, aligned int) {
+	// Aligned pairs feed Pearson's float sums; sorted keys keep the
+	// estimate bit-identical across runs (maporder).
 	var xs, ys []float64
-	for k, v := range s.entries {
+	for _, k := range sortedKeys(s.entries) {
 		if w, ok := o.entries[k]; ok {
-			xs = append(xs, v)
+			xs = append(xs, s.entries[k])
 			ys = append(ys, w)
 		}
 	}
@@ -139,10 +141,11 @@ func JoinCorrelationExact(d1 *dataset.Dataset, key1, val1 string, d2 *dataset.Da
 	}
 	a := agg(d1, key1, val1)
 	b := agg(d2, key2, val2)
+	// Sorted join keys, for the same reason as EstimateCorrelation.
 	var xs, ys []float64
-	for k, v := range a {
+	for _, k := range sortedKeys(a) {
 		if w, ok := b[k]; ok {
-			xs = append(xs, v)
+			xs = append(xs, a[k])
 			ys = append(ys, w)
 		}
 	}

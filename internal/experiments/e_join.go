@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sort"
+
 	"redi/internal/joinsample"
 	"redi/internal/rng"
 	"redi/internal/stats"
@@ -42,13 +44,18 @@ func E4JoinSampling(seed uint64) *Table {
 	results := int(chain.JoinCount())
 
 	tv := func(counts map[string]float64, total float64) float64 {
+		// Sorted path keys keep the TV float sum bit-identical across
+		// runs (maporder).
+		paths := make([]string, 0, len(counts))
+		for k := range counts {
+			paths = append(paths, k)
+		}
+		sort.Strings(paths)
 		emp := make([]float64, 0, results)
 		uni := make([]float64, 0, results)
-		seen := 0.0
-		for _, c := range counts {
-			emp = append(emp, c/total)
+		for _, k := range paths {
+			emp = append(emp, counts[k]/total)
 			uni = append(uni, 1/float64(results))
-			seen += c / total
 		}
 		// Results never drawn contribute their uniform mass.
 		missing := results - len(counts)

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment: //redi:allow <rule> <reason>.
+const allowPrefix = "redi:allow"
+
+// collectAllows scans every comment of every file for //redi:allow
+// annotations. A well-formed annotation (rule name plus a non-empty reason)
+// suppresses diagnostics of that rule on the comment's own line and on the
+// line immediately below it, covering both trailing and standalone styles:
+//
+//	m := rand.Int() //redi:allow randsource seeding the fixture generator
+//
+//	//redi:allow maporder result is fully sorted below
+//	for k, v := range m { ... }
+//
+// A malformed annotation (no rule, or no reason) suppresses nothing and is
+// returned as a diagnostic itself, so silent escape hatches cannot creep in.
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[string]map[int][]string, []Diagnostic) {
+	allow := map[string]map[int][]string{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "//redi:allow needs a rule name and a reason: //redi:allow <rule> <why this site is exempt>",
+					})
+					continue
+				}
+				rule := fields[0]
+				byLine := allow[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					allow[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], rule)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], rule)
+			}
+		}
+	}
+	return allow, malformed
+}

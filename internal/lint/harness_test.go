@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// newTestLoader builds a loader rooted at this module, so fixtures can
+// import real module packages (redi/internal/parallel) and the standard
+// library.
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	return l
+}
+
+// runFixture type-checks in-memory fixture files as package pkgPath and
+// runs one analyzer over them.
+func runFixture(t *testing.T, a *Analyzer, pkgPath string, files map[string]string) []Diagnostic {
+	t.Helper()
+	l := newTestLoader(t)
+	pkg, err := l.PackageFromSource(pkgPath, files)
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return Run(pkg, a)
+}
+
+// wantFindings asserts the number of diagnostics and that each message
+// contains the given fragment.
+func wantFindings(t *testing.T, diags []Diagnostic, n int, fragment string) {
+	t.Helper()
+	if len(diags) != n {
+		t.Fatalf("got %d findings, want %d: %v", len(diags), n, diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, fragment) {
+			t.Fatalf("finding %q does not mention %q", d.Message, fragment)
+		}
+	}
+}
+
+func TestMalformedAllowIsReported(t *testing.T) {
+	diags := runFixture(t, RandSource, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "math/rand" //redi:allow randsource
+
+var _ = rand.Int
+`,
+	})
+	// The bare annotation suppresses nothing and is itself flagged, so
+	// both the malformed-allow and the randsource finding surface.
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (malformed allow + randsource): %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "allow" && diags[1].Analyzer != "allow" {
+		t.Fatalf("no malformed-allow diagnostic in %v", diags)
+	}
+}
+
+// TestLoadModule smoke-checks the driver path: the whole module loads and
+// every analyzer runs without panicking. It intentionally does not assert
+// zero findings — the tree's cleanliness is CI's job via cmd/redilint.
+func TestLoadModule(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded from ./...", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		Run(pkg, All()...)
+	}
+}

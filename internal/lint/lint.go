@@ -1,0 +1,186 @@
+// Package lint is REDI's in-tree static-analysis framework: a small
+// go/analysis-style harness, built purely on the standard library's
+// go/parser + go/ast + go/types, that mechanizes the determinism contract
+// of internal/parallel (see DESIGN.md "Determinism lint").
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics at file:line:column positions. Any diagnostic can be
+// suppressed at its source line with an explicit, justified annotation:
+//
+//	//redi:allow <rule> <reason>
+//
+// placed either on the offending line or on the line directly above it.
+// The reason is mandatory — a bare "//redi:allow maporder" does not
+// suppress anything and is itself reported, so every escape hatch in the
+// tree documents why the rule does not apply.
+//
+// The four shipped analyzers (maporder, randsource, walltime, parcapture)
+// encode the PR-1 contract: parallel output bit-identical to serial,
+// seeded RNG only, stable merge order, no wall-clock reads on algorithm
+// paths. cmd/redilint is the driver that loads ./... and exits non-zero
+// on any finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:column reporting.
+type Diagnostic struct {
+	// Analyzer is the rule name (usable in //redi:allow annotations).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional compiler format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static-analysis rule.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and //redi:allow comments.
+	Name string
+	// Doc is a one-line description of what the rule enforces.
+	Doc string
+	// Run inspects the package held by the pass and reports findings via
+	// pass.Reportf.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the rule being run.
+	Analyzer *Analyzer
+	// Fset positions every file of the package.
+	Fset *token.FileSet
+	// Module is the module path ("redi"); analyzers use it to scope rules
+	// to module-local package subtrees such as <module>/internal/.
+	Module string
+	// Path is the package's import path. External test packages carry a
+	// "_test" suffix on the last element.
+	Path string
+	// Files are the package's parsed files, in load order.
+	Files []*ast.File
+	// Pkg is the type-checked package (possibly incomplete if the source
+	// had type errors; analyzers must tolerate nil type info).
+	Pkg *types.Package
+	// Info holds the type-checker's recorded facts for Files.
+	Info *types.Info
+
+	allow map[string]map[int][]string // filename -> line -> allowed rules
+	out   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an in-scope //redi:allow
+// annotation for this analyzer suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, rule := range p.allow[position.Filename][position.Line] {
+		if rule == p.Analyzer.Name {
+			return
+		}
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ImportName returns the name under which the file imports path ("" if it
+// does not): the explicit local name if renamed, otherwise the path's last
+// element.
+func ImportName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// pkgNamePath resolves an identifier used as a package qualifier to the
+// imported package's path, or "" if id is not a package name. It prefers
+// type-checker facts and falls back to matching the file's import table,
+// so analyzers stay useful on packages with type errors.
+func (p *Pass) pkgNamePath(file *ast.File, id *ast.Ident) string {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // resolved to a non-package object (shadowed)
+		}
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if ImportName(file, path) == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// All returns the full determinism-contract rule set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, RandSource, WallTime, ParCapture}
+}
+
+// Run executes each analyzer over pkg and returns the surviving
+// diagnostics sorted by position then rule name.
+func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	allow, malformed := collectAllows(pkg.Fset, pkg.Files)
+	out = append(out, malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Module:   pkg.Module,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			allow:    allow,
+			out:      &out,
+		}
+		a.Run(pass)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].Pos.Filename != ds[b].Pos.Filename {
+			return ds[a].Pos.Filename < ds[b].Pos.Filename
+		}
+		if ds[a].Pos.Line != ds[b].Pos.Line {
+			return ds[a].Pos.Line < ds[b].Pos.Line
+		}
+		if ds[a].Pos.Column != ds[b].Pos.Column {
+			return ds[a].Pos.Column < ds[b].Pos.Column
+		}
+		return ds[a].Analyzer < ds[b].Analyzer
+	})
+}

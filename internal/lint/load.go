@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked unit of analysis.
+type Package struct {
+	// Module is the module path the package belongs to.
+	Module string
+	// Path is the package's import path (external test packages get a
+	// "_test"-suffixed last element).
+	Path string
+	// Name is the package name from the source.
+	Name string
+	Fset *token.FileSet
+	// Files are the parsed files in sorted filename order, so analysis
+	// output is stable regardless of directory-listing order.
+	Files []*ast.File
+	// Types and Info come from the type checker. Type errors do not abort
+	// loading — analyzers degrade to syntactic fallbacks — but are kept in
+	// TypeErrors for the driver's -debug output.
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-local imports are type-checked from source by
+// the loader itself, and standard-library imports go through go/importer's
+// source importer (GOROOT source, no pre-built export data needed).
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModRoot string
+
+	std     types.ImporterFrom
+	imports map[string]*types.Package // module-local import cache (no test files)
+	loading map[string]bool           // cycle guard for module-local imports
+}
+
+// NewLoader builds a loader for the module rooted at modRoot (a directory
+// containing go.mod).
+func NewLoader(modRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModRoot: abs,
+		imports: map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// Load resolves package patterns relative to the module root and returns
+// the matched packages in sorted import-path order. Supported patterns are
+// Go-tool style: "./..." and "./dir/..." for subtrees, "./dir" (or "dir")
+// for a single package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, pat = true, rest
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !rec {
+			dirs[dir] = true
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.ModRoot)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir loads the analysis units of one directory: the package including
+// its in-package test files, plus (when present) the external _test
+// package. Directories without Go files yield no units.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: scanning %s: %w", dir, err)
+	}
+	importPath, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Package
+	if files := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...); len(files) > 0 {
+		pkg, err := l.check(importPath, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, pkg)
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		pkg, err := l.check(importPath+"_test", dir, bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, pkg)
+	}
+	return units, nil
+}
+
+// check parses the named files of dir and type-checks them as one package.
+func (l *Loader) check(importPath, dir string, names []string) (*Package, error) {
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	return l.typecheck(importPath, files), nil
+}
+
+// PackageFromSource type-checks in-memory sources as one package — the
+// fixture path used by analyzer tests. files maps a synthetic filename
+// (e.g. "fix.go", "fix_test.go") to Go source.
+func (l *Loader) PackageFromSource(importPath string, files map[string]string) (*Package, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing fixture %s: %w", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	return l.typecheck(importPath, parsed), nil
+}
+
+// typecheck runs the type checker over parsed files, tolerating type
+// errors: analysis wants maximal information, not a build gate.
+func (l *Loader) typecheck(importPath string, files []*ast.File) *Package {
+	pkg := &Package{
+		Module: l.ModPath,
+		Path:   importPath,
+		Fset:   l.Fset,
+		Files:  files,
+		Info: &types.Info{
+			Types:     map[ast.Expr]types.TypeAndValue{},
+			Defs:      map[*ast.Ident]types.Object{},
+			Uses:      map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits: map[ast.Node]types.Object{},
+		},
+	}
+	if len(files) > 0 {
+		pkg.Name = files[0].Name.Name
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	return pkg
+}
+
+// Import implements types.Importer: module-local paths are type-checked
+// from source by the loader (without test files), anything else is
+// delegated to the standard library's source importer. Unresolvable
+// imports degrade to an empty placeholder package so the enclosing
+// type-check can continue.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		return l.importLocal(path)
+	}
+	pkg, err := l.std.ImportFrom(path, l.ModRoot, 0)
+	if err != nil {
+		return l.placeholder(path), nil
+	}
+	return pkg, nil
+}
+
+// importLocal type-checks a module-local package for use as an import.
+// Test files are excluded: importers only see the package's export
+// surface. Cycles (possible only through malformed code) break by
+// returning a placeholder.
+func (l *Loader) importLocal(path string) (*types.Package, error) {
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return l.placeholder(path), nil
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(path, l.ModPath)
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return l.placeholder(path), nil
+	}
+	pkg, err := l.check(path, dir, append([]string{}, bp.GoFiles...))
+	if err != nil {
+		return l.placeholder(path), nil
+	}
+	if pkg.Types != nil {
+		pkg.Types.MarkComplete()
+	}
+	l.imports[path] = pkg.Types
+	return pkg.Types, nil
+}
+
+// placeholder stands in for an unresolvable import; the resulting type
+// errors are tolerated by typecheck.
+func (l *Loader) placeholder(path string) *types.Package {
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	return pkg
+}

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` loops over map-typed values, in non-test files
+// of algorithm packages (<module>/internal/...), whose body leaks Go's
+// randomized iteration order into order-sensitive state. This is the
+// ResolveEntities bug class PR 1 fixed by hand: cluster representatives
+// depended on which block happened to be visited first.
+//
+// A loop is flagged when its body, relative to state declared outside the
+// loop, does any of:
+//
+//   - append into a slice (unless the slice is passed to sort/slices
+//     immediately after the loop — the sanctioned collect-then-sort idiom);
+//   - op-assign (+= -= *= /=) into a float, where summation order changes
+//     the low bits;
+//   - string concatenation (+= or s = s + ...);
+//   - plain assignment whose right-hand side mentions the loop's key or
+//     value variable — last-writer-wins, so the surviving value is whichever
+//     the iterator happened to visit last.
+//
+// Two shapes are exempt because they are provably order-free: writes into
+// an element indexed by the loop's key variable (map keys are distinct, so
+// the writes are per-iteration disjoint), and single max/min tracking —
+// `if v > best { best = v }` — where the guard compares exactly the
+// assigned pair (max/min is commutative; only argmax-style tuple updates
+// tie-break on iteration order and stay flagged).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not leak into order-sensitive state in algorithm packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !strings.HasPrefix(pass.Path, pass.Module+"/internal/") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapRanges(pass, fn.Body)
+			return true
+		})
+	}
+}
+
+// checkMapRanges walks one function body looking for map ranges; body is
+// also the scope against which "after the loop" is resolved for the
+// collect-then-sort exemption.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := coreType(pass, rs.X).(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rs)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	valObj := rangeVarObj(pass, rs.Value)
+	safeMaxMin := maxMinAssignments(rs.Body)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE || safeMaxMin[st] {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				checkWrite(pass, fnBody, rs, keyObj, valObj, st.Tok, lhs, rhs)
+			}
+		case *ast.IncDecStmt:
+			// ++/-- is integer-or-float; only floats are order-sensitive,
+			// and those are vanishingly rare — treat like an int op-assign.
+			return true
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one assignment inside a map-range body.
+func checkWrite(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, keyObj, valObj types.Object, tok token.Token, lhs, rhs ast.Expr) {
+	base := baseIdent(lhs)
+	if base == nil || base.Name == "_" {
+		return
+	}
+	obj := identObj(pass, base)
+	if obj == nil || declaredWithin(pass, obj, rs) {
+		return // loop-local state; order cannot escape
+	}
+	// Writes keyed by the loop's key variable are per-iteration disjoint:
+	// map keys are distinct, so every iteration touches its own element.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil && mentionsObj(pass, ix.Index, keyObj) {
+		return
+	}
+	what := types.ExprString(lhs)
+	switch tok {
+	case token.ASSIGN:
+		if isAppendCall(pass, lhs, rhs) {
+			if sortedAfter(pass, fnBody, rs, lhs) {
+				return // collect-then-sort idiom
+			}
+			pass.Reportf(lhs.Pos(), "append into %s inside a map range leaks iteration order; iterate sorted keys or sort %s before use", what, what)
+			return
+		}
+		if isStringConcat(pass, lhs, rhs) {
+			pass.Reportf(lhs.Pos(), "string concatenation into %s inside a map range depends on iteration order; iterate sorted keys", what)
+			return
+		}
+		if mentionsEither(pass, rhs, keyObj, valObj) {
+			pass.Reportf(lhs.Pos(), "assignment to %s from the loop's key/value inside a map range is last-writer-wins under randomized iteration order; iterate sorted keys", what)
+		}
+	case token.ADD_ASSIGN:
+		t := exprType(pass, lhs)
+		switch {
+		case isFloat(t):
+			pass.Reportf(lhs.Pos(), "floating-point accumulation into %s inside a map range is order-sensitive (float addition is not associative); iterate sorted keys", what)
+		case isString(t):
+			pass.Reportf(lhs.Pos(), "string concatenation into %s inside a map range depends on iteration order; iterate sorted keys", what)
+		}
+	case token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isFloat(exprType(pass, lhs)) {
+			pass.Reportf(lhs.Pos(), "floating-point accumulation into %s inside a map range is order-sensitive; iterate sorted keys", what)
+		}
+	}
+}
+
+// maxMinAssignments collects assignments of the order-free max/min
+// tracking shape: a single `L = R` directly guarded by a comparison of L
+// and R (`if R > L { L = R }` and operator/operand variants). The guard
+// makes the final value the extremum of all visited values, which is
+// independent of visit order; anything assigning additional state in the
+// same statement (argmax tracking) does not qualify.
+func maxMinAssignments(body *ast.BlockStmt) map[*ast.AssignStmt]bool {
+	out := map[*ast.AssignStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cond.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		cx, cy := types.ExprString(cond.X), types.ExprString(cond.Y)
+		for _, st := range ifStmt.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			l, r := types.ExprString(as.Lhs[0]), types.ExprString(as.Rhs[0])
+			if (l == cx && r == cy) || (l == cy && r == cx) {
+				out[as] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function body passes lhs (textually identical expression) as the first
+// argument of a sort or slices call — the sanctioned collect-then-sort
+// idiom.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	want := types.ExprString(lhs)
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		path := pass.pkgNamePath(fileOf(pass, call.Pos()), pkgID)
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if types.ExprString(call.Args[0]) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// --- small helpers -------------------------------------------------------
+
+// coreType returns the underlying type of e, or nil without type info.
+func coreType(pass *Pass, e ast.Expr) types.Type {
+	t := exprType(pass, e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	if pass.Info == nil {
+		return nil
+	}
+	return pass.Info.TypeOf(e)
+}
+
+// baseIdent strips selectors, indexing, derefs, and parens down to the
+// root identifier of an assignable expression.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if pass.Info == nil {
+		return nil
+	}
+	if obj := pass.Info.ObjectOf(id); obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(pass *Pass, obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return identObj(pass, id)
+}
+
+// mentionsObj reports whether expr references obj.
+func mentionsObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	if expr == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObj(pass, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsEither(pass *Pass, expr ast.Expr, a, b types.Object) bool {
+	return mentionsObj(pass, expr, a) || mentionsObj(pass, expr, b)
+}
+
+// isAppendCall reports the `x = append(x, ...)` accumulation shape.
+func isAppendCall(pass *Pass, lhs, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if obj := identObj(pass, fn); obj != nil {
+		if _, builtin := obj.(*types.Builtin); !builtin {
+			return false // locally shadowed append
+		}
+	}
+	return types.ExprString(call.Args[0]) == types.ExprString(lhs)
+}
+
+// isStringConcat reports the `s = s + ...` shape (ADD_ASSIGN is handled by
+// the caller via type inspection).
+func isStringConcat(pass *Pass, lhs, rhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD || !isString(exprType(pass, lhs)) {
+		return false
+	}
+	return types.ExprString(bin.X) == types.ExprString(lhs)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := basicOf(t)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := basicOf(t)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func basicOf(t types.Type) (*types.Basic, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return b, ok
+}
+
+// fileOf returns the file of the pass containing pos.
+func fileOf(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

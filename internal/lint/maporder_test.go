@@ -1,0 +1,178 @@
+package lint
+
+import "testing"
+
+const fixturePkg = "redi/internal/fixture"
+
+func TestMapOrderFlagsUnsortedAppend(t *testing.T) {
+	diags := runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	wantFindings(t, diags, 1, "append into out")
+}
+
+func TestMapOrderFlagsFloatAccumulation(t *testing.T) {
+	diags := runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`,
+	})
+	wantFindings(t, diags, 1, "floating-point accumulation")
+}
+
+func TestMapOrderFlagsStringConcat(t *testing.T) {
+	diags := runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func render(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	t := ""
+	for k := range m {
+		t = t + k
+	}
+	return s + t
+}
+`,
+	})
+	wantFindings(t, diags, 2, "string concatenation")
+}
+
+func TestMapOrderFlagsLastWriterWins(t *testing.T) {
+	diags := runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func argmax(m map[string]float64) (string, float64) {
+	best, bestV := "", 0.0
+	for k, v := range m {
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best, bestV
+}
+`,
+	})
+	// The tuple update tie-breaks on iteration order: both assignments
+	// flag.
+	wantFindings(t, diags, 2, "last-writer-wins")
+}
+
+func TestMapOrderSuppressedByAllow(t *testing.T) {
+	diags := runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func collect(m map[string]int) []string {
+	var out []string
+	//redi:allow maporder order handed to caller who sorts
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	// The annotation sits above the range line; the finding is on the
+	// append line, so suppression must be placed there instead.
+	wantFindings(t, diags, 1, "append into out")
+
+	diags = runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //redi:allow maporder order handed to caller who sorts
+	}
+	return out
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestMapOrderCleanPatterns(t *testing.T) {
+	diags := runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "sort"
+
+// Sanctioned shapes: collect-then-sort, per-key map writes, int counters,
+// and single guarded max/min tracking.
+func clean(m map[string]float64) (int, float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below
+	}
+	sort.Strings(keys)
+
+	inverted := map[string]float64{}
+	n := 0
+	for k, v := range m {
+		inverted[k] = -v // distinct keys: per-iteration disjoint
+		n++
+	}
+
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v // max is order-free
+		}
+	}
+	return n, best
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestMapOrderSkipsTestFilesAndForeignPackages(t *testing.T) {
+	src := map[string]string{
+		"fix_test.go": `package fixture
+
+func collectForTest(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	}
+	wantFindings(t, runFixture(t, MapOrder, fixturePkg, src), 0, "")
+
+	// Same code in a non-algorithm package (cmd/) is out of scope.
+	cmdSrc := map[string]string{
+		"main.go": `package main
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func main() {}
+`,
+	}
+	wantFindings(t, runFixture(t, MapOrder, "redi/cmd/fixture", cmdSrc), 0, "")
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParCapture flags closures handed to the deterministic parallel layer
+// (parallel.For, parallel.Map, parallel.MapChunks) that write to captured
+// variables. Under the contract, a worker closure may only communicate
+// results through:
+//
+//   - index-disjoint element writes — assigning to an element of a
+//     captured slice or map indexed by a variable the closure itself owns
+//     (its index/shard parameter or a local derived from one), so no two
+//     workers touch the same element; or
+//   - mutex-guarded state — writes that happen after a .Lock()/.RLock()
+//     call inside the closure.
+//
+// Anything else is a data race at workers > 1 and, even when "benign", a
+// completion-order dependence that breaks bit-identical replay.
+var ParCapture = &Analyzer{
+	Name: "parcapture",
+	Doc:  "closures given to parallel.For/Map/MapChunks may only write index-disjoint or mutex-guarded state",
+	Run:  runParCapture,
+}
+
+// parallelEntrypoints are the fork-join helpers whose closure arguments
+// run concurrently.
+var parallelEntrypoints = map[string]bool{"For": true, "Map": true, "MapChunks": true}
+
+func runParCapture(pass *Pass) {
+	parallelPath := pass.Module + "/internal/parallel"
+	for _, file := range pass.Files {
+		if ImportName(file, parallelPath) == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !parallelEntrypoints[sel.Sel.Name] {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || pass.pkgNamePath(file, pkgID) != parallelPath {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					checkWorkerClosure(pass, sel.Sel.Name, fl)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkWorkerClosure(pass *Pass, entry string, fl *ast.FuncLit) {
+	lockPositions := lockCalls(fl)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			if st != fl {
+				return true // nested closures inherit the same capture rules via their writes
+			}
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				checkClosureWrite(pass, entry, fl, lockPositions, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkClosureWrite(pass, entry, fl, lockPositions, st.X)
+		}
+		return true
+	})
+}
+
+func checkClosureWrite(pass *Pass, entry string, fl *ast.FuncLit, locks []token.Pos, lhs ast.Expr) {
+	base := baseIdent(lhs)
+	if base == nil || base.Name == "_" {
+		return
+	}
+	obj := identObj(pass, base)
+	if obj == nil {
+		return // unresolved; stay quiet rather than guess
+	}
+	if declaredWithin(pass, obj, fl) {
+		return // closure-local state
+	}
+	// Index-disjoint element write: the element index is owned by this
+	// closure invocation (parameter or closure-local), so no two workers
+	// can collide on it.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && indexOwnedByClosure(pass, fl, ix.Index) {
+		return
+	}
+	// Mutex-guarded: a .Lock()/.RLock() call precedes the write inside the
+	// closure body.
+	for _, lp := range locks {
+		if lp < lhs.Pos() {
+			return
+		}
+	}
+	pass.Reportf(lhs.Pos(), "closure passed to parallel.%s writes captured %s; only index-disjoint element writes keyed by the closure's own index, or mutex-guarded state, stay deterministic at workers > 1", entry, types.ExprString(lhs))
+}
+
+// indexOwnedByClosure reports whether every identifier in an index
+// expression is declared inside the closure (parameters included). A
+// constant index or one computed from captured state can collide across
+// workers and does not qualify.
+func indexOwnedByClosure(pass *Pass, fl *ast.FuncLit, index ast.Expr) bool {
+	sawIdent := false
+	owned := true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := identObj(pass, id)
+		if obj == nil {
+			return true
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return true // named constants are worker-independent but shared
+		}
+		sawIdent = true
+		if !declaredWithin(pass, obj, fl) {
+			owned = false
+		}
+		return owned
+	})
+	return sawIdent && owned
+}
+
+// lockCalls collects the positions of .Lock()/.RLock() calls inside the
+// closure.
+func lockCalls(fl *ast.FuncLit) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}

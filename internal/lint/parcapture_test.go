@@ -1,0 +1,105 @@
+package lint
+
+import "testing"
+
+func TestParCaptureFlagsCapturedWrite(t *testing.T) {
+	diags := runFixture(t, ParCapture, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/parallel"
+
+func sum(xs []float64) float64 {
+	total := 0.0
+	parallel.For(parallel.Auto, len(xs), func(i int) {
+		total += xs[i]
+	})
+	return total
+}
+`,
+	})
+	wantFindings(t, diags, 1, "writes captured total")
+}
+
+func TestParCaptureFlagsSharedIndexWrite(t *testing.T) {
+	diags := runFixture(t, ParCapture, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/parallel"
+
+func tally(xs []int) []int {
+	counts := make([]int, 2)
+	parallel.For(parallel.Auto, len(xs), func(i int) {
+		counts[xs[i]%2]++ // index derives from captured xs, not only from i
+	})
+	return counts
+}
+`,
+	})
+	wantFindings(t, diags, 1, "writes captured")
+}
+
+func TestParCaptureSuppressedByAllow(t *testing.T) {
+	diags := runFixture(t, ParCapture, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/parallel"
+
+func last(xs []int) int {
+	var v int
+	parallel.For(0, len(xs), func(i int) {
+		v = xs[i] //redi:allow parcapture serial call site, workers pinned to 0
+	})
+	return v
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestParCaptureCleanPatterns(t *testing.T) {
+	diags := runFixture(t, ParCapture, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"sync"
+
+	"redi/internal/parallel"
+)
+
+// Index-disjoint element writes keyed by the closure's own index are the
+// sanctioned result channel.
+func double(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.For(parallel.Auto, len(xs), func(i int) {
+		out[i] = xs[i] * 2
+	})
+	return out
+}
+
+// Mutex-guarded writes are the sanctioned shared-state escape hatch.
+func guarded(xs []float64) float64 {
+	var mu sync.Mutex
+	total := 0.0
+	parallel.For(parallel.Auto, len(xs), func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		total += xs[i]
+	})
+	return total
+}
+
+// Per-shard accumulators in MapChunks are closure-local: nothing captured
+// is written.
+func shardSum(xs []float64) []float64 {
+	return parallel.MapChunks(parallel.Auto, len(xs), func(shard, lo, hi int) float64 {
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+		}
+		return local
+	})
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}

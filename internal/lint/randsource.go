@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"strings"
+)
+
+// RandSource flags math/rand (and math/rand/v2) imports anywhere outside
+// <module>/internal/rng. The determinism contract requires every random
+// draw to come from a seeded, shard-splittable stream (rng.New,
+// rng.Split); a stray math/rand import is either an unseeded global
+// source or a second seeding discipline drifting from the sanctioned one.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc:  "math/rand may only be imported by internal/rng; use rng.New/rng.Split elsewhere",
+	Run:  runRandSource,
+}
+
+func runRandSource(pass *Pass) {
+	rngPath := pass.Module + "/internal/rng"
+	if pass.Path == rngPath || pass.Path == rngPath+"_test" {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/rng bypasses the seeded-RNG discipline; draw from rng.New or rng.Split instead", path)
+			}
+		}
+	}
+}

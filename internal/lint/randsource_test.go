@@ -1,0 +1,60 @@
+package lint
+
+import "testing"
+
+func TestRandSourceFlagsImport(t *testing.T) {
+	diags := runFixture(t, RandSource, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "math/rand"
+
+func roll() int { return rand.Int() }
+`,
+	})
+	wantFindings(t, diags, 1, "math/rand")
+
+	diags = runFixture(t, RandSource, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "math/rand/v2"
+
+func roll() int { return rand.Int() }
+`,
+	})
+	wantFindings(t, diags, 1, "math/rand/v2")
+}
+
+func TestRandSourceSuppressedByAllow(t *testing.T) {
+	diags := runFixture(t, RandSource, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "math/rand" //redi:allow randsource benchmarking against the stdlib generator
+
+func roll() int { return rand.Int() }
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestRandSourceCleanAndExemptPackages(t *testing.T) {
+	diags := runFixture(t, RandSource, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/rng"
+
+func roll(r *rng.RNG) float64 { return r.Float64() }
+`,
+	})
+	wantFindings(t, diags, 0, "")
+
+	// internal/rng itself is the sanctioned home of math/rand.
+	diags = runFixture(t, RandSource, "redi/internal/rng", map[string]string{
+		"fix.go": `package rng
+
+import "math/rand"
+
+var _ = rand.Int
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}

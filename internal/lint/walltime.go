@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallTime flags time.Now and time.Since on algorithm paths. Wall-clock
+// reads make output depend on when and how fast the code ran — the exact
+// dependence the parallel layer's bit-identical contract forbids. The
+// sanctioned homes for timing are the cmd/ binaries and the
+// experiment-timing allowlist (internal/experiments reports wall time per
+// EXPERIMENTS.md); everything else should take durations as inputs or go
+// through an injectable clock seam.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "time.Now/time.Since only in cmd/ and the experiment-timing allowlist",
+	Run:  runWallTime,
+}
+
+// wallTimeAllowed lists the packages sanctioned to read the wall clock,
+// relative to the module path. cmd/... is allowed wholesale.
+var wallTimeAllowed = []string{
+	"/internal/experiments",
+}
+
+func runWallTime(pass *Pass) {
+	if strings.HasPrefix(pass.Path, pass.Module+"/cmd/") {
+		return
+	}
+	for _, suffix := range wallTimeAllowed {
+		allowed := pass.Module + suffix
+		if pass.Path == allowed || pass.Path == allowed+"_test" {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		if ImportName(file, "time") == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Now" && sel.Sel.Name != "Since") {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pass.pkgNamePath(file, id) != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s outside cmd/ and the experiment-timing allowlist makes output depend on wall-clock; inject a clock or take durations as input", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "testing"
+
+func TestWallTimeFlagsClockReads(t *testing.T) {
+	diags := runFixture(t, WallTime, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "time"
+
+func stamp() (time.Time, time.Duration) {
+	start := time.Now()
+	return start, time.Since(start)
+}
+`,
+	})
+	wantFindings(t, diags, 2, "wall-clock")
+}
+
+func TestWallTimeResolvesRenamedImport(t *testing.T) {
+	diags := runFixture(t, WallTime, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import clock "time"
+
+func stamp() clock.Time { return clock.Now() }
+`,
+	})
+	wantFindings(t, diags, 1, "time.Now")
+}
+
+func TestWallTimeSuppressedByAllow(t *testing.T) {
+	diags := runFixture(t, WallTime, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "time"
+
+//redi:allow walltime injectable clock seam, overridden in tests
+var now = time.Now
+
+func stamp() time.Time { return now() }
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestWallTimeExemptPaths(t *testing.T) {
+	src := map[string]string{
+		"fix.go": `package fixture
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+`,
+	}
+	// cmd/ binaries may time themselves.
+	wantFindings(t, runFixture(t, WallTime, "redi/cmd/fixture", src), 0, "")
+	// internal/experiments is the sanctioned experiment-timing allowlist.
+	wantFindings(t, runFixture(t, WallTime, "redi/internal/experiments", src), 0, "")
+}
+
+func TestWallTimeCleanFile(t *testing.T) {
+	diags := runFixture(t, WallTime, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import "time"
+
+// Taking a duration as input (rather than measuring one) is fine.
+func within(elapsed, budget time.Duration) bool { return elapsed < budget }
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}

@@ -90,8 +90,15 @@ func catDrift(baseline, candidate *dataset.Dataset, attr string) AttrDrift {
 	for v := range cc {
 		keys[v] = true
 	}
-	var p, q []float64
+	// Sorted values keep the PSI/TV float sums bit-identical across runs
+	// (maporder).
+	vals := make([]string, 0, len(keys))
 	for v := range keys {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	var p, q []float64
+	for _, v := range vals {
 		p = append(p, cb[v])
 		q = append(q, cc[v])
 	}
