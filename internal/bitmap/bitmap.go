@@ -1,0 +1,175 @@
+// Package bitmap provides word-packed bitsets with fused
+// intersection/popcount kernels and a pooled scratch allocator. It is the
+// counting substrate of the coverage hot paths: a pattern's row set is a
+// Bitmap, counting matches is an AND + popcount over machine words instead
+// of a per-row scan, and the DFS over the pattern lattice refines a
+// parent's bitmap into each child with a single kernel call.
+//
+// The kernels are written as straight-line 4-way-unrolled loops over
+// []uint64 so the compiler can keep the words in registers and issue
+// hardware popcounts (math/bits.OnesCount64); there is no per-bit work
+// anywhere on the hot path. All operations are pure functions of their
+// inputs — nothing here reads a clock, a map order, or a global RNG — so
+// results are bit-identical across runs and worker counts (the determinism
+// contract, see DESIGN.md).
+package bitmap
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-capacity bitset packed into 64-bit words. Bit i lives
+// in word i/64 at position i%64. Operations that combine bitmaps require
+// equal lengths; they panic (via bounds checks) otherwise.
+type Bitmap []uint64
+
+// WordsFor returns the number of words needed to hold nbits bits.
+func WordsFor(nbits int) int {
+	return (nbits + wordBits - 1) / wordBits
+}
+
+// New returns a zeroed bitmap with capacity for nbits bits.
+func New(nbits int) Bitmap {
+	return make(Bitmap, WordsFor(nbits))
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) {
+	b[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b Bitmap) Get(i int) bool {
+	return b[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(b); i += 4 {
+		n += bits.OnesCount64(b[i]) + bits.OnesCount64(b[i+1]) +
+			bits.OnesCount64(b[i+2]) + bits.OnesCount64(b[i+3])
+	}
+	for ; i < len(b); i++ {
+		n += bits.OnesCount64(b[i])
+	}
+	return n
+}
+
+// And stores a ∩ b into dst and returns the popcount of the result in the
+// same pass. dst may alias a or b.
+func And(dst, a, b Bitmap) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		w0 := a[i] & b[i]
+		w1 := a[i+1] & b[i+1]
+		w2 := a[i+2] & b[i+2]
+		w3 := a[i+3] & b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = w0, w1, w2, w3
+		n += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(a); i++ {
+		w := a[i] & b[i]
+		dst[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndNot stores a ∖ b (a AND NOT b) into dst and returns the popcount of
+// the result. dst may alias a or b.
+func AndNot(dst, a, b Bitmap) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		w0 := a[i] &^ b[i]
+		w1 := a[i+1] &^ b[i+1]
+		w2 := a[i+2] &^ b[i+2]
+		w3 := a[i+3] &^ b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = w0, w1, w2, w3
+		n += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(a); i++ {
+		w := a[i] &^ b[i]
+		dst[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndCount returns |a ∩ b| without materializing the intersection — the
+// kernel for counting a two-constraint pattern straight from its two
+// precomputed value bitmaps.
+func AndCount(a, b Bitmap) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n += bits.OnesCount64(a[i]&b[i]) + bits.OnesCount64(a[i+1]&b[i+1]) +
+			bits.OnesCount64(a[i+2]&b[i+2]) + bits.OnesCount64(a[i+3]&b[i+3])
+	}
+	for ; i < len(a); i++ {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}
+
+// CountRange returns the number of set bits in [lo, hi). The factorized
+// join-space stores each join key's rows as a contiguous bit range, so a
+// per-key pattern count is one masked popcount over that range.
+func (b Bitmap) CountRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (wordBits - 1 - (uint(hi-1) % wordBits))
+	if loW == hiW {
+		return bits.OnesCount64(b[loW] & loMask & hiMask)
+	}
+	n := bits.OnesCount64(b[loW] & loMask)
+	for i := loW + 1; i < hiW; i++ {
+		n += bits.OnesCount64(b[i])
+	}
+	return n + bits.OnesCount64(b[hiW]&hiMask)
+}
+
+// Pool hands out scratch bitmaps of a fixed word length so the lattice DFS
+// and ad-hoc counts allocate only on first use per goroutine. A bitmap
+// obtained from Get carries arbitrary stale bits: every kernel above fully
+// overwrites its destination, so callers never need to clear scratch. Pool
+// is safe for concurrent use (sync.Pool underneath) and does not affect
+// determinism — pooled memory is write-before-read by construction.
+type Pool struct {
+	words int
+	pool  sync.Pool
+}
+
+// NewPool returns a pool of bitmaps sized for nbits bits.
+func NewPool(nbits int) *Pool {
+	p := &Pool{words: WordsFor(nbits)}
+	p.pool.New = func() any {
+		b := make(Bitmap, p.words)
+		return &b
+	}
+	return p
+}
+
+// Get returns a scratch bitmap of the pool's size with undefined contents.
+func (p *Pool) Get() Bitmap {
+	return *(p.pool.Get().(*Bitmap))
+}
+
+// Put returns a bitmap to the pool. Bitmaps of the wrong length are
+// dropped rather than poisoning the pool.
+func (p *Pool) Put(b Bitmap) {
+	if len(b) == p.words {
+		p.pool.Put(&b)
+	}
+}

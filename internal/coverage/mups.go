@@ -1,6 +1,9 @@
 package coverage
 
-import "redi/internal/parallel"
+import (
+	"redi/internal/bitmap"
+	"redi/internal/parallel"
+)
 
 // MUP is a maximal uncovered pattern with its observed count.
 type MUP struct {
@@ -8,15 +11,37 @@ type MUP struct {
 	Count   int
 }
 
+// rowSet is the per-node state the threaded DFS hands from parent to
+// child: the bitmap(s) of rows matching the node's pattern plus the match
+// count. Space uses only a; JoinSpace carries one bitmap per side (a =
+// left, b = right). A nil bitmap means "all rows" — the root and any side
+// with no constraints yet. ownedA/ownedB record whether the bitmap came
+// from the space's scratch pool (and must go back) or is a borrowed
+// precomputed value bitmap.
+type rowSet struct {
+	a, b           bitmap.Bitmap
+	count          int
+	ownedA, ownedB bool
+}
+
 // patternSpace is the lattice interface the pattern-breaker walker runs
 // over; Space (single relation) and JoinSpace (coverage over a join)
-// implement it.
+// implement it. Alongside the pattern-level queries, a space provides the
+// threaded-walk hooks: rootSet yields the root's row set, and childSet
+// refines a parent's row set into the child that specializes position pos
+// to value val — one fused AND+popcount instead of re-intersecting (or
+// re-scanning) from scratch. releaseSet returns pooled scratch.
 type patternSpace interface {
 	Root() Pattern
 	Count(p Pattern) int
 	Covered(p Pattern) bool
-	Children(p Pattern) []Pattern
 	Parents(p Pattern) []Pattern
+
+	threshold() int
+	numValues(pos int) int
+	rootSet() rowSet
+	childSet(parent rowSet, pos, val int) rowSet
+	releaseSet(rs rowSet)
 }
 
 // patternBreaker enumerates MUPs over any patternSpace: a top-down
@@ -25,48 +50,76 @@ type patternSpace interface {
 // a MUP iff all of its immediate generalizations are covered; its
 // descendants cannot be MUPs (they have an uncovered parent), so the
 // subtree is pruned. Patterns are visited at most once thanks to the
-// canonical child rule.
+// canonical child rule, and each visit costs one bitmap refinement of its
+// parent's row set — the prefix-intersection DFS.
 func patternBreaker(s patternSpace) []MUP {
 	return patternBreakerWorkers(s, 0)
 }
+
+// rootChild names one canonical child of the root: position pos
+// specialized to value val.
+type rootChild struct{ pos, val int }
 
 // patternBreakerWorkers runs the pattern-breaker search with the given
 // worker count (parallel.Workers semantics; 0 = serial). The lattice is
 // sharded by the root's canonical children: each subtree is walked
 // independently and the per-subtree MUP lists are concatenated in child
 // order, which is exactly the order the serial DFS visits them — so the
-// output is bit-identical at any worker count. Count memoization in the
-// space is concurrency-safe but shared, so the pruning each subtree does is
-// unaffected by what the other workers discover.
+// output is bit-identical at any worker count. Workers share only the
+// precomputed value bitmaps (read-only) and the scratch pool (internally
+// synchronized), so no pruning state leaks between subtrees.
 func patternBreakerWorkers(s patternSpace, workers int) []MUP {
 	root := s.Root()
-	if !s.Covered(root) {
+	rs := s.rootSet()
+	if rs.count < s.threshold() {
 		// The whole dataset is smaller than the threshold: the root is
 		// the single MUP.
-		return []MUP{{Pattern: root, Count: s.Count(root)}}
+		s.releaseSet(rs)
+		return []MUP{{Pattern: root, Count: rs.count}}
 	}
-	parts := parallel.Map(workers, s.Children(root), func(_ int, c Pattern) []MUP {
+	var kids []rootChild
+	for i := range root {
+		for v := 0; v < s.numValues(i); v++ {
+			kids = append(kids, rootChild{pos: i, val: v})
+		}
+	}
+	parts := parallel.Map(workers, kids, func(_ int, k rootChild) []MUP {
+		p := root.Clone()
+		p[k.pos] = k.val
+		crs := s.childSet(rs, k.pos, k.val)
 		var out []MUP
-		walkSubtree(s, c, &out)
+		walkSubtree(s, p, k.pos, crs, &out)
+		s.releaseSet(crs)
 		return out
 	})
+	s.releaseSet(rs)
 	var out []MUP
-	for _, p := range parts {
-		out = append(out, p...)
+	for _, part := range parts {
+		out = append(out, part...)
 	}
 	return out
 }
 
-// walkSubtree appends, in DFS order, the MUPs found under p (inclusive).
-func walkSubtree(s patternSpace, p Pattern, out *[]MUP) {
-	if !s.Covered(p) {
+// walkSubtree appends, in DFS order, the MUPs found under the pattern p
+// (inclusive), whose rightmost constrained position is `rightmost` and
+// whose row set is rs. The pattern is refined in place: children extend p
+// strictly to the right of `rightmost` (the canonical child rule), each
+// paying a single intersection against its parent's row set.
+func walkSubtree(s patternSpace, p Pattern, rightmost int, rs rowSet, out *[]MUP) {
+	if rs.count < s.threshold() {
 		if allParentsCovered(s, p) {
-			*out = append(*out, MUP{Pattern: p, Count: s.Count(p)})
+			*out = append(*out, MUP{Pattern: p.Clone(), Count: rs.count})
 		}
 		return
 	}
-	for _, c := range s.Children(p) {
-		walkSubtree(s, c, out)
+	for i := rightmost + 1; i < len(p); i++ {
+		for v := 0; v < s.numValues(i); v++ {
+			p[i] = v
+			crs := s.childSet(rs, i, v)
+			walkSubtree(s, p, i, crs, out)
+			s.releaseSet(crs)
+			p[i] = Wildcard
+		}
 	}
 }
 

@@ -13,8 +13,8 @@ package coverage
 import (
 	"fmt"
 	"strings"
-	"sync"
 
+	"redi/internal/bitmap"
 	"redi/internal/dataset"
 )
 
@@ -85,16 +85,34 @@ func (p Pattern) key() string {
 }
 
 // Space is the pattern search space over a dataset's attributes of
-// interest: the per-row codes, the attribute domains, and the coverage
-// threshold.
+// interest: per-(attribute, value) row bitmaps, the attribute domains, and
+// the coverage threshold.
+//
+// Counting is bitmap-based: NewSpace precomputes one bitmap per
+// (attribute, value) holding the rows carrying that value, so Count is an
+// intersection + popcount over machine words rather than a row scan.
+//
+// Earlier revisions memoized Count behind a string-keyed map + mutex; with
+// bitmap counts the memo was REMOVED rather than made single-flight. A
+// memoized lookup cost a pattern-key render, a map probe, and a lock
+// hand-off — more than the handful of word-AND/popcount loops a recount
+// costs — and deleting it also closes the duplicated-work race window the
+// old design tolerated (two workers could scan the same pattern
+// concurrently because the scan ran outside the lock). Count is now pure
+// and lock-free, so concurrent callers never contend or duplicate
+// meaningful work.
 type Space struct {
 	Attrs     []string
 	Domains   [][]string // Domains[i] lists attribute i's values
 	Threshold int
 
-	rows   [][]int // coded rows; -1 for null
-	mu     sync.Mutex
-	counts map[string]int
+	numRows int
+	cols    [][]int32 // per-attribute codes (-1 null); the countScan oracle's input
+	// bits[i][v] marks the rows where attribute i has value v. Null
+	// codes appear in no bitmap, so they match only wildcards.
+	bits      [][]bitmap.Bitmap
+	valCounts [][]int // popcounts of bits[i][v]
+	pool      *bitmap.Pool
 }
 
 // NewSpace prepares a pattern space over the given categorical attributes of
@@ -107,21 +125,27 @@ func NewSpace(d *dataset.Dataset, attrs []string, threshold int) *Space {
 	s := &Space{
 		Attrs:     append([]string(nil), attrs...),
 		Threshold: threshold,
-		counts:    map[string]int{},
+		numRows:   d.NumRows(),
+		pool:      bitmap.NewPool(d.NumRows()),
 	}
-	cols := make([][]int32, len(attrs))
+	s.cols = make([][]int32, len(attrs))
+	s.bits = make([][]bitmap.Bitmap, len(attrs))
+	s.valCounts = make([][]int, len(attrs))
 	for i, a := range attrs {
 		codes, dict := d.Codes(a)
-		cols[i] = codes
+		s.cols[i] = codes
 		s.Domains = append(s.Domains, dict)
-	}
-	s.rows = make([][]int, d.NumRows())
-	for r := range s.rows {
-		row := make([]int, len(attrs))
-		for i := range attrs {
-			row[i] = int(cols[i][r])
+		s.bits[i] = make([]bitmap.Bitmap, len(dict))
+		s.valCounts[i] = make([]int, len(dict))
+		for v := range dict {
+			s.bits[i][v] = bitmap.New(s.numRows)
 		}
-		s.rows[r] = row
+		for r, c := range codes {
+			if c >= 0 {
+				s.bits[i][c].Set(r)
+				s.valCounts[i][c]++
+			}
+		}
 	}
 	return s
 }
@@ -138,28 +162,67 @@ func (s *Space) Root() Pattern {
 	return p
 }
 
-// Count returns the number of rows matching p, memoized. It is safe for
-// concurrent use: only the memo map is guarded, so the row scan — the
-// expensive part — runs outside the lock (two workers may redundantly
-// count the same pattern, which is harmless).
+// Count returns the number of rows matching p: the popcount of the
+// intersection of the constrained positions' value bitmaps. Zero
+// constraints count every row; one constraint is a precomputed popcount;
+// two fuse into a single AND-popcount pass; deeper patterns intersect into
+// pooled scratch. Pure and safe for concurrent use.
 func (s *Space) Count(p Pattern) int {
-	k := p.key()
-	s.mu.Lock()
-	c, ok := s.counts[k]
-	s.mu.Unlock()
-	if ok {
-		return c
-	}
-	c = 0
-	for _, row := range s.rows {
-		if p.Matches(row) {
-			c++
+	first, second := -1, -1
+	rest := 0
+	for i, v := range p {
+		if v == Wildcard {
+			continue
+		}
+		switch {
+		case first < 0:
+			first = i
+		case second < 0:
+			second = i
+		default:
+			rest++
 		}
 	}
-	s.mu.Lock()
-	s.counts[k] = c
-	s.mu.Unlock()
-	return c
+	switch {
+	case first < 0:
+		return s.numRows
+	case second < 0:
+		return s.valCounts[first][p[first]]
+	case rest == 0:
+		return bitmap.AndCount(s.bits[first][p[first]], s.bits[second][p[second]])
+	}
+	acc := s.pool.Get()
+	n := bitmap.And(acc, s.bits[first][p[first]], s.bits[second][p[second]])
+	for i := second + 1; i < len(p); i++ {
+		if v := p[i]; v != Wildcard {
+			n = bitmap.And(acc, acc, s.bits[i][v])
+			if n == 0 {
+				break
+			}
+		}
+	}
+	s.pool.Put(acc)
+	return n
+}
+
+// countScan counts the rows matching p by scanning every row — the
+// pre-bitmap implementation, kept as the unexported test oracle the
+// property tests cross-check Count and the MUP walk against.
+func (s *Space) countScan(p Pattern) int {
+	n := 0
+	for r := 0; r < s.numRows; r++ {
+		ok := true
+		for i, v := range p {
+			if v != Wildcard && int(s.cols[i][r]) != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
 }
 
 // Covered reports whether p meets the coverage threshold.
@@ -199,6 +262,35 @@ func (s *Space) Children(p Pattern) []Pattern {
 		}
 	}
 	return out
+}
+
+// threshold, numValues, rootSet, childSet, and releaseSet implement the
+// threaded-walk hooks (see mups.go): the DFS hands each node's row bitmap
+// down the lattice so a child's count is one AND off its parent's set
+// instead of a fresh intersection from the root.
+
+func (s *Space) threshold() int      { return s.Threshold }
+func (s *Space) numValues(i int) int { return len(s.Domains[i]) }
+
+func (s *Space) rootSet() rowSet {
+	return rowSet{count: s.numRows} // nil bitmap = all rows
+}
+
+func (s *Space) childSet(parent rowSet, pos, val int) rowSet {
+	vb := s.bits[pos][val]
+	if parent.a == nil {
+		// Level-1 child: share the precomputed value bitmap read-only.
+		return rowSet{a: vb, count: s.valCounts[pos][val]}
+	}
+	dst := s.pool.Get()
+	n := bitmap.And(dst, parent.a, vb)
+	return rowSet{a: dst, count: n, ownedA: true}
+}
+
+func (s *Space) releaseSet(rs rowSet) {
+	if rs.ownedA {
+		s.pool.Put(rs.a)
+	}
 }
 
 // Describe renders p with attribute names, e.g. "race=black, sex=*".

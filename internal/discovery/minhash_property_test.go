@@ -1,0 +1,90 @@
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"redi/internal/rng"
+)
+
+// exactJaccard computes |a ∩ b| / |a ∪ b| over the raw sets.
+func exactJaccard(a, b map[string]bool) float64 {
+	inter := 0
+	for v := range a {
+		if b[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Property: the one-pass signature's Jaccard estimate stays within a
+// ~5-sigma band of the exact Jaccard on random set pairs with randomized
+// sizes and overlap. At k=256 the estimator's standard error is at most
+// 1/(2*sqrt(k)) ≈ 0.031, so a 0.16 bound holds for any honest hash family;
+// a slot-correlation bug in the SplitMix64 remixing stream would blow
+// through it immediately.
+func TestOnePassMinHashJaccardErrorBound(t *testing.T) {
+	const k = 256
+	f := func(seed16 uint16) bool {
+		r := rng.New(uint64(seed16)*2654435761 + 1)
+		shared := 1 + r.Intn(200)
+		onlyA := r.Intn(200)
+		onlyB := r.Intn(200)
+		a, b := map[string]bool{}, map[string]bool{}
+		for i := 0; i < shared; i++ {
+			v := fmt.Sprintf("s%d-%d", seed16, i)
+			a[v] = true
+			b[v] = true
+		}
+		for i := 0; i < onlyA; i++ {
+			a[fmt.Sprintf("a%d-%d", seed16, i)] = true
+		}
+		for i := 0; i < onlyB; i++ {
+			b[fmt.Sprintf("b%d-%d", seed16, i)] = true
+		}
+		est := NewMinHash(a, k).EstimateJaccard(NewMinHash(b, k))
+		exact := exactJaccard(a, b)
+		if math.Abs(est-exact) > 0.16 {
+			t.Logf("seed %d: estimate %.4f vs exact %.4f (|A|=%d |B|=%d shared=%d)",
+				seed16, est, exact, len(a), len(b), shared)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical sets always produce identical signatures (estimate
+// exactly 1), and the estimate is symmetric in its arguments.
+func TestOnePassMinHashSelfAndSymmetry(t *testing.T) {
+	f := func(seed16 uint16) bool {
+		r := rng.New(uint64(seed16) + 7)
+		n := 1 + r.Intn(300)
+		a, b := map[string]bool{}, map[string]bool{}
+		for i := 0; i < n; i++ {
+			v := fmt.Sprintf("v%d-%d", seed16, i)
+			a[v] = true
+			if r.Float64() < 0.5 {
+				b[v] = true
+			}
+		}
+		b[fmt.Sprintf("x%d", seed16)] = true
+		ma, ma2, mb := NewMinHash(a, 64), NewMinHash(a, 64), NewMinHash(b, 64)
+		if ma.EstimateJaccard(ma2) != 1 {
+			return false
+		}
+		return ma.EstimateJaccard(mb) == mb.EstimateJaccard(ma)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,6 @@
 package discovery
 
 import (
-	"container/heap"
 	"math"
 
 	"redi/internal/dataset"
@@ -20,7 +19,7 @@ type CorrelationSketch struct {
 	B       int
 	entries map[string]float64 // key -> value (mean when keys repeat)
 	counts  map[string]float64
-	hashes  *keyHeap
+	hashes  keyHeap
 }
 
 type hashedKey struct {
@@ -28,19 +27,55 @@ type hashedKey struct {
 	hash uint64
 }
 
-// keyHeap is a max-heap on hash so the largest can be evicted.
+// keyHeap is a direct-slice binary max-heap on hash so the largest retained
+// key can be evicted in O(log B). It deliberately does not go through
+// container/heap: that interface boxes every pushed/popped element into an
+// interface{} (one allocation per Add in the per-row hot loop) and pays
+// dynamic dispatch on each Less/Swap; the inlined sift-up/sift-down below
+// allocates nothing beyond the slice growth itself.
 type keyHeap []hashedKey
 
-func (h keyHeap) Len() int            { return len(h) }
-func (h keyHeap) Less(i, j int) bool  { return h[i].hash > h[j].hash }
-func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(hashedKey)) }
-func (h *keyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push appends x and sifts it up to restore the max-heap order.
+func (h *keyHeap) push(x hashedKey) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].hash >= s[i].hash {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the maximum element, sifting the displaced tail
+// element down to restore the heap order.
+func (h *keyHeap) pop() hashedKey {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		big := l
+		if r := l + 1; r < n && s[r].hash > s[l].hash {
+			big = r
+		}
+		if s[i].hash >= s[big].hash {
+			break
+		}
+		s[i], s[big] = s[big], s[i]
+		i = big
+	}
+	return top
 }
 
 // NewCorrelationSketch builds a sketch of capacity b. It panics if b <= 0.
@@ -52,7 +87,6 @@ func NewCorrelationSketch(b int) *CorrelationSketch {
 		B:       b,
 		entries: map[string]float64{},
 		counts:  map[string]float64{},
-		hashes:  &keyHeap{},
 	}
 }
 
@@ -65,16 +99,16 @@ func (s *CorrelationSketch) Add(key string, value float64) {
 		return
 	}
 	h := hash64(key, 0)
-	if s.hashes.Len() >= s.B {
-		top := (*s.hashes)[0]
+	if len(s.hashes) >= s.B {
+		top := s.hashes[0]
 		if h >= top.hash {
 			return // not among the bottom-B keys
 		}
-		heap.Pop(s.hashes)
+		s.hashes.pop()
 		delete(s.entries, top.key)
 		delete(s.counts, top.key)
 	}
-	heap.Push(s.hashes, hashedKey{key: key, hash: h})
+	s.hashes.push(hashedKey{key: key, hash: h})
 	s.entries[key] = value
 	s.counts[key] = 1
 }
