@@ -11,6 +11,8 @@ package redi
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"redi/internal/cleaning"
@@ -325,3 +327,189 @@ func benchLSHQuery(b *testing.B, workers int) {
 // candidate scoring.
 func BenchmarkLSHQuery(b *testing.B)         { benchLSHQuery(b, 0) }
 func BenchmarkLSHQueryParallel(b *testing.B) { benchLSHQuery(b, parallel.Auto) }
+
+// --- group-ID substrate benchmarks (PR 4) ---
+
+// groupBenchData builds a population large enough that per-row grouping
+// work dominates; race x sex x label gives a realistic intersectional
+// group count.
+func groupBenchData(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	return synth.Generate(synth.DefaultPopulation(20000), rng.New(11)).Data
+}
+
+// BenchmarkGroupByStringKey is the seed implementation of GroupBy kept as
+// the benchmark baseline: render an "attr=val;attr=val" string per row,
+// index a map with it, then sort the keys. Codes and dictionaries are
+// hoisted out of the timer exactly as the old implementation read them.
+func BenchmarkGroupByStringKey(b *testing.B) {
+	d := groupBenchData(b)
+	attrs := []string{"race", "sex", "label"}
+	codes := make([][]int32, len(attrs))
+	dicts := make([][]string, len(attrs))
+	for i, a := range attrs {
+		codes[i], dicts[i] = d.Codes(a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := map[dataset.GroupKey][]int{}
+		var keys []dataset.GroupKey
+		byRow := make([]int, d.NumRows())
+		var sb strings.Builder
+		for r := 0; r < d.NumRows(); r++ {
+			sb.Reset()
+			null := false
+			for a := range attrs {
+				c := codes[a][r]
+				if c < 0 {
+					null = true
+					break
+				}
+				if a > 0 {
+					sb.WriteByte(';')
+				}
+				sb.WriteString(attrs[a])
+				sb.WriteByte('=')
+				sb.WriteString(dicts[a][c])
+			}
+			if null {
+				byRow[r] = -1
+				continue
+			}
+			k := dataset.GroupKey(sb.String())
+			if _, seen := rows[k]; !seen {
+				keys = append(keys, k)
+			}
+			rows[k] = append(rows[k], r)
+		}
+		sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
+		for gi, k := range keys {
+			for _, r := range rows[k] {
+				byRow[r] = gi
+			}
+		}
+		if len(keys) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkGroupBy measures the dense-gid GroupBy on the same corpus and
+// attributes: dictionary-code composition into gids, no per-row strings.
+func BenchmarkGroupBy(b *testing.B) {
+	d := groupBenchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := d.GroupBy("race", "sex", "label"); g.NumGroups() == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkParityAuditStringKey is the selection-rate parity audit in the
+// seed idiom: per-row key rendering into a map of group tallies.
+func BenchmarkParityAuditStringKey(b *testing.B) {
+	d := groupBenchData(b)
+	attrs := []string{"race", "sex"}
+	codes := make([][]int32, len(attrs))
+	dicts := make([][]string, len(attrs))
+	for i, a := range attrs {
+		codes[i], dicts[i] = d.Codes(a)
+	}
+	labels, labelDict := d.Codes("label")
+	pos := int32(-1)
+	for c, v := range labelDict {
+		if v == "pos" {
+			pos = int32(c)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		type tally struct{ n, pos int }
+		byKey := map[dataset.GroupKey]*tally{}
+		var sb strings.Builder
+		for r := 0; r < d.NumRows(); r++ {
+			sb.Reset()
+			null := false
+			for a := range attrs {
+				c := codes[a][r]
+				if c < 0 {
+					null = true
+					break
+				}
+				if a > 0 {
+					sb.WriteByte(';')
+				}
+				sb.WriteString(attrs[a])
+				sb.WriteByte('=')
+				sb.WriteString(dicts[a][c])
+			}
+			if null {
+				continue
+			}
+			k := dataset.GroupKey(sb.String())
+			t := byKey[k]
+			if t == nil {
+				t = &tally{}
+				byKey[k] = t
+			}
+			t.n++
+			if labels[r] == pos {
+				t.pos++
+			}
+		}
+		minR, maxR := 1.0, 0.0
+		for _, t := range byKey {
+			rate := float64(t.pos) / float64(t.n)
+			if rate < minR {
+				minR = rate
+			}
+			if rate > maxR {
+				maxR = rate
+			}
+		}
+		if maxR < minR {
+			b.Fatal("no groups tallied")
+		}
+	}
+}
+
+// BenchmarkParityAudit is the same audit on the gid substrate: one GroupBy
+// plus gid-indexed slice tallies, no strings anywhere.
+func BenchmarkParityAudit(b *testing.B) {
+	d := groupBenchData(b)
+	labels, labelDict := d.Codes("label")
+	pos := int32(-1)
+	for c, v := range labelDict {
+		if v == "pos" {
+			pos = int32(c)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := d.GroupBy("race", "sex")
+		posN := make([]int, g.NumGroups())
+		for r, gi := range g.ByRow {
+			if gi >= 0 && labels[r] == pos {
+				posN[gi]++
+			}
+		}
+		minR, maxR := 1.0, 0.0
+		for gi, n := range g.Counts {
+			rate := float64(posN[gi]) / float64(n)
+			if rate < minR {
+				minR = rate
+			}
+			if rate > maxR {
+				maxR = rate
+			}
+		}
+		if maxR < minR {
+			b.Fatal("no groups tallied")
+		}
+	}
+}

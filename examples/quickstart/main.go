@@ -29,7 +29,7 @@ func main() {
 	for i, s := range set.Sources {
 		g := s.GroupBy("race")
 		fmt.Printf("  source %d: %d rows, race distribution %v -> %v\n",
-			i, s.NumRows(), g.Keys, compact(g.Distribution()))
+			i, s.NumRows(), g.Keys(), compact(g.Distribution()))
 	}
 
 	// Requirement: 40 rows from every race/sex group that exists in at

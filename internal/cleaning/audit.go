@@ -42,8 +42,8 @@ func AuditImputation(name string, truth, masked, imputed *dataset.Dataset, attr 
 	}
 	groups := truth.GroupBy(sensitive...)
 	audit := &ImputationAudit{Imputer: name}
-	sq := make([]float64, len(groups.Keys))
-	n := make([]int, len(groups.Keys))
+	sq := make([]float64, groups.NumGroups())
+	n := make([]int, groups.NumGroups())
 	totalSq := 0.0
 	for row := 0; row < truth.NumRows(); row++ {
 		if !masked.IsNull(row, attr) || truth.IsNull(row, attr) {
@@ -65,8 +65,8 @@ func AuditImputation(name string, truth, masked, imputed *dataset.Dataset, attr 
 		audit.RMSE = math.Sqrt(totalSq / float64(audit.N))
 	}
 	minR, maxR := math.Inf(1), math.Inf(-1)
-	for gi, k := range groups.Keys {
-		ge := GroupError{Key: k, N: n[gi], RMSE: math.NaN()}
+	for gi := 0; gi < groups.NumGroups(); gi++ {
+		ge := GroupError{Key: groups.Key(gi), N: n[gi], RMSE: math.NaN()}
 		if n[gi] > 0 {
 			ge.RMSE = math.Sqrt(sq[gi] / float64(n[gi]))
 			minR = math.Min(minR, ge.RMSE)
@@ -88,11 +88,11 @@ func CoverageLoss(before, after *dataset.Dataset, sensitive []string) map[datase
 	gb := before.GroupBy(sensitive...)
 	ga := after.GroupBy(sensitive...)
 	out := map[dataset.GroupKey]float64{}
-	for _, k := range gb.Keys {
-		nb := gb.Count(k)
+	for gid, nb := range gb.Counts {
 		if nb == 0 {
 			continue
 		}
+		k := gb.Key(gid)
 		out[k] = 1 - float64(ga.Count(k))/float64(nb)
 	}
 	return out

@@ -132,14 +132,22 @@ func EvaluateER(d *dataset.Dataset, cfg ERConfig, res *ERResult, sensitive []str
 		groups = d.GroupBy(sensitive...)
 	}
 	type counts struct{ tp, fp, fn int }
-	tally := map[int]*counts{} // -1 = overall, else group index
-	get := func(g int) *counts {
-		c := tally[g]
-		if c == nil {
-			c = &counts{}
-			tally[g] = c
+	var total counts
+	var byGid []counts // gid-aligned tallies; seen marks groups with pairs
+	var seen []bool
+	if groups != nil {
+		byGid = make([]counts, groups.NumGroups())
+		seen = make([]bool, groups.NumGroups())
+	}
+	upd := func(c *counts, same, pred bool) {
+		switch {
+		case same && pred:
+			c.tp++
+		case pred:
+			c.fp++
+		default:
+			c.fn++
 		}
-		return c
 	}
 	n := d.NumRows()
 	for a := 0; a < n; a++ {
@@ -149,19 +157,11 @@ func EvaluateER(d *dataset.Dataset, cfg ERConfig, res *ERResult, sensitive []str
 			if !same && !pred {
 				continue
 			}
-			gs := []int{-1}
-			if groups != nil && groups.ByRow[a] >= 0 && groups.ByRow[a] == groups.ByRow[b] {
-				gs = append(gs, groups.ByRow[a])
-			}
-			for _, g := range gs {
-				c := get(g)
-				switch {
-				case same && pred:
-					c.tp++
-				case pred:
-					c.fp++
-				default:
-					c.fn++
+			upd(&total, same, pred)
+			if groups != nil {
+				if gi := groups.ByRow[a]; gi >= 0 && gi == groups.ByRow[b] {
+					upd(&byGid[gi], same, pred)
+					seen[gi] = true
 				}
 			}
 		}
@@ -180,12 +180,12 @@ func EvaluateER(d *dataset.Dataset, cfg ERConfig, res *ERResult, sensitive []str
 		}
 		return q
 	}
-	overall = quality(get(-1))
+	overall = quality(&total)
 	byGroup = map[dataset.GroupKey]ERQuality{}
 	if groups != nil {
-		for gi, k := range groups.Keys {
-			if c, ok := tally[gi]; ok {
-				byGroup[k] = quality(c)
+		for gi := range byGid {
+			if seen[gi] {
+				byGroup[groups.Key(gi)] = quality(&byGid[gi])
 			}
 		}
 	}

@@ -93,8 +93,8 @@ func (g GroupMeanImputer) Impute(d *dataset.Dataset, attr string) (*dataset.Data
 		return nil, fmt.Errorf("cleaning: attribute %q has no observed values", attr)
 	}
 	groups := d.GroupBy(g.Sensitive...)
-	sums := make([]float64, len(groups.Keys))
-	counts := make([]float64, len(groups.Keys))
+	sums := make([]float64, groups.NumGroups())
+	counts := make([]float64, groups.NumGroups())
 	var globalSum float64
 	for i, row := range rows {
 		globalSum += vals[i]
@@ -131,19 +131,22 @@ func (h HotDeckImputer) Impute(d *dataset.Dataset, attr string) (*dataset.Datase
 		return nil, fmt.Errorf("cleaning: attribute %q has no observed values", attr)
 	}
 	var groups *dataset.Groups
-	byGroup := map[int][]float64{}
+	var byGid [][]float64
 	if len(h.Sensitive) > 0 {
 		groups = d.GroupBy(h.Sensitive...)
+		byGid = make([][]float64, groups.NumGroups())
 		for i, row := range rows {
 			if gi := groups.ByRow[row]; gi >= 0 {
-				byGroup[gi] = append(byGroup[gi], vals[i])
+				byGid[gi] = append(byGid[gi], vals[i])
 			}
 		}
 	}
 	return fillNulls(d, attr, func(row int) float64 {
 		if groups != nil {
-			if pool := byGroup[groups.ByRow[row]]; len(pool) > 0 {
-				return pool[h.R.Intn(len(pool))]
+			if gi := groups.ByRow[row]; gi >= 0 {
+				if pool := byGid[gi]; len(pool) > 0 {
+					return pool[h.R.Intn(len(pool))]
+				}
 			}
 		}
 		return vals[h.R.Intn(len(vals))]

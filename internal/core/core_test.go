@@ -20,7 +20,7 @@ func TestDistributionRequirement(t *testing.T) {
 	g := d.GroupBy("race")
 	target := map[dataset.GroupKey]float64{}
 	dist := g.Distribution()
-	for i, k := range g.Keys {
+	for i, k := range g.Keys() {
 		target[k] = dist[i]
 	}
 	req := DistributionRequirement{Attrs: []string{"race"}, Target: target, MaxTV: 0.01}
@@ -30,8 +30,8 @@ func TestDistributionRequirement(t *testing.T) {
 	}
 	// Uniform target: the skewed data must fail.
 	uniform := map[dataset.GroupKey]float64{}
-	for _, k := range g.Keys {
-		uniform[k] = 1.0 / float64(len(g.Keys))
+	for _, k := range g.Keys() {
+		uniform[k] = 1.0 / float64(g.NumGroups())
 	}
 	req.Target = uniform
 	if res := req.Check(d); res.Satisfied {

@@ -76,7 +76,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	sourceGroups := make([]*dataset.Groups, len(p.Sources))
 	for i, s := range p.Sources {
 		sourceGroups[i] = s.GroupBy(sensitive...)
-		for _, k := range sourceGroups[i].Keys {
+		for _, k := range sourceGroups[i].Keys() {
 			addKey(k)
 		}
 	}
@@ -105,8 +105,8 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		// True distribution for the known-distribution strategy.
 		dist := make([]float64, len(keys))
 		total := 0
-		for _, k := range sourceGroups[i].Keys {
-			total += sourceGroups[i].Count(k)
+		for _, c := range sourceGroups[i].Counts {
+			total += c
 		}
 		for gi, k := range keys {
 			if total > 0 {

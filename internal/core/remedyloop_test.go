@@ -113,7 +113,7 @@ func TestNeedFromRemedyKeys(t *testing.T) {
 		}
 		g := d.GroupBy("race", "sex")
 		found := false
-		for _, gk := range g.Keys {
+		for _, gk := range g.Keys() {
 			if gk == k {
 				found = true
 			}

@@ -20,12 +20,12 @@ func TestRequirementChecksRepeatable(t *testing.T) {
 	g := d.GroupBy("race", "sex")
 	target := map[dataset.GroupKey]float64{}
 	dist := g.Distribution()
-	for i, k := range g.Keys {
+	for i, k := range g.Keys() {
 		// Perturb so TV is a genuine multi-term float sum, not zero.
-		target[k] = dist[i]*0.9 + 0.1/float64(len(g.Keys))
+		target[k] = dist[i]*0.9 + 0.1/float64(g.NumGroups())
 	}
 	min := map[dataset.GroupKey]int{}
-	for _, k := range g.Keys {
+	for _, k := range g.Keys() {
 		min[k] = g.Count(k) + 1000 // all fail -> Details lists every group
 	}
 	reqs := []Requirement{
@@ -82,7 +82,7 @@ func TestPipelineClockSeam(t *testing.T) {
 	d := skewedData(t, 3, 800)
 	g := d.GroupBy("race")
 	need := map[dataset.GroupKey]int{}
-	for _, k := range g.Keys {
+	for _, k := range g.Keys() {
 		need[k] = 5
 	}
 	p := &Pipeline{Sources: []*dataset.Dataset{d}, Sensitive: []string{"race"}, KnownDistributions: true}

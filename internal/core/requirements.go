@@ -165,12 +165,12 @@ func (r DistributionRequirement) Check(d *dataset.Dataset) CheckResult {
 	for k := range r.Target {
 		keySet[k] = true
 	}
-	for _, k := range groups.Keys {
+	for _, k := range groups.Keys() {
 		keySet[k] = true
 	}
 	total := 0
-	for _, k := range groups.Keys {
-		total += groups.Count(k)
+	for _, c := range groups.Counts {
+		total += c
 	}
 	// The aligned p/q vectors feed a float sum; build them in sorted key
 	// order so the TV distance is bit-identical across runs (maporder).
@@ -339,12 +339,13 @@ func (r CompletenessRequirement) Check(d *dataset.Dataset) CheckResult {
 			worst, worstAt = rate, a
 		}
 		if len(r.Sensitive) > 0 && nulls > 0 {
-			// Sorted keys make the argmax tie-break deterministic: with
-			// equal rates the lexicographically first group is reported.
-			byGroup := profile.GroupMissingness(d, a, r.Sensitive)
-			for _, k := range dataset.SortedKeys(byGroup) {
-				if frac := byGroup[k]; frac > worst {
-					worst, worstAt = frac, fmt.Sprintf("%s within %s", a, k)
+			// Gid order is ascending key order, so the argmax tie-break is
+			// deterministic: with equal rates the lexicographically first
+			// group is reported.
+			fracs, groups := profile.GroupMissingness(d, a, r.Sensitive)
+			for gid, frac := range fracs {
+				if frac > worst {
+					worst, worstAt = frac, fmt.Sprintf("%s within %s", a, groups.Key(gid))
 				}
 			}
 		}

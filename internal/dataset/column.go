@@ -11,6 +11,9 @@ type column interface {
 	isNull(i int) bool
 	value(i int) Value
 	appendValue(v Value) error
+	// appendBulk appends all of src's cells, copying column storage
+	// directly (codes are dictionary-remapped) instead of boxing Values.
+	appendBulk(src column) error
 	set(i int, v Value) error
 	// gather returns a new column containing the rows at idx, in order.
 	gather(idx []int) column
@@ -59,6 +62,34 @@ func (c *catColumn) appendValue(v Value) error {
 		return fmt.Errorf("dataset: appending %s value to categorical column", v.Kind)
 	}
 	c.codes = append(c.codes, c.code(v.Cat))
+	return nil
+}
+
+func (c *catColumn) appendBulk(src column) error {
+	o, ok := src.(*catColumn)
+	if !ok {
+		return fmt.Errorf("dataset: bulk-appending %s column into categorical column", src.kind())
+	}
+	// Translate src's dictionary into this column's codes once, then copy
+	// the code vector through the table. Safe when src aliases c: the
+	// dictionary gains nothing (every value already present) and the ranged
+	// slice header is captured before any append reallocates.
+	remap := make([]int32, len(o.dict))
+	for code, s := range o.dict {
+		remap[code] = c.code(s)
+	}
+	if free := cap(c.codes) - len(c.codes); free < len(o.codes) {
+		grown := make([]int32, len(c.codes), len(c.codes)+len(o.codes))
+		copy(grown, c.codes)
+		c.codes = grown
+	}
+	for _, code := range o.codes {
+		if code < 0 {
+			c.codes = append(c.codes, -1)
+		} else {
+			c.codes = append(c.codes, remap[code])
+		}
+	}
 	return nil
 }
 
@@ -125,6 +156,16 @@ func (c *numColumn) appendValue(v Value) error {
 	}
 	c.vals = append(c.vals, v.Num)
 	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+func (c *numColumn) appendBulk(src column) error {
+	o, ok := src.(*numColumn)
+	if !ok {
+		return fmt.Errorf("dataset: bulk-appending %s column into numeric column", src.kind())
+	}
+	c.vals = append(c.vals, o.vals...)
+	c.nulls = append(c.nulls, o.nulls...)
 	return nil
 }
 

@@ -70,15 +70,19 @@ func (d *Dataset) MustAppendRow(vals ...Value) {
 }
 
 // AppendDataset appends all rows of other, which must have an equal schema.
+// Column storage is copied in bulk (dictionary-remapped for categoricals)
+// rather than boxing each row into Values; equal schemas guarantee matching
+// column kinds, so no per-cell validation is needed.
 func (d *Dataset) AppendDataset(other *Dataset) error {
 	if !d.schema.Equal(other.schema) {
 		return fmt.Errorf("dataset: schema mismatch: %v vs %v", d.schema, other.schema)
 	}
-	for r := 0; r < other.n; r++ {
-		if err := d.AppendRow(other.Row(r)...); err != nil {
-			return err
+	for i, c := range d.cols {
+		if err := c.appendBulk(other.cols[i]); err != nil {
+			return fmt.Errorf("attribute %q: %w", d.schema.Attr(i).Name, err)
 		}
 	}
+	d.n += other.n
 	return nil
 }
 

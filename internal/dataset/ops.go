@@ -2,8 +2,6 @@ package dataset
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 )
 
 // Predicate selects rows of a dataset.
@@ -182,118 +180,4 @@ func (d *Dataset) Join(other *Dataset, leftKey, rightKey string) (*Dataset, erro
 		}
 	}
 	return out, nil
-}
-
-// GroupKey identifies an intersectional group: the combination of values of
-// the grouping attributes, rendered canonically as "attr=val;attr=val".
-type GroupKey string
-
-// Groups is an index of a dataset's rows by intersectional group over a set
-// of categorical attributes. It backs coverage analysis, distribution
-// tailoring targets, and per-group fairness metrics.
-type Groups struct {
-	Attrs  []string
-	Keys   []GroupKey         // distinct groups, sorted
-	Rows   map[GroupKey][]int // group -> member row indices
-	ByRow  []int              // row -> index into Keys (-1 if any attr null)
-	counts map[GroupKey]int
-}
-
-// GroupBy indexes the dataset's rows by the given categorical attributes.
-// Rows with a null in any grouping attribute are assigned to no group
-// (ByRow = -1). It panics if an attribute is unknown or not categorical.
-func (d *Dataset) GroupBy(attrs ...string) *Groups {
-	cols := make([]*catColumn, len(attrs))
-	for i, a := range attrs {
-		c, ok := d.cols[d.schema.MustIndex(a)].(*catColumn)
-		if !ok {
-			panic(fmt.Sprintf("dataset: GroupBy attribute %q is not categorical", a))
-		}
-		cols[i] = c
-	}
-	g := &Groups{
-		Attrs:  append([]string(nil), attrs...),
-		Rows:   map[GroupKey][]int{},
-		ByRow:  make([]int, d.n),
-		counts: map[GroupKey]int{},
-	}
-	var sb strings.Builder
-	for r := 0; r < d.n; r++ {
-		sb.Reset()
-		null := false
-		for i, c := range cols {
-			if c.codes[r] < 0 {
-				null = true
-				break
-			}
-			if i > 0 {
-				sb.WriteByte(';')
-			}
-			sb.WriteString(attrs[i])
-			sb.WriteByte('=')
-			sb.WriteString(c.dict[c.codes[r]])
-		}
-		if null {
-			g.ByRow[r] = -1
-			continue
-		}
-		k := GroupKey(sb.String())
-		if _, seen := g.Rows[k]; !seen {
-			g.Keys = append(g.Keys, k)
-		}
-		g.Rows[k] = append(g.Rows[k], r)
-		g.counts[k]++
-	}
-	sort.Slice(g.Keys, func(a, b int) bool { return g.Keys[a] < g.Keys[b] })
-	// ByRow indexes into the sorted key order.
-	for i, k := range g.Keys {
-		for _, r := range g.Rows[k] {
-			g.ByRow[r] = i
-		}
-	}
-	return g
-}
-
-// Count returns the number of rows in group k.
-func (g *Groups) Count(k GroupKey) int { return g.counts[k] }
-
-// Counts returns the group sizes aligned with Keys.
-func (g *Groups) Counts() []int {
-	out := make([]int, len(g.Keys))
-	for i, k := range g.Keys {
-		out[i] = g.counts[k]
-	}
-	return out
-}
-
-// Distribution returns the normalized group-size distribution aligned with
-// Keys. An empty index yields an empty slice.
-func (g *Groups) Distribution() []float64 {
-	total := 0
-	for _, c := range g.counts {
-		total += c
-	}
-	out := make([]float64, len(g.Keys))
-	if total == 0 {
-		return out
-	}
-	for i, k := range g.Keys {
-		out[i] = float64(g.counts[k]) / float64(total)
-	}
-	return out
-}
-
-// MakeGroupKey renders attribute/value pairs canonically, matching the keys
-// produced by GroupBy when attrs are given in the same order.
-func MakeGroupKey(attrs []string, vals []string) GroupKey {
-	var sb strings.Builder
-	for i := range attrs {
-		if i > 0 {
-			sb.WriteByte(';')
-		}
-		sb.WriteString(attrs[i])
-		sb.WriteByte('=')
-		sb.WriteString(vals[i])
-	}
-	return GroupKey(sb.String())
 }

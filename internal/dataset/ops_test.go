@@ -150,8 +150,8 @@ func TestGroupBy(t *testing.T) {
 	d := testData(t)
 	g := d.GroupBy("race", "label")
 	// Groups: white/pos(2), white/neg(1), black/neg(1), black/pos(1); row 5 has null race.
-	if len(g.Keys) != 4 {
-		t.Fatalf("groups = %v", g.Keys)
+	if g.NumGroups() != 4 {
+		t.Fatalf("groups = %v", g.Keys())
 	}
 	k := MakeGroupKey([]string{"race", "label"}, []string{"white", "pos"})
 	if g.Count(k) != 2 {
@@ -160,12 +160,18 @@ func TestGroupBy(t *testing.T) {
 	if g.ByRow[5] != -1 {
 		t.Fatalf("null row assigned to group %d", g.ByRow[5])
 	}
-	// ByRow must agree with Rows.
-	for i, key := range g.Keys {
-		for _, r := range g.Rows[key] {
-			if g.ByRow[r] != i {
-				t.Fatalf("ByRow[%d] = %d, want %d", r, g.ByRow[r], i)
+	// ByRow must agree with Rows and RowSet.
+	for gid := 0; gid < g.NumGroups(); gid++ {
+		for _, r := range g.Rows(gid) {
+			if g.ByRow[r] != int32(gid) {
+				t.Fatalf("ByRow[%d] = %d, want %d", r, g.ByRow[r], gid)
 			}
+			if !g.RowSet(gid).Get(r) {
+				t.Fatalf("RowSet(%d) missing row %d", gid, r)
+			}
+		}
+		if g.RowSet(gid).Count() != g.Counts[gid] {
+			t.Fatalf("RowSet(%d) popcount = %d, want %d", gid, g.RowSet(gid).Count(), g.Counts[gid])
 		}
 	}
 	dist := g.Distribution()
@@ -176,21 +182,30 @@ func TestGroupBy(t *testing.T) {
 	if sum < 0.999 || sum > 1.001 {
 		t.Fatalf("distribution sum = %v", sum)
 	}
-	counts := g.Counts()
 	total := 0
-	for _, c := range counts {
+	for _, c := range g.Counts {
 		total += c
 	}
 	if total != 5 {
 		t.Fatalf("group total = %d, want 5 (one null row)", total)
+	}
+	// GID round-trips every rendered key; absent keys map to -1.
+	for gid, key := range g.Keys() {
+		if g.GID(key) != gid {
+			t.Fatalf("GID(%s) = %d, want %d", key, g.GID(key), gid)
+		}
+	}
+	if g.GID("race=martian;label=pos") != -1 {
+		t.Fatal("GID of absent group != -1")
 	}
 }
 
 func TestGroupKeysSorted(t *testing.T) {
 	d := testData(t)
 	g := d.GroupBy("race")
-	if len(g.Keys) != 2 || g.Keys[0] != "race=black" || g.Keys[1] != "race=white" {
-		t.Fatalf("keys not sorted: %v", g.Keys)
+	keys := g.Keys()
+	if len(keys) != 2 || keys[0] != "race=black" || keys[1] != "race=white" {
+		t.Fatalf("keys not sorted: %v", keys)
 	}
 }
 

@@ -52,23 +52,28 @@ func PostStratify(d *dataset.Dataset, attrs []string, population map[dataset.Gro
 		return nil, errors.New("debias: zero population mass")
 	}
 	sampled := 0
-	for _, k := range groups.Keys {
-		sampled += groups.Count(k)
+	for _, c := range groups.Counts {
+		sampled += c
 	}
 	if sampled == 0 {
 		return nil, errors.New("debias: no grouped rows in sample")
 	}
-	factor := make(map[dataset.GroupKey]float64, len(population))
+	// factor is gid-aligned; sample groups absent from population keep 0.
+	factor := make([]float64, groups.NumGroups())
 	for _, k := range keys {
 		want := population[k] / total
-		got := float64(groups.Count(k)) / float64(sampled)
+		gid := groups.GID(k)
+		got := 0.0
+		if gid >= 0 {
+			got = float64(groups.Counts[gid]) / float64(sampled)
+		}
 		if got == 0 {
 			if want > 0 {
 				return nil, fmt.Errorf("debias: population group %s absent from sample", k)
 			}
 			continue
 		}
-		factor[k] = want / got
+		factor[gid] = want / got
 	}
 	w := make(Weights, d.NumRows())
 	for r := 0; r < d.NumRows(); r++ {
@@ -76,7 +81,7 @@ func PostStratify(d *dataset.Dataset, attrs []string, population map[dataset.Gro
 		if gi < 0 {
 			continue
 		}
-		w[r] = factor[groups.Keys[gi]]
+		w[r] = factor[gi]
 	}
 	return w, nil
 }

@@ -87,6 +87,16 @@ func NewDatasetSource(d *dataset.Dataset, groups *dataset.Groups, keys []dataset
 	for i, k := range keys {
 		pos[k] = i
 	}
+	// Translate local gids to global key positions once; the per-row loop is
+	// then a slice index instead of a key-string map lookup.
+	toGlobal := make([]int, groups.NumGroups())
+	for gi := range toGlobal {
+		global, ok := pos[groups.Key(gi)]
+		if !ok {
+			global = -1
+		}
+		toGlobal[gi] = global
+	}
 	s := &DatasetSource{Data: d, byRow: make([]int, d.NumRows()), k: len(keys), c: cost}
 	for r := range s.byRow {
 		gi := groups.ByRow[r]
@@ -94,11 +104,7 @@ func NewDatasetSource(d *dataset.Dataset, groups *dataset.Groups, keys []dataset
 			s.byRow[r] = -1
 			continue
 		}
-		global, ok := pos[groups.Keys[gi]]
-		if !ok {
-			global = -1
-		}
-		s.byRow[r] = global
+		s.byRow[r] = toGlobal[gi]
 	}
 	return s, nil
 }

@@ -100,7 +100,7 @@ func InferProblem(d *dataset.Dataset) (Problem, error) {
 }
 
 // Design is the materialized learning input: the feature matrix, binary
-// labels, the group index of each row (aligned with Groups.Keys; -1 when a
+// labels, the group index of each row (the gid from Groups.ByRow; -1 when a
 // sensitive attribute is null), and the rows of the source dataset each
 // example came from.
 type Design struct {
@@ -151,7 +151,7 @@ func BuildDesign(d *dataset.Dataset, p Problem) (*Design, error) {
 			des.Y = append(des.Y, 0)
 		}
 		if groups != nil {
-			des.GroupIx = append(des.GroupIx, groups.ByRow[r])
+			des.GroupIx = append(des.GroupIx, int(groups.ByRow[r]))
 		} else {
 			des.GroupIx = append(des.GroupIx, -1)
 		}

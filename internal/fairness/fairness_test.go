@@ -309,7 +309,7 @@ func TestReweighReducesParityGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := Reweigh(dTrain.Y, dTrain.GroupIx, len(dTrain.Groups.Keys))
+	w := Reweigh(dTrain.Y, dTrain.GroupIx, dTrain.Groups.NumGroups())
 	weighted, err := TrainLogistic(dTrain.X, dTrain.Y, w, LogisticConfig{}, rng.New(21))
 	if err != nil {
 		t.Fatal(err)

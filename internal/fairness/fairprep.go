@@ -55,7 +55,7 @@ func ReweighIntervention(cfg LogisticConfig) Intervention {
 		Train: func(train, _ *Design, r *rng.RNG) (Predictor, error) {
 			k := 0
 			if train.Groups != nil {
-				k = len(train.Groups.Keys)
+				k = train.Groups.NumGroups()
 			}
 			w := Reweigh(train.Y, train.GroupIx, k)
 			m, err := TrainLogistic(train.X, train.Y, w, cfg, r)

@@ -52,7 +52,7 @@ func evaluatePred(d *Design, predict func(i int) int) Report {
 	var rep Report
 	k := 0
 	if d.Groups != nil {
-		k = len(d.Groups.Keys)
+		k = d.Groups.NumGroups()
 	}
 	type acc struct {
 		n, correct, predPos float64
@@ -106,7 +106,7 @@ func evaluatePred(d *Design, predict func(i int) int) Report {
 	seen := false
 	for gi := 0; gi < k; gi++ {
 		a := groups[gi]
-		gr := GroupReport{Key: d.Groups.Keys[gi], N: int(a.n)}
+		gr := GroupReport{Key: d.Groups.Key(gi), N: int(a.n)}
 		if a.n == 0 {
 			gr.Accuracy = math.NaN()
 			gr.PositiveRate = math.NaN()

@@ -42,7 +42,7 @@ func FitParityThresholds(m Model, d *Design, targetRate float64) (*GroupThreshol
 	}
 	k := 0
 	if d.Groups != nil {
-		k = len(d.Groups.Keys)
+		k = d.Groups.NumGroups()
 	}
 	gt := &GroupThresholds{ByGroup: make([]float64, k), Default: 0.5}
 	scores := make([][]float64, k)
@@ -66,7 +66,7 @@ func FitEqualOpportunityThresholds(m Model, d *Design, targetTPR float64) (*Grou
 	}
 	k := 0
 	if d.Groups != nil {
-		k = len(d.Groups.Keys)
+		k = d.Groups.NumGroups()
 	}
 	gt := &GroupThresholds{ByGroup: make([]float64, k), Default: 0.5}
 	posScores := make([][]float64, k)

@@ -144,6 +144,43 @@ func clean(m map[string]float64) (int, float64) {
 	wantFindings(t, diags, 0, "")
 }
 
+// The dense group-ID substrate writes per-group aggregates into gid-indexed
+// slices. When the gid is derived from the map-range key, the writes are
+// per-iteration disjoint (distinct keys -> distinct gids), so the
+// key-indexed-write exemption must keep them clean — this is the
+// debias.PostStratify / needVec idiom after the gid refactor.
+func TestMapOrderAllowsGIDIndexedSliceWrites(t *testing.T) {
+	diags := runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func factors(population map[string]float64, gid map[string]int) []float64 {
+	out := make([]float64, len(gid))
+	for k, share := range population {
+		out[gid[k]] = share // gid lookup mentions the key: disjoint writes
+	}
+	return out
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+
+	// Control: the same write indexed by something unrelated to the key
+	// is last-writer-wins and must still flag.
+	diags = runFixture(t, MapOrder, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+func clobber(population map[string]float64) []float64 {
+	out := make([]float64, 1)
+	for _, share := range population {
+		out[0] = share
+	}
+	return out
+}
+`,
+	})
+	wantFindings(t, diags, 1, "last-writer-wins")
+}
+
 func TestMapOrderSkipsTestFilesAndForeignPackages(t *testing.T) {
 	src := map[string]string{
 		"fix_test.go": `package fixture

@@ -79,8 +79,8 @@ func BuildLabel(d *dataset.Dataset, cfg LabelConfig) *Label {
 	}
 	if len(cfg.Sensitive) > 0 && d.NumRows() > 0 {
 		groups := d.GroupBy(cfg.Sensitive...)
-		for _, k := range groups.Keys {
-			l.GroupCounts[string(k)] = groups.Count(k)
+		for gid, c := range groups.Counts {
+			l.GroupCounts[string(groups.Key(gid))] = c
 		}
 		space := coverage.NewSpace(d, cfg.Sensitive, cfg.CoverageThreshold)
 		for _, m := range space.MUPs() {
@@ -105,8 +105,9 @@ func BuildLabel(d *dataset.Dataset, cfg LabelConfig) *Label {
 			if p.Nulls == 0 {
 				continue
 			}
-			for k, frac := range GroupMissingness(d, p.Name, cfg.Sensitive) {
-				l.Missingness[p.Name+"|"+string(k)] = frac
+			fracs, mg := GroupMissingness(d, p.Name, cfg.Sensitive)
+			for gid, frac := range fracs {
+				l.Missingness[p.Name+"|"+string(mg.Key(gid))] = frac
 			}
 		}
 	}

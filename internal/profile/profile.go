@@ -234,7 +234,7 @@ func RankAttrBias(d *dataset.Dataset, features []string, sensitive []string, tar
 		for i, row := range rows {
 			if gi := groups.ByRow[row]; gi >= 0 {
 				gx = append(gx, fBins[i])
-				gy = append(gy, gi)
+				gy = append(gy, int(gi))
 			}
 			if labels[row] != "" {
 				lx = append(lx, vals[i])
@@ -245,8 +245,8 @@ func RankAttrBias(d *dataset.Dataset, features []string, sensitive []string, tar
 				}
 			}
 		}
-		if len(gx) >= 3 && len(groups.Keys) >= 2 {
-			ct := stats.NewContingencyTable(gx, gy, bins, len(groups.Keys))
+		if len(gx) >= 3 && groups.NumGroups() >= 2 {
+			ct := stats.NewContingencyTable(gx, gy, bins, groups.NumGroups())
 			b.SensitiveAssoc = ct.CramersV()
 		}
 		if len(lx) >= 3 {
@@ -268,22 +268,24 @@ func RankAttrBias(d *dataset.Dataset, features []string, sensitive []string, tar
 }
 
 // GroupMissingness reports, per group, the fraction of null cells of attr —
-// the §2.4 warning signal that missingness is demographically skewed.
-func GroupMissingness(d *dataset.Dataset, attr string, sensitive []string) map[dataset.GroupKey]float64 {
+// the §2.4 warning signal that missingness is demographically skewed. The
+// fractions are gid-aligned with the returned group index; callers render
+// key strings via groups.Key only where a widget is emitted.
+func GroupMissingness(d *dataset.Dataset, attr string, sensitive []string) ([]float64, *dataset.Groups) {
 	groups := d.GroupBy(sensitive...)
-	miss := make([]int, len(groups.Keys))
+	miss := make([]int, groups.NumGroups())
 	for r := 0; r < d.NumRows(); r++ {
 		if gi := groups.ByRow[r]; gi >= 0 && d.IsNull(r, attr) {
 			miss[gi]++
 		}
 	}
-	out := map[dataset.GroupKey]float64{}
-	for gi, k := range groups.Keys {
-		if n := groups.Count(k); n > 0 {
-			out[k] = float64(miss[gi]) / float64(n)
+	fracs := make([]float64, groups.NumGroups())
+	for gi, n := range groups.Counts {
+		if n > 0 {
+			fracs[gi] = float64(miss[gi]) / float64(n)
 		}
 	}
-	return out
+	return fracs, groups
 }
 
 // FormatProfile renders column profiles as an aligned text table for the

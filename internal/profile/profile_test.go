@@ -155,9 +155,10 @@ func TestGroupMissingness(t *testing.T) {
 	masked := synth.InjectMissing(d, synth.MissingConfig{
 		Attr: "f0", Rate: 0.2, Mech: synth.MAR, CondAttr: "race", CondValue: "black",
 	}, rng.New(4))
-	miss := GroupMissingness(masked, "f0", []string{"race"})
-	if miss["race=black"] <= miss["race=white"] {
-		t.Fatalf("missingness = %v, black should dominate", miss)
+	fracs, mg := GroupMissingness(masked, "f0", []string{"race"})
+	black, white := mg.GID("race=black"), mg.GID("race=white")
+	if black < 0 || white < 0 || fracs[black] <= fracs[white] {
+		t.Fatalf("missingness = %v (keys %v), black should dominate", fracs, mg.Keys())
 	}
 }
 

@@ -43,12 +43,12 @@ type Index struct {
 func NewIndex(d *dataset.Dataset, attr string, sensitive []string) (*Index, error) {
 	groups := d.GroupBy(sensitive...)
 	vals, nulls := d.NumericFull(attr)
-	ix := &Index{Attr: attr, Groups: groups.Keys}
+	ix := &Index{Attr: attr, Groups: groups.Keys()}
 	for r := 0; r < d.NumRows(); r++ {
 		if nulls[r] || groups.ByRow[r] < 0 {
 			continue
 		}
-		ix.rows = append(ix.rows, row{val: vals[r], group: groups.ByRow[r]})
+		ix.rows = append(ix.rows, row{val: vals[r], group: int(groups.ByRow[r])})
 	}
 	if len(ix.rows) == 0 {
 		return nil, errors.New("rangequery: no usable rows")

@@ -92,7 +92,7 @@ func GenerateSources(cfg SourceConfig, r *rng.RNG) *SourceSet {
 
 	groups := sourceData.GroupBy(pop.SensitiveNames...)
 	set := &SourceSet{
-		Groups:         groups.Keys,
+		Groups:         groups.Keys(),
 		SensitiveNames: pop.SensitiveNames,
 		Costs:          make([]float64, cfg.NumSources),
 	}
@@ -109,10 +109,10 @@ func GenerateSources(cfg SourceConfig, r *rng.RNG) *SourceSet {
 		mix := r.Dirichlet(alpha)
 		cat := rng.NewCategorical(mix)
 		src := dataset.New(sourceData.Schema())
-		realized := make([]float64, len(groups.Keys))
+		realized := make([]float64, groups.NumGroups())
 		for i := 0; i < cfg.RowsPerSource; i++ {
 			g := cat.Draw(r)
-			rows := groups.Rows[groups.Keys[g]]
+			rows := groups.Rows(g)
 			if len(rows) == 0 {
 				// Extremely rare: the group never appeared in the
 				// reference population. Redraw.

@@ -48,7 +48,7 @@ func TestGenerateMarginals(t *testing.T) {
 	want := map[dataset.GroupKey]float64{
 		"race=white": 0.64, "race=black": 0.18, "race=hispanic": 0.12, "race=asian": 0.06,
 	}
-	for i, k := range g.Keys {
+	for i, k := range g.Keys() {
 		if math.Abs(dist[i]-want[k]) > 0.02 {
 			t.Fatalf("marginal %s = %v, want %v", k, dist[i], want[k])
 		}
@@ -62,8 +62,8 @@ func TestGroupEffectSeparatesGroups(t *testing.T) {
 	// Feature means per group should differ noticeably from each other.
 	g := p.Data.GroupBy(p.SensitiveNames...)
 	var means []float64
-	for _, k := range g.Keys {
-		sub := p.Data.Gather(g.Rows[k])
+	for gid := 0; gid < g.NumGroups(); gid++ {
+		sub := p.Data.Gather(g.Rows(gid))
 		vals, _ := sub.Numeric("f0")
 		if len(vals) == 0 {
 			continue
