@@ -22,6 +22,7 @@ import (
 	"redi/internal/dt"
 	"redi/internal/experiments"
 	"redi/internal/joinsample"
+	"redi/internal/obs"
 	"redi/internal/parallel"
 	"redi/internal/rng"
 	"redi/internal/synth"
@@ -327,6 +328,79 @@ func benchLSHQuery(b *testing.B, workers int) {
 // candidate scoring.
 func BenchmarkLSHQuery(b *testing.B)         { benchLSHQuery(b, 0) }
 func BenchmarkLSHQueryParallel(b *testing.B) { benchLSHQuery(b, parallel.Auto) }
+
+// --- observability benchmarks (PR 5) ---
+
+// BenchmarkObsCounterHot measures the per-increment cost of the obs
+// counter in its three states: a live atomic counter, the nil (disabled)
+// no-op path, and an unsynchronized per-worker shard.
+func BenchmarkObsCounterHot(b *testing.B) {
+	b.Run("atomic", func(b *testing.B) {
+		c := obs.NewRegistry().Counter("bench.hot")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+		if c.Value() != int64(b.N) {
+			b.Fatal("lost increments")
+		}
+	})
+	b.Run("nil", func(b *testing.B) {
+		var c *obs.Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		c := obs.NewRegistry().Counter("bench.hot")
+		sh := c.Sharded(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh.Add(0, 1)
+		}
+		sh.Merge()
+		if c.Value() != int64(b.N) {
+			b.Fatal("lost increments")
+		}
+	})
+}
+
+// BenchmarkMUPsObs is BenchmarkMUPs with a live site registry attached to
+// the space; the delta against BenchmarkMUPs is the full instrumentation
+// cost of the coverage walk (the disabled cost is already inside
+// BenchmarkMUPs, which runs with Obs nil).
+func BenchmarkMUPsObs(b *testing.B) {
+	cfg := synth.DefaultPopulation(5000)
+	p := synth.Generate(cfg, rng.New(1))
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := coverage.NewSpace(p.Data, []string{"race", "sex", "label"}, 25)
+		s.Obs = reg
+		if mups := s.MUPs(); len(mups) > 1000 {
+			b.Fatal("unexpected MUP explosion")
+		}
+	}
+}
+
+// BenchmarkLSHQueryObs is BenchmarkLSHQuery with a live site registry on
+// the ensemble, isolating the probe/candidate tally cost per query.
+func BenchmarkLSHQueryObs(b *testing.B) {
+	refs, domains, query := lshBenchSetup(b)
+	ens, err := discovery.NewLSHEnsemble(128, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ens.Obs = obs.NewRegistry()
+	ens.Index(refs, domains)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens.Query(query, 0.5)
+	}
+}
 
 // --- group-ID substrate benchmarks (PR 4) ---
 

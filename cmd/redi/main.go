@@ -22,9 +22,36 @@ import (
 
 	"redi/internal/core"
 	"redi/internal/dataset"
+	"redi/internal/obs"
 	"redi/internal/profile"
 	"redi/internal/rng"
 )
+
+// writeObsReport emits the observability report requested by the shared
+// -obs/-obs-json flags. The human-readable report goes to stderr because
+// audit and tailor use stdout for their primary output (tables, CSV).
+func writeObsReport(reg *obs.Registry, show bool, jsonPath string) error {
+	if reg == nil {
+		return nil
+	}
+	if show {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -171,6 +198,8 @@ func cmdAudit(args []string) error {
 	sensitive := fs.String("sensitive", "", "comma-separated sensitive attributes (default: schema roles)")
 	threshold := fs.Int("threshold", 10, "coverage threshold")
 	maxNull := fs.Float64("maxnull", 0.05, "maximum tolerated null rate")
+	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the audit")
+	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("audit needs exactly one CSV file")
@@ -190,11 +219,21 @@ func cmdAudit(args []string) error {
 	if len(sens) == 0 {
 		return fmt.Errorf("no sensitive attributes (set -sensitive or schema roles)")
 	}
+	var reg *obs.Registry
+	if *obsFlag || *obsJSON != "" {
+		// Audit takes no registry parameter; the process-wide registry
+		// catches its counters (and the coverage walk's, below it).
+		reg = obs.NewRegistry()
+		obs.Enable(reg)
+	}
 	rep := core.Audit(d, []core.Requirement{
 		core.CoverageRequirement{Attrs: sens, Threshold: *threshold},
 		core.CompletenessRequirement{Sensitive: sens, MaxNullRate: *maxNull},
 	})
 	fmt.Print(rep.String())
+	if err := writeObsReport(reg, *obsFlag, *obsJSON); err != nil {
+		return err
+	}
 	if !rep.Satisfied() {
 		os.Exit(1)
 	}
@@ -229,6 +268,8 @@ func cmdTailor(args []string) error {
 	outPath := fs.String("out", "", "output CSV path (default stdout)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	known := fs.Bool("known", true, "use known source distributions (RatioColl); false = UCB")
+	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the run")
+	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("tailor needs at least one source CSV")
@@ -253,13 +294,20 @@ func cmdTailor(args []string) error {
 	if *sensitive != "" {
 		sens = strings.Split(*sensitive, ",")
 	}
-	p := &core.Pipeline{Sources: sources, Sensitive: sens, KnownDistributions: *known}
+	var reg *obs.Registry
+	if *obsFlag || *obsJSON != "" {
+		reg = obs.NewRegistry()
+	}
+	p := &core.Pipeline{Sources: sources, Sensitive: sens, KnownDistributions: *known, Obs: reg}
 	res, err := p.Run(need, nil, rng.New(*seed))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tailored %d rows in %d draws, cost %.2f (strategy %s)\n",
 		res.Data.NumRows(), res.Tailor.Draws, res.Tailor.TotalCost, res.Tailor.Strategy)
+	if err := writeObsReport(reg, *obsFlag, *obsJSON); err != nil {
+		return err
+	}
 	w := os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

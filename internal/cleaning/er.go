@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"redi/internal/dataset"
+	"redi/internal/obs"
 	"redi/internal/parallel"
 )
 
@@ -27,6 +28,11 @@ type ERConfig struct {
 	// 0 (the zero value) keeps the serial path, parallel.Auto uses every
 	// CPU. Results are bit-identical at any worker count.
 	Workers int
+	// Obs receives the resolution's operation counters (blocks, pairs
+	// compared, matches, cluster-size histogram). Nil falls back to the
+	// process-wide registry (obs.Enable). Per-block tallies already merge
+	// in sorted block order, so the counters are worker-invariant.
+	Obs *obs.Registry
 }
 
 // ERResult is the outcome of entity resolution: a cluster id per row and
@@ -97,8 +103,10 @@ func ResolveEntities(d *dataset.Dataset, cfg ERConfig) (*ERResult, error) {
 		return m
 	})
 	res := &ERResult{}
+	matches := 0
 	for _, m := range matched {
 		res.PairsCompared += m.compared
+		matches += len(m.pairs)
 		for _, p := range m.pairs {
 			uf.union(p.a, p.b)
 		}
@@ -106,6 +114,17 @@ func ResolveEntities(d *dataset.Dataset, cfg ERConfig) (*ERResult, error) {
 	res.Cluster = make([]int, len(names))
 	for i := range names {
 		res.Cluster[i] = uf.find(i)
+	}
+	if reg := obs.Active(cfg.Obs); reg != nil {
+		reg.Counter("cleaning.er_runs").Inc()
+		reg.Counter("cleaning.er_records").Add(int64(len(names)))
+		reg.Counter("cleaning.er_blocks").Add(int64(len(keys)))
+		reg.Counter("cleaning.er_pairs_compared").Add(int64(res.PairsCompared))
+		reg.Counter("cleaning.er_matches").Add(int64(matches))
+		h := reg.Histogram("cleaning.er_cluster_size", obs.ExpBounds(1, 12))
+		for _, size := range ClusterSizes(res) {
+			h.Observe(int64(size))
+		}
 	}
 	return res, nil
 }

@@ -3,20 +3,20 @@ package core
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"redi/internal/cleaning"
 	"redi/internal/dataset"
 	"redi/internal/dt"
+	"redi/internal/obs"
 	"redi/internal/profile"
 	"redi/internal/rng"
 )
 
-// now is the pipeline's clock seam. Provenance step durations are
-// observational metadata, never algorithm inputs, so wall-clock reads are
-// confined to this one injectable point; tests pin it to a fake clock to
+// now is the pipeline's clock seam, routed through the obs layer's single
+// sanctioned wall-clock read. Provenance step durations are observational
+// metadata, never algorithm inputs; tests pin this var to a fake clock to
 // make provenance output fully deterministic.
-var now = time.Now //redi:allow walltime single injectable clock seam for provenance durations
+var now = obs.Now
 
 // Pipeline is the end-to-end responsible data integration flow over a set
 // of candidate sources sharing one schema: tailor a dataset meeting group
@@ -35,6 +35,12 @@ type Pipeline struct {
 	KnownDistributions bool
 	// MaxDraws caps tailoring; 0 uses the dt default.
 	MaxDraws int
+	// Obs receives the run's counters and step spans. Each run tallies
+	// into a private registry first — so the per-step Metrics attached to
+	// the Provenance are exact deltas even when pipelines run
+	// concurrently — and folds the totals into Obs (or, when Obs is nil,
+	// the process-wide registry from obs.Enable) on completion.
+	Obs *obs.Registry
 }
 
 // RunResult is the outcome of a pipeline run.
@@ -134,15 +140,34 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		}
 	}
 
-	engine := &dt.Engine{Sources: sources, MaxDraws: p.MaxDraws}
+	// Run-private registry: instrumented layers below (dt, audit) tally
+	// here, so each provenance step's Metrics are exact counter deltas.
+	// The totals merge into the ambient registry at the end of the run.
+	reg := obs.NewRegistry()
+	reg.Counter("core.pipeline_runs").Inc()
+	prov := &Provenance{}
+	// step snapshots the counters and the clock; the returned func closes
+	// a provenance entry with the elapsed time, the counter delta, and a
+	// span named after the op.
+	step := func(op string) func(detail string, params map[string]string, rows int) {
+		before := reg.CounterValues()
+		start := now()
+		return func(detail string, params map[string]string, rows int) {
+			elapsed := now().Sub(start)
+			reg.RecordSpan("pipeline."+op, elapsed)
+			prov.add(op, detail, params, rows, elapsed,
+				obs.DeltaCounters(before, reg.CounterValues()))
+		}
+	}
+
+	engine := &dt.Engine{Sources: sources, MaxDraws: p.MaxDraws, Obs: reg}
 	var strategy dt.Strategy
 	if p.KnownDistributions {
 		strategy = dt.NewRatioColl(probs, costs)
 	} else {
 		strategy = dt.NewUCBColl(costs, len(keys))
 	}
-	prov := &Provenance{}
-	start := now()
+	endTailor := step("tailor")
 	res, err := engine.Run(strategy, needVec, r)
 	if err != nil {
 		return nil, err
@@ -152,13 +177,14 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	if data == nil {
 		return nil, errors.New("core: tailoring produced no data")
 	}
-	prov.add("tailor",
+	reg.Counter("core.rows_collected").Add(int64(data.NumRows()))
+	endTailor(
 		fmt.Sprintf("collected %d rows from %d sources via %s (%d draws, cost %.2f)",
 			data.NumRows(), len(p.Sources), res.Strategy, res.Draws, res.TotalCost),
 		map[string]string{
 			"strategy": res.Strategy,
 			"groups":   fmt.Sprintf("%d", len(keys)),
-		}, data.NumRows(), now().Sub(start))
+		}, data.NumRows())
 
 	// Clean: group-conditional mean imputation on numeric features.
 	s := data.Schema()
@@ -167,41 +193,46 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		if a.Kind != dataset.Numeric {
 			continue
 		}
-		hasNull := false
+		// The null scan doubles as the imputed-cell count: every null in
+		// a numeric attribute the imputer handles becomes a filled cell.
+		nulls := 0
 		for row := 0; row < data.NumRows(); row++ {
 			if data.IsNull(row, a.Name) {
-				hasNull = true
-				break
+				nulls++
 			}
 		}
-		if !hasNull {
+		if nulls == 0 {
 			continue
 		}
-		start = now()
+		endImpute := step("impute")
 		repaired, err := cleaning.GroupMeanImputer{Sensitive: sensitive}.Impute(data, a.Name)
 		if err != nil {
 			return nil, fmt.Errorf("core: imputing %s: %w", a.Name, err)
 		}
 		data = repaired
-		prov.add("impute",
+		reg.Counter("core.imputed_cells").Add(int64(nulls))
+		endImpute(
 			fmt.Sprintf("group-mean imputation on %s", a.Name),
 			map[string]string{"attr": a.Name, "imputer": "group-mean"},
-			data.NumRows(), now().Sub(start))
+			data.NumRows())
 	}
 	out.Data = data
 
-	start = now()
-	out.Audit = Audit(data, reqs)
+	endAudit := step("audit")
+	out.Audit = auditObs(data, reqs, reg)
 	pass := "passed"
 	if !out.Audit.Satisfied() {
 		pass = "FAILED"
 	}
-	prov.add("audit",
+	endAudit(
 		fmt.Sprintf("%d requirements checked: %s", len(reqs), pass),
-		nil, data.NumRows(), now().Sub(start))
+		nil, data.NumRows())
 
-	start = now()
+	endLabel := step("label")
 	out.Label = profile.BuildLabel(data, profile.LabelConfig{Sensitive: sensitive})
-	prov.add("label", "nutritional label built", nil, data.NumRows(), now().Sub(start))
+	endLabel("nutritional label built", nil, data.NumRows())
+
+	// Publish the run's totals to the configured or process-wide sink.
+	obs.Active(p.Obs).Merge(reg)
 	return out, nil
 }

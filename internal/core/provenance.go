@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -27,16 +28,22 @@ type ProvenanceStep struct {
 	RowsAfter int `json:"rows_after"`
 	// Elapsed is the step's wall-clock duration.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Metrics holds the step's observability counter deltas (obs layer):
+	// the algorithmic work the step performed, e.g. dt.draws for the
+	// tailor step. Deterministic: bit-identical across runs and worker
+	// counts.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // add appends a step.
-func (p *Provenance) add(op, detail string, params map[string]string, rows int, elapsed time.Duration) {
+func (p *Provenance) add(op, detail string, params map[string]string, rows int, elapsed time.Duration, metrics map[string]int64) {
 	p.Steps = append(p.Steps, ProvenanceStep{
 		Op:        op,
 		Detail:    detail,
 		Params:    params,
 		RowsAfter: rows,
 		Elapsed:   elapsed,
+		Metrics:   metrics,
 	})
 }
 
@@ -54,6 +61,16 @@ func (p *Provenance) String() string {
 			s += fmt.Sprintf(" (rows=%d)", st.RowsAfter)
 		}
 		s += "\n"
+		if len(st.Metrics) > 0 {
+			names := make([]string, 0, len(st.Metrics))
+			for name := range st.Metrics {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				s += fmt.Sprintf("     %s=%d\n", name, st.Metrics[name])
+			}
+		}
 	}
 	return s
 }

@@ -12,6 +12,7 @@ import (
 
 	"redi/internal/coverage"
 	"redi/internal/dataset"
+	"redi/internal/obs"
 	"redi/internal/profile"
 	"redi/internal/stats"
 )
@@ -65,10 +66,24 @@ func (r *AuditReport) String() string {
 
 // Audit checks d against every requirement.
 func Audit(d *dataset.Dataset, reqs []Requirement) *AuditReport {
+	return auditObs(d, reqs, obs.Active(nil))
+}
+
+// auditObs is Audit with an explicit metrics sink. The pipeline passes its
+// run-private registry so audit counters land in the audit step's delta;
+// the public Audit entry point uses the process-wide registry, if enabled.
+func auditObs(d *dataset.Dataset, reqs []Requirement, reg *obs.Registry) *AuditReport {
 	rep := &AuditReport{}
+	failed := 0
 	for _, req := range reqs {
-		rep.Results = append(rep.Results, req.Check(d))
+		res := req.Check(d)
+		if !res.Satisfied {
+			failed++
+		}
+		rep.Results = append(rep.Results, res)
 	}
+	reg.Counter("core.requirements_checked").Add(int64(len(reqs)))
+	reg.Counter("core.requirements_failed").Add(int64(failed))
 	return rep
 }
 

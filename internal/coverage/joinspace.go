@@ -6,6 +6,7 @@ import (
 
 	"redi/internal/bitmap"
 	"redi/internal/dataset"
+	"redi/internal/obs"
 )
 
 // JoinSpace answers coverage queries over the equi-join of two relations
@@ -29,6 +30,8 @@ type JoinSpace struct {
 	Attrs     []string
 	Domains   [][]string
 	Threshold int
+	// Obs receives the walk's operation counters; see Space.Obs.
+	Obs *obs.Registry
 
 	numLeft int
 	// keys are the join keys present on both sides, sorted. offL/offR
@@ -302,13 +305,14 @@ func (js *JoinSpace) rootSet() rowSet {
 	return rowSet{count: js.totalJoin} // nil bitmaps = all rows on both sides
 }
 
-func (js *JoinSpace) childSet(parent rowSet, pos, val int) rowSet {
+func (js *JoinSpace) childSet(parent rowSet, pos, val int, st *walkStats) rowSet {
 	child := rowSet{a: parent.a, b: parent.b} // borrowed: parent still owns its sets
 	if pos < js.numLeft {
 		vb := js.leftBits[pos][val]
 		if parent.a == nil {
 			child.a = vb
 		} else {
+			st.ands++
 			dst := js.poolL.Get()
 			bitmap.And(dst, parent.a, vb)
 			child.a, child.ownedA = dst, true
@@ -318,6 +322,7 @@ func (js *JoinSpace) childSet(parent rowSet, pos, val int) rowSet {
 		if parent.b == nil {
 			child.b = vb
 		} else {
+			st.ands++
 			dst := js.poolR.Get()
 			bitmap.And(dst, parent.b, vb)
 			child.b, child.ownedB = dst, true
@@ -326,6 +331,8 @@ func (js *JoinSpace) childSet(parent rowSet, pos, val int) rowSet {
 	child.count = js.factorCount(child.a, child.b)
 	return child
 }
+
+func (js *JoinSpace) observer() *obs.Registry { return obs.Active(js.Obs) }
 
 func (js *JoinSpace) releaseSet(rs rowSet) {
 	if rs.ownedA {

@@ -1,7 +1,10 @@
 package coverage
 
 import (
+	"fmt"
+
 	"redi/internal/bitmap"
+	"redi/internal/obs"
 	"redi/internal/parallel"
 )
 
@@ -40,8 +43,64 @@ type patternSpace interface {
 	threshold() int
 	numValues(pos int) int
 	rootSet() rowSet
-	childSet(parent rowSet, pos, val int) rowSet
+	childSet(parent rowSet, pos, val int, st *walkStats) rowSet
 	releaseSet(rs rowSet)
+	observer() *obs.Registry
+}
+
+// maxLevelBuckets bounds the per-level MUP tally; deeper levels fold into
+// the last bucket. A fixed array keeps per-shard stats allocation-free.
+const maxLevelBuckets = 16
+
+// walkStats tallies the algorithmic work of one pattern-breaker subtree.
+// Each shard owns its stats privately during the walk; shards are merged in
+// shard (root-child) order after the parallel section joins — the same
+// discipline as rng.Split — so the totals are bit-identical at any worker
+// count. Everything here is an integer count of lattice work, never a
+// schedule- or chunking-dependent quantity.
+type walkStats struct {
+	nodes        int64 // lattice nodes visited (including the root)
+	ands         int64 // fused bitmap refinements paid by childSet
+	parentChecks int64 // Covered(parent) probes from MUP confirmation
+	mups         int64
+	mupsByLevel  [maxLevelBuckets]int64
+}
+
+// merge folds o into st; callers must invoke it in shard order.
+func (st *walkStats) merge(o *walkStats) {
+	st.nodes += o.nodes
+	st.ands += o.ands
+	st.parentChecks += o.parentChecks
+	st.mups += o.mups
+	for i := range o.mupsByLevel {
+		st.mupsByLevel[i] += o.mupsByLevel[i]
+	}
+}
+
+// recordMUP tallies one MUP at the given lattice level.
+func (st *walkStats) recordMUP(level int) {
+	st.mups++
+	if level >= maxLevelBuckets {
+		level = maxLevelBuckets - 1
+	}
+	st.mupsByLevel[level]++
+}
+
+// foldWalkStats publishes one finished walk's totals as coverage counters.
+func foldWalkStats(reg *obs.Registry, st *walkStats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("coverage.walks").Inc()
+	reg.Counter("coverage.dfs_nodes").Add(st.nodes)
+	reg.Counter("coverage.bitmap_ands").Add(st.ands)
+	reg.Counter("coverage.parent_checks").Add(st.parentChecks)
+	reg.Counter("coverage.mups").Add(st.mups)
+	for lvl, n := range st.mupsByLevel {
+		if n != 0 {
+			reg.Counter(fmt.Sprintf("coverage.mups.level_%d", lvl)).Add(n)
+		}
+	}
 }
 
 // patternBreaker enumerates MUPs over any patternSpace: a top-down
@@ -69,12 +128,17 @@ type rootChild struct{ pos, val int }
 // precomputed value bitmaps (read-only) and the scratch pool (internally
 // synchronized), so no pruning state leaks between subtrees.
 func patternBreakerWorkers(s patternSpace, workers int) []MUP {
+	reg := s.observer()
 	root := s.Root()
 	rs := s.rootSet()
+	var total walkStats
+	total.nodes++ // the root itself
 	if rs.count < s.threshold() {
 		// The whole dataset is smaller than the threshold: the root is
 		// the single MUP.
 		s.releaseSet(rs)
+		total.recordMUP(0)
+		foldWalkStats(reg, &total)
 		return []MUP{{Pattern: root, Count: rs.count}}
 	}
 	var kids []rootChild
@@ -83,20 +147,29 @@ func patternBreakerWorkers(s patternSpace, workers int) []MUP {
 			kids = append(kids, rootChild{pos: i, val: v})
 		}
 	}
-	parts := parallel.Map(workers, kids, func(_ int, k rootChild) []MUP {
+	// Each shard carries its MUPs and its work tallies; both merge in
+	// root-child order below, keeping output and counters bit-identical
+	// at any worker count.
+	type subtree struct {
+		mups  []MUP
+		stats walkStats
+	}
+	parts := parallel.Map(workers, kids, func(_ int, k rootChild) subtree {
+		var sub subtree
 		p := root.Clone()
 		p[k.pos] = k.val
-		crs := s.childSet(rs, k.pos, k.val)
-		var out []MUP
-		walkSubtree(s, p, k.pos, crs, &out)
+		crs := s.childSet(rs, k.pos, k.val, &sub.stats)
+		walkSubtree(s, p, k.pos, crs, &sub.mups, &sub.stats)
 		s.releaseSet(crs)
-		return out
+		return sub
 	})
 	s.releaseSet(rs)
 	var out []MUP
-	for _, part := range parts {
-		out = append(out, part...)
+	for i := range parts {
+		out = append(out, parts[i].mups...)
+		total.merge(&parts[i].stats)
 	}
+	foldWalkStats(reg, &total)
 	return out
 }
 
@@ -105,9 +178,11 @@ func patternBreakerWorkers(s patternSpace, workers int) []MUP {
 // whose row set is rs. The pattern is refined in place: children extend p
 // strictly to the right of `rightmost` (the canonical child rule), each
 // paying a single intersection against its parent's row set.
-func walkSubtree(s patternSpace, p Pattern, rightmost int, rs rowSet, out *[]MUP) {
+func walkSubtree(s patternSpace, p Pattern, rightmost int, rs rowSet, out *[]MUP, st *walkStats) {
+	st.nodes++
 	if rs.count < s.threshold() {
-		if allParentsCovered(s, p) {
+		if allParentsCovered(s, p, st) {
+			st.recordMUP(p.Level())
 			*out = append(*out, MUP{Pattern: p.Clone(), Count: rs.count})
 		}
 		return
@@ -115,8 +190,8 @@ func walkSubtree(s patternSpace, p Pattern, rightmost int, rs rowSet, out *[]MUP
 	for i := rightmost + 1; i < len(p); i++ {
 		for v := 0; v < s.numValues(i); v++ {
 			p[i] = v
-			crs := s.childSet(rs, i, v)
-			walkSubtree(s, p, i, crs, out)
+			crs := s.childSet(rs, i, v, st)
+			walkSubtree(s, p, i, crs, out, st)
 			s.releaseSet(crs)
 			p[i] = Wildcard
 		}
@@ -132,8 +207,9 @@ func (s *Space) MUPs() []MUP { return patternBreaker(s) }
 // bit-identical to MUPs at any worker count.
 func (s *Space) MUPsParallel(workers int) []MUP { return patternBreakerWorkers(s, workers) }
 
-func allParentsCovered(s patternSpace, p Pattern) bool {
+func allParentsCovered(s patternSpace, p Pattern, st *walkStats) bool {
 	for _, parent := range s.Parents(p) {
+		st.parentChecks++
 		if !s.Covered(parent) {
 			return false
 		}
@@ -147,9 +223,10 @@ func allParentsCovered(s patternSpace, p Pattern) bool {
 // baseline (experiment E3).
 func (s *Space) NaiveMUPs() []MUP {
 	var out []MUP
+	var st walkStats // oracle path: tallies discarded
 	var all func(p Pattern, from int)
 	all = func(p Pattern, from int) {
-		if !s.Covered(p) && allParentsCovered(s, p) {
+		if !s.Covered(p) && allParentsCovered(s, p, &st) {
 			out = append(out, MUP{Pattern: p.Clone(), Count: s.Count(p)})
 		}
 		for i := from; i < len(p); i++ {

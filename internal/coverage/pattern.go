@@ -16,6 +16,7 @@ import (
 
 	"redi/internal/bitmap"
 	"redi/internal/dataset"
+	"redi/internal/obs"
 )
 
 // Wildcard marks an unconstrained position in a pattern.
@@ -105,6 +106,11 @@ type Space struct {
 	Attrs     []string
 	Domains   [][]string // Domains[i] lists attribute i's values
 	Threshold int
+	// Obs receives the walk's operation counters (DFS nodes, bitmap ANDs,
+	// MUPs per level). Nil falls back to the process-wide registry
+	// (obs.Enable). Counters are tallied per shard and merged in shard
+	// order, so they are bit-identical at any worker count.
+	Obs *obs.Registry
 
 	numRows int
 	cols    [][]int32 // per-attribute codes (-1 null); the countScan oracle's input
@@ -276,16 +282,19 @@ func (s *Space) rootSet() rowSet {
 	return rowSet{count: s.numRows} // nil bitmap = all rows
 }
 
-func (s *Space) childSet(parent rowSet, pos, val int) rowSet {
+func (s *Space) childSet(parent rowSet, pos, val int, st *walkStats) rowSet {
 	vb := s.bits[pos][val]
 	if parent.a == nil {
 		// Level-1 child: share the precomputed value bitmap read-only.
 		return rowSet{a: vb, count: s.valCounts[pos][val]}
 	}
+	st.ands++
 	dst := s.pool.Get()
 	n := bitmap.And(dst, parent.a, vb)
 	return rowSet{a: dst, count: n, ownedA: true}
 }
+
+func (s *Space) observer() *obs.Registry { return obs.Active(s.Obs) }
 
 func (s *Space) releaseSet(rs rowSet) {
 	if rs.ownedA {

@@ -41,7 +41,7 @@ func TestMUPInvariantsProperty(t *testing.T) {
 			if s.Covered(m.Pattern) {
 				return false
 			}
-			if !allParentsCovered(s, m.Pattern) {
+			if !allParentsCovered(s, m.Pattern, &walkStats{}) {
 				return false
 			}
 			for j, o := range mups {

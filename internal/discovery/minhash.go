@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"redi/internal/obs"
 	"redi/internal/parallel"
 )
 
@@ -154,6 +155,13 @@ type LSHEnsemble struct {
 	// zero value) keeps the serial path, parallel.Auto uses every CPU.
 	// Output is bit-identical at any worker count.
 	Workers int
+
+	// Obs receives the ensemble's operation counters (signatures hashed,
+	// band probes, candidate vs verified match counts). Nil falls back to
+	// the process-wide registry (obs.Enable). Per-partition probe tallies
+	// are returned with the probe results and summed in partition order,
+	// so the counters are bit-identical at any worker count.
+	Obs *obs.Registry
 }
 
 type lshPartition struct {
@@ -337,6 +345,21 @@ func (e *LSHEnsemble) Index(refs []ColumnRef, domains []map[string]bool) {
 		return p
 	})
 	e.partitions = append(e.partitions, parts...)
+	if reg := obs.Active(e.Obs); reg != nil {
+		reg.Counter("discovery.lsh_index_builds").Inc()
+		reg.Counter("discovery.lsh_columns_indexed").Add(int64(len(entries)))
+		reg.Counter("discovery.minhash_sigs").Add(int64(len(entries)))
+		values := 0
+		for _, en := range entries {
+			values += en.size
+		}
+		reg.Counter("discovery.minhash_values_hashed").Add(int64(values))
+		bandsPerEntry := 0
+		for _, rows := range lshRowChoices {
+			bandsPerEntry += e.k / rows
+		}
+		reg.Counter("discovery.lsh_band_inserts").Add(int64(len(entries) * bandsPerEntry))
+	}
 }
 
 // bandHash folds one band of signature slots into a 64-bit bucket key by
@@ -374,8 +397,14 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 		workers = 0
 	}
 	// Partition probes are independent: fan them out and union the
-	// candidate id sets afterwards (the union is order-insensitive).
-	partCands := parallel.Map(workers, e.partitions, func(_ int, p *lshPartition) []int {
+	// candidate id sets afterwards (the union is order-insensitive). Each
+	// probe returns its own band-probe tally; the tallies are summed in
+	// partition order below, so the counters stay worker-invariant.
+	type probeResult struct {
+		ids    []int
+		probes int
+	}
+	partCands := parallel.Map(workers, e.partitions, func(_ int, p *lshPartition) probeResult {
 		j := 0.0
 		if q > 0 {
 			denom := q + float64(p.maxSize) - threshold*q
@@ -391,11 +420,13 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 			key := bandHash(b, qsig.Sig[b*rows:(b+1)*rows])
 			ids = p.buckets[ri].collect(key, ids)
 		}
-		return ids
+		return probeResult{ids: ids, probes: bands}
 	})
+	probes := 0
 	cands := map[int]bool{}
-	for _, ids := range partCands {
-		for _, id := range ids {
+	for _, pr := range partCands {
+		probes += pr.probes
+		for _, id := range pr.ids {
 			cands[id] = true
 		}
 	}
@@ -419,6 +450,14 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 		}
 		return out[a].Ref.String() < out[b].Ref.String()
 	})
+	if reg := obs.Active(e.Obs); reg != nil {
+		reg.Counter("discovery.lsh_queries").Inc()
+		reg.Counter("discovery.minhash_sigs").Inc()
+		reg.Counter("discovery.minhash_values_hashed").Add(int64(len(query)))
+		reg.Counter("discovery.lsh_band_probes").Add(int64(probes))
+		reg.Counter("discovery.lsh_candidates").Add(int64(len(ids)))
+		reg.Counter("discovery.lsh_verified").Add(int64(len(out)))
+	}
 	return out
 }
 

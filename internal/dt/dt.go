@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"redi/internal/dataset"
+	"redi/internal/obs"
 	"redi/internal/rng"
 )
 
@@ -158,6 +159,42 @@ type Engine struct {
 	Sources []Source
 	// MaxDraws caps a run; 0 means 10^7.
 	MaxDraws int
+	// Obs receives the engine's operation counters (draws per source,
+	// collected per group, integer-milli cost). Nil falls back to the
+	// process-wide registry (obs.Enable); all counters are deterministic
+	// because the draw loop itself is serial and seeded.
+	Obs *obs.Registry
+}
+
+// observe folds a finished run's trace summary into the active registry.
+// Cost is recorded as integer milli-units: float accumulation order is not
+// associative, so a float metric could not honor the bit-identical
+// snapshot contract, but a rounded integer of the already-summed total can.
+func (e *Engine) observe(res *Result) {
+	reg := obs.Active(e.Obs)
+	if reg == nil {
+		return
+	}
+	reg.Counter("dt.runs").Inc()
+	reg.Counter("dt.draws").Add(int64(res.Draws))
+	reg.Counter("dt.overflow").Add(int64(res.Overflow))
+	reg.Counter("dt.cost_milli").Add(int64(math.Round(res.TotalCost * 1000)))
+	if res.Fulfilled {
+		reg.Counter("dt.runs_fulfilled").Inc()
+	}
+	collected := 0
+	for g, n := range res.Collected {
+		if n > 0 {
+			collected += n
+			reg.Counter(fmt.Sprintf("dt.collected.group_%d", g)).Add(int64(n))
+		}
+	}
+	reg.Counter("dt.collected").Add(int64(collected))
+	for i, n := range res.DrawsBySrc {
+		if n > 0 {
+			reg.Counter(fmt.Sprintf("dt.draws.source_%d", i)).Add(int64(n))
+		}
+	}
 }
 
 // Run executes the strategy until every group's need is met or the draw cap
@@ -200,6 +237,7 @@ func (e *Engine) Run(s Strategy, need []int, r *rng.RNG) (*Result, error) {
 	for left > 0 {
 		if res.Draws >= cap {
 			res.StepsCapped = true
+			e.observe(res)
 			return res, nil
 		}
 		i := s.Next(remaining, res.Draws)
@@ -223,6 +261,7 @@ func (e *Engine) Run(s Strategy, need []int, r *rng.RNG) (*Result, error) {
 		}
 	}
 	res.Fulfilled = true
+	e.observe(res)
 	return res, nil
 }
 
@@ -286,6 +325,7 @@ func (e *Engine) RunBudget(s Strategy, need []int, budget float64, r *rng.RNG) (
 		}
 	}
 	res.Fulfilled = left == 0
+	e.observe(res)
 	return res, nil
 }
 

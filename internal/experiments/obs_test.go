@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"redi/internal/obs"
+)
+
+// obsExperiments picks experiments that exercise the instrumented layers:
+// E3 (coverage walks), E6 (discovery index+query), E12 (core pipeline over
+// dt, imputation, audit), E14 (cleaning ER).
+func obsExperiments(t *testing.T) []Experiment {
+	t.Helper()
+	want := map[string]bool{"E3": true, "E6": true, "E12": true, "E14": true}
+	var out []Experiment
+	for _, e := range All() {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	if len(out) != len(want) {
+		t.Fatalf("found %d of %d obs experiments", len(out), len(want))
+	}
+	return out
+}
+
+// captureSnapshot runs the given experiments under a fresh process-wide
+// registry and returns the canonical bytes of its deterministic snapshot.
+func captureSnapshot(t *testing.T, exps []Experiment, workers int) []byte {
+	t.Helper()
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer obs.Enable(nil)
+	RunAll(exps, 5, workers)
+	b, err := reg.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestObsSnapshotWorkerInvariance pins the observability determinism
+// contract end-to-end: running the pipeline experiment (E12) and three
+// hot-path experiments under workers ∈ {1, 8} must yield bit-identical
+// counter snapshots — operation counts are algorithmic quantities, not
+// scheduling artifacts.
+func TestObsSnapshotWorkerInvariance(t *testing.T) {
+	exps := obsExperiments(t)
+	serial := captureSnapshot(t, exps, 1)
+	par := captureSnapshot(t, exps, 8)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("counter snapshots diverged between workers=1 and workers=8:\n%s\nvs\n%s", serial, par)
+	}
+	// The snapshot must actually cover every instrumented layer — an
+	// empty-equals-empty pass would be vacuous.
+	for _, name := range []string{
+		`"coverage.dfs_nodes"`,
+		`"coverage.bitmap_ands"`,
+		`"discovery.lsh_band_probes"`,
+		`"discovery.lsh_candidates"`,
+		`"cleaning.er_pairs_compared"`,
+		`"dt.draws"`,
+		`"core.pipeline_runs"`,
+	} {
+		if !bytes.Contains(serial, []byte(name)) {
+			t.Fatalf("snapshot missing %s:\n%s", name, serial)
+		}
+	}
+}
+
+// TestObsSnapshotIntraExperimentWorkers varies the worker count INSIDE the
+// instrumented algorithms (LSH query fan-out, ER block sharding) rather
+// than across experiments: per-shard tallies must merge to the same totals.
+func TestObsSnapshotIntraExperimentWorkers(t *testing.T) {
+	capture := func(run func()) []byte {
+		reg := obs.NewRegistry()
+		obs.Enable(reg)
+		defer obs.Enable(nil)
+		run()
+		b, err := reg.MarshalSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	e6serial := capture(func() { E6DiscoveryWorkers(6, 1) })
+	e14serial := capture(func() { E14ERWorkers(14, 1) })
+	for _, w := range []int{2, 8} {
+		if got := capture(func() { E6DiscoveryWorkers(6, w) }); !bytes.Equal(got, e6serial) {
+			t.Fatalf("E6 obs snapshot diverged at workers=%d:\n%s\nvs\n%s", w, got, e6serial)
+		}
+		if got := capture(func() { E14ERWorkers(14, w) }); !bytes.Equal(got, e14serial) {
+			t.Fatalf("E14 obs snapshot diverged at workers=%d:\n%s\nvs\n%s", w, got, e14serial)
+		}
+	}
+	if !bytes.Contains(e6serial, []byte(`"discovery.lsh_queries"`)) {
+		t.Fatalf("E6 snapshot missing discovery counters:\n%s", e6serial)
+	}
+	if !bytes.Contains(e14serial, []byte(`"cleaning.er_blocks"`)) {
+		t.Fatalf("E14 snapshot missing cleaning counters:\n%s", e14serial)
+	}
+}

@@ -20,6 +20,12 @@ var WallTime = &Analyzer{
 
 // wallTimeAllowed lists the packages sanctioned to read the wall clock,
 // relative to the module path. cmd/... is allowed wholesale.
+//
+// internal/obs is deliberately NOT on this list even though it hosts the
+// module's one injectable clock seam: the seam is sanctioned by its
+// //redi:allow annotation alone, scoped to that single declaration, so a
+// second bare time.Now creeping into obs still fires. Path entries here
+// exempt a whole package; the annotation exempts one line.
 var wallTimeAllowed = []string{
 	"/internal/experiments",
 }

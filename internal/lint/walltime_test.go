@@ -59,6 +59,34 @@ func stamp() time.Time { return time.Now() }
 	wantFindings(t, runFixture(t, WallTime, "redi/internal/experiments", src), 0, "")
 }
 
+// TestWallTimeObsSeamIsAnnotationScoped pins the rule for internal/obs,
+// which hosts the module's single clock seam: the annotated seam
+// declaration passes, but obs has no path-level exemption, so any other
+// wall-clock read in the package still fires.
+func TestWallTimeObsSeamIsAnnotationScoped(t *testing.T) {
+	// The seam as obs declares it: one annotated var, everything else
+	// reads the clock through it.
+	wantFindings(t, runFixture(t, WallTime, "redi/internal/obs", map[string]string{
+		"fix.go": `package obs
+
+import "time"
+
+var now = time.Now //redi:allow walltime single injectable clock seam
+
+func Now() time.Time { return now() }
+`,
+	}), 0, "")
+	// A bare time.Now elsewhere in obs is NOT sanctioned.
+	wantFindings(t, runFixture(t, WallTime, "redi/internal/obs", map[string]string{
+		"fix.go": `package obs
+
+import "time"
+
+func sneakyStamp() time.Time { return time.Now() }
+`,
+	}), 1, "time.Now")
+}
+
 func TestWallTimeCleanFile(t *testing.T) {
 	diags := runFixture(t, WallTime, fixturePkg, map[string]string{
 		"fix.go": `package fixture

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// BucketCount is one histogram bucket: observations ≤ LE (the final bucket
+// reports LE = -1, meaning +Inf).
+type BucketCount struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's exported state.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot is the deterministic slice of a registry: counters and
+// histograms only. Its canonical JSON (encoding/json sorts map keys) is
+// bit-identical across runs and worker counts for a correctly instrumented
+// program — that is the property the determinism tests assert.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Report is the full exported state: the deterministic snapshot plus the
+// runtime-class sections.
+type Report struct {
+	Snapshot
+	RuntimeCounters   map[string]int64             `json:"runtime_counters,omitempty"`
+	RuntimeHistograms map[string]HistogramSnapshot `json:"runtime_histograms,omitempty"`
+	Gauges            map[string]float64           `json:"gauges,omitempty"`
+	Spans             []SpanRecord                 `json:"spans,omitempty"`
+}
+
+// Snapshot returns the registry's deterministic metrics. A nil registry
+// yields an empty (but marshalable) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Counters: map[string]int64{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			snap.Histograms[name] = snapHistogram(h)
+		}
+	}
+	return snap
+}
+
+// Report returns the registry's full exported state.
+func (r *Registry) Report() Report {
+	rep := Report{Snapshot: r.Snapshot()}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.rcounters) > 0 {
+		rep.RuntimeCounters = make(map[string]int64, len(r.rcounters))
+		for name, c := range r.rcounters {
+			rep.RuntimeCounters[name] = c.Value()
+		}
+	}
+	if len(r.rhists) > 0 {
+		rep.RuntimeHistograms = make(map[string]HistogramSnapshot, len(r.rhists))
+		for name, h := range r.rhists {
+			rep.RuntimeHistograms[name] = snapHistogram(h)
+		}
+	}
+	if len(r.gauges) > 0 {
+		rep.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			rep.Gauges[name] = g.Value()
+		}
+	}
+	rep.Spans = make([]SpanRecord, len(r.spans))
+	copy(rep.Spans, r.spans)
+	return rep
+}
+
+func snapHistogram(h *Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]BucketCount, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		le := int64(-1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = BucketCount{LE: le, Count: h.buckets[i].Load()}
+	}
+	return s
+}
+
+// WriteJSON writes the full report as indented JSON. encoding/json emits
+// map keys sorted, so the bytes are canonical for a given state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format, names sanitized and prefixed with redi_, families sorted by name.
+// Histogram buckets are cumulative per the format's convention; spans are
+// aggregated into per-name sum/count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	rep := r.Report()
+	var sb strings.Builder
+	writePromValues(&sb, rep.Counters, "counter")
+	writePromValues(&sb, rep.RuntimeCounters, "counter")
+	writePromHists(&sb, rep.Histograms)
+	writePromHists(&sb, rep.RuntimeHistograms)
+	for _, name := range sortedNames(rep.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(rep.Gauges[name]))
+	}
+	writePromSpans(&sb, rep.Spans)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writePromValues(sb *strings.Builder, m map[string]int64, typ string) {
+	for _, name := range sortedNames(m) {
+		pn := promName(name)
+		fmt.Fprintf(sb, "# TYPE %s %s\n%s %d\n", pn, typ, pn, m[name])
+	}
+}
+
+func writePromHists(sb *strings.Builder, m map[string]HistogramSnapshot) {
+	for _, name := range sortedNames(m) {
+		h := m[name]
+		pn := promName(name)
+		fmt.Fprintf(sb, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.LE >= 0 {
+				le = fmt.Sprintf("%d", b.LE)
+			}
+			fmt.Fprintf(sb, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(sb, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+	}
+}
+
+func writePromSpans(sb *strings.Builder, spans []SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	type agg struct {
+		sum   time.Duration
+		count int64
+	}
+	byName := map[string]agg{}
+	for _, sp := range spans {
+		a := byName[sp.Name]
+		a.sum += sp.Elapsed
+		a.count++
+		byName[sp.Name] = a
+	}
+	names := sortedNames(byName)
+	fmt.Fprintf(sb, "# TYPE redi_span_seconds_sum counter\n")
+	for _, name := range names {
+		fmt.Fprintf(sb, "redi_span_seconds_sum{span=%q} %s\n", name, promFloat(byName[name].sum.Seconds()))
+	}
+	fmt.Fprintf(sb, "# TYPE redi_span_count counter\n")
+	for _, name := range names {
+		fmt.Fprintf(sb, "redi_span_count{span=%q} %d\n", name, byName[name].count)
+	}
+}
+
+// promFloat renders a float without exponent notation surprises for the
+// common cases (Prometheus accepts Go's %g, so this is cosmetic).
+func promFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// promName sanitizes a dotted metric name into a Prometheus identifier.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("redi_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteText writes a human-readable report: deterministic counters and
+// histograms first, then the runtime sections.
+func (r *Registry) WriteText(w io.Writer) error {
+	rep := r.Report()
+	var sb strings.Builder
+	sb.WriteString("observability report\n")
+	writeTextValues(&sb, "counters", rep.Counters)
+	writeTextHists(&sb, "histograms", rep.Histograms)
+	writeTextValues(&sb, "runtime counters", rep.RuntimeCounters)
+	writeTextHists(&sb, "runtime histograms", rep.RuntimeHistograms)
+	if len(rep.Gauges) > 0 {
+		sb.WriteString("gauges:\n")
+		for _, name := range sortedNames(rep.Gauges) {
+			fmt.Fprintf(&sb, "  %-40s %s\n", name, promFloat(rep.Gauges[name]))
+		}
+	}
+	if len(rep.Spans) > 0 {
+		sb.WriteString("spans:\n")
+		for _, sp := range rep.Spans {
+			fmt.Fprintf(&sb, "  %-40s %s\n", sp.Name, sp.Elapsed)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeTextValues(sb *strings.Builder, title string, m map[string]int64) {
+	if len(m) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "%s:\n", title)
+	for _, name := range sortedNames(m) {
+		fmt.Fprintf(sb, "  %-40s %d\n", name, m[name])
+	}
+}
+
+func writeTextHists(sb *strings.Builder, title string, m map[string]HistogramSnapshot) {
+	if len(m) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "%s:\n", title)
+	for _, name := range sortedNames(m) {
+		h := m[name]
+		fmt.Fprintf(sb, "  %-40s count=%d sum=%d", name, h.Count, h.Sum)
+		for _, b := range h.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			if b.LE < 0 {
+				fmt.Fprintf(sb, " +Inf:%d", b.Count)
+			} else {
+				fmt.Fprintf(sb, " ≤%d:%d", b.LE, b.Count)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+}
+
+// ExpvarFunc adapts the registry for expvar.Publish(expvar.Func(...)).
+func (r *Registry) ExpvarFunc() func() any {
+	return func() any { return r.Report() }
+}
+
+// MarshalSnapshot returns the canonical JSON bytes of the deterministic
+// snapshot — the unit of comparison for worker-invariance tests.
+func (r *Registry) MarshalSnapshot() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

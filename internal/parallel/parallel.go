@@ -23,7 +23,42 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"redi/internal/obs"
 )
+
+// obsReg is the layer's optional observer. Dispatch counts, chunk geometry,
+// and per-chunk item counts depend on the worker count and machine, so they
+// are recorded as runtime-class metrics (excluded from the deterministic
+// snapshot); instrumented *callers* remain responsible for keeping their own
+// counters worker-invariant.
+var obsReg atomic.Pointer[obs.Registry]
+
+// SetObserver installs the registry that receives the layer's runtime
+// metrics (nil disables). Intended for CLI entry points, alongside
+// obs.Enable.
+func SetObserver(r *obs.Registry) { obsReg.Store(r) }
+
+// observeDispatch records one For/Map/MapChunks call: total items and the
+// chunk layout it dispatched ([n, n] when it ran inline).
+func observeDispatch(op string, n int, chunks [][2]int) {
+	r := obsReg.Load()
+	if r == nil {
+		return
+	}
+	r.RuntimeCounter("parallel." + op + ".calls").Inc()
+	r.RuntimeCounter("parallel." + op + ".items").Add(int64(n))
+	if chunks == nil {
+		r.RuntimeCounter("parallel." + op + ".inline_calls").Inc()
+		return
+	}
+	r.RuntimeCounter("parallel." + op + ".chunks").Add(int64(len(chunks)))
+	h := r.RuntimeHistogram("parallel.chunk_items", obs.ExpBounds(1, 24))
+	for _, c := range chunks {
+		h.Observe(int64(c[1] - c[0]))
+	}
+}
 
 // Auto requests one worker per available CPU (GOMAXPROCS).
 const Auto = -1
@@ -102,12 +137,15 @@ func runChunks(chunks [][2]int, fn func(shard, lo, hi int)) {
 func For(workers, n int, fn func(i int)) {
 	w := Workers(workers)
 	if w <= 1 || n < ForGrain {
+		observeDispatch("for", n, nil)
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	runChunks(Chunks(n, w), func(_, lo, hi int) {
+	chunks := Chunks(n, w)
+	observeDispatch("for", n, chunks)
+	runChunks(chunks, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
@@ -124,12 +162,15 @@ func Map[T, R any](workers int, in []T, fn func(i int, v T) R) []R {
 	out := make([]R, len(in))
 	w := Workers(workers)
 	if w <= 1 || len(in) < 2 {
+		observeDispatch("map", len(in), nil)
 		for i, v := range in {
 			out[i] = fn(i, v)
 		}
 		return out
 	}
-	runChunks(Chunks(len(in), w), func(_, lo, hi int) {
+	chunks := Chunks(len(in), w)
+	observeDispatch("map", len(in), chunks)
+	runChunks(chunks, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = fn(i, in[i])
 		}
@@ -146,6 +187,7 @@ func MapChunks[R any](workers, n int, fn func(shard, lo, hi int) R) []R {
 	if chunks == nil {
 		return nil
 	}
+	observeDispatch("map_chunks", n, chunks)
 	out := make([]R, len(chunks))
 	if len(chunks) == 1 {
 		out[0] = fn(0, chunks[0][0], chunks[0][1])
