@@ -402,6 +402,123 @@ func BenchmarkLSHQueryObs(b *testing.B) {
 	}
 }
 
+// --- predicate VM benchmarks (PR 6) ---
+
+// predBenchData is the 100k-row mixed corpus for the predicate benchmarks:
+// categorical sensitive attributes plus numeric features, with the default
+// population's null rates.
+func predBenchData(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	return synth.Generate(synth.DefaultPopulation(100000), rng.New(13)).Data
+}
+
+// predBenchClosure is the seed idiom: boxed-Value row closures composed with
+// closure combinators. PredicateFunc keeps it opaque, so Count/Select take
+// the interpreted per-row path.
+func predBenchClosure() dataset.Predicate {
+	race := dataset.PredicateFunc(func(d *dataset.Dataset, row int) bool {
+		v := d.Value(row, "race")
+		return !v.Null && (v.Cat == "black" || v.Cat == "hispanic")
+	})
+	f0 := dataset.PredicateFunc(func(d *dataset.Dataset, row int) bool {
+		v := d.Value(row, "f0")
+		return !v.Null && v.Num >= -0.5 && v.Num <= 1.5
+	})
+	sex := dataset.PredicateFunc(func(d *dataset.Dataset, row int) bool {
+		v := d.Value(row, "sex")
+		return !v.Null && v.Cat == "F"
+	})
+	f1 := dataset.PredicateFunc(func(d *dataset.Dataset, row int) bool {
+		v := d.Value(row, "f1")
+		return !v.Null && v.Num > 0
+	})
+	return dataset.Or(dataset.And(race, f0), dataset.And(sex, f1))
+}
+
+// predBenchTree is the same predicate as a compilable combinator tree; the
+// selection entry points recognize it and run the bytecode VM's vectorized
+// bitmap driver.
+func predBenchTree() dataset.Predicate {
+	return dataset.Or(
+		dataset.And(dataset.In("race", "black", "hispanic"), dataset.Range("f0", -0.5, 1.5)),
+		dataset.And(dataset.Eq("sex", "F"), dataset.Compare("f1", dataset.CmpGT, 0)),
+	)
+}
+
+// BenchmarkPredicateClosure / BenchmarkPredicateCompiled measure Count on
+// the 100k-row corpus: interpreted boxed-Value closures vs the compiled
+// bitmap driver (the compiled timing includes compilation, which binds
+// literals to dictionary codes per call).
+func BenchmarkPredicateClosure(b *testing.B) {
+	d := predBenchData(b)
+	p := predBenchClosure()
+	want := d.Count(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Count(p) != want {
+			b.Fatal("count drifted")
+		}
+	}
+}
+
+func BenchmarkPredicateCompiled(b *testing.B) {
+	d := predBenchData(b)
+	p := predBenchTree()
+	want := d.Count(predBenchClosure())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Count(p) != want {
+			b.Fatal("compiled count disagrees with closure count")
+		}
+	}
+}
+
+// BenchmarkPredicateSelectClosure / BenchmarkPredicateSelectCompiled measure
+// the full Select (index selection + column gather) under both paths.
+func BenchmarkPredicateSelectClosure(b *testing.B) {
+	d := predBenchData(b)
+	p := predBenchClosure()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Select(p).NumRows() == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+func BenchmarkPredicateSelectCompiled(b *testing.B) {
+	d := predBenchData(b)
+	p := predBenchTree()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Select(p).NumRows() == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// BenchmarkPredicateEvalOnly isolates the steady-state vectorized evaluation
+// (no compile, no gather): one program evaluated repeatedly against its
+// preallocated scratch — the allocation-free hot path.
+func BenchmarkPredicateEvalOnly(b *testing.B) {
+	d := predBenchData(b)
+	cp, ok := dataset.CompilePredicate(d, predBenchTree())
+	if !ok {
+		b.Fatal("predicate did not compile")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cp.CountFast() == 0 {
+			b.Fatal("empty count")
+		}
+	}
+}
+
 // --- group-ID substrate benchmarks (PR 4) ---
 
 // groupBenchData builds a population large enough that per-row grouping

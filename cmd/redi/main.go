@@ -8,6 +8,7 @@
 //	redi audit    -schema <spec> -sensitive a,b -threshold 25 -maxnull 0.05 <file.csv>
 //	redi tailor   -schema <spec> -sensitive a,b -need "k=v;k=v:COUNT,..." -out out.csv <src1.csv> <src2.csv> ...
 //	redi sample   -schema <spec> -n 100 -seed 1 <file.csv>
+//	redi query    -schema <spec> -e "race = 'black' and age between 20 and 40" [-count|-select] <file.csv>
 //
 // A schema spec is a comma-separated list of name:kind[:role] entries,
 // e.g. "id:cat:id,race:cat:sensitive,age:num,label:cat:target".
@@ -22,6 +23,7 @@ import (
 
 	"redi/internal/core"
 	"redi/internal/dataset"
+	"redi/internal/expr"
 	"redi/internal/obs"
 	"redi/internal/profile"
 	"redi/internal/rng"
@@ -72,6 +74,8 @@ func main() {
 		err = cmdSample(os.Args[2:])
 	case "drift":
 		err = cmdDrift(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -95,6 +99,7 @@ commands:
   tailor    integrate multiple CSV sources to meet group counts
   sample    uniform random sample of a CSV dataset
   drift     distribution drift between a baseline and a candidate CSV
+  query     filter a CSV with a compiled predicate expression
 
 run "redi <command> -h" for flags; every command needs -schema
   name:kind[:role],...   kind: cat|num   role: feature|sensitive|target|id`)
@@ -345,6 +350,57 @@ func cmdDrift(args []string) error {
 		fmt.Printf("%-14s %10.4f %8.4f %10.4f %10s\n", d.Attr, d.PSI, d.TV, d.W1, d.DriftLevel())
 	}
 	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	exprSrc := fs.String("e", "", "predicate expression, e.g. \"race = 'black' and age between 20 and 40\"")
+	doCount := fs.Bool("count", false, "print only the number of matching rows (default)")
+	doSelect := fs.Bool("select", false, "write the matching rows as CSV to stdout")
+	explain := fs.Bool("explain", false, "print the parsed AST and disassembled bytecode to stderr")
+	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the query")
+	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query needs exactly one CSV file")
+	}
+	if *exprSrc == "" {
+		return fmt.Errorf("missing -e expression")
+	}
+	if *doCount && *doSelect {
+		return fmt.Errorf("-count and -select are mutually exclusive")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	d, err := loadCSV(fs.Arg(0), schema)
+	if err != nil {
+		return err
+	}
+	var reg *obs.Registry
+	if *obsFlag || *obsJSON != "" {
+		reg = obs.NewRegistry()
+		obs.Enable(reg)
+	}
+	cp, err := expr.Compile(*exprSrc, d)
+	if err != nil {
+		return err
+	}
+	if *explain {
+		n, _ := expr.Parse(*exprSrc) // already compiled, cannot fail
+		fmt.Fprintln(os.Stderr, "ast:", n.String())
+		fmt.Fprint(os.Stderr, cp.Disassemble())
+	}
+	if *doSelect {
+		if err := cp.Select().WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(cp.CountFast())
+	}
+	return writeObsReport(reg, *obsFlag, *obsJSON)
 }
 
 func cmdSample(args []string) error {

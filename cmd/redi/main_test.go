@@ -185,6 +185,38 @@ func TestCmdAuditFailureExitPath(t *testing.T) {
 	}
 }
 
+func TestCmdQuery(t *testing.T) {
+	d := synth.Generate(synth.DefaultPopulation(300), rng.New(6)).Data
+	path := writeTempCSV(t, d)
+	obsPath := filepath.Join(t.TempDir(), "obs.json")
+	for _, args := range [][]string{
+		{"-schema", popSchema, "-e", "race = 'black' and f0 > 0", path},
+		{"-schema", popSchema, "-e", "race in ('black','asian') or f1 between -1 and 1", "-count", path},
+		{"-schema", popSchema, "-e", "sex != 'F' and label is not null", "-select", path},
+		{"-schema", popSchema, "-e", "not (race = 'white' or f2 <= 0)", "-explain", "-obs-json", obsPath, path},
+	} {
+		if err := cmdQuery(args); err != nil {
+			t.Fatalf("cmdQuery(%v): %v", args, err)
+		}
+	}
+	if _, err := os.Stat(obsPath); err != nil {
+		t.Fatalf("obs json not written: %v", err)
+	}
+	for name, args := range map[string][]string{
+		"missing -e":      {"-schema", popSchema, path},
+		"no file":         {"-schema", popSchema, "-e", "f0 > 0"},
+		"count+select":    {"-schema", popSchema, "-e", "f0 > 0", "-count", "-select", path},
+		"parse error":     {"-schema", popSchema, "-e", "f0 >", path},
+		"unknown attr":    {"-schema", popSchema, "-e", "nope = 'x'", path},
+		"kind mismatch":   {"-schema", popSchema, "-e", "f0 = 'x'", path},
+		"bad schema spec": {"-schema", "x:blob", "-e", "f0 > 0", path},
+	} {
+		if err := cmdQuery(args); err == nil {
+			t.Fatalf("cmdQuery(%s) accepted", name)
+		}
+	}
+}
+
 func TestUsagePrints(t *testing.T) {
 	usage() // must not panic
 	if !strings.Contains(popSchema, "sensitive") {

@@ -104,6 +104,41 @@ func AndNot(dst, a, b Bitmap) int {
 	return n
 }
 
+// Or stores a ∪ b into dst and returns the popcount of the result in the
+// same pass. dst may alias a or b.
+func Or(dst, a, b Bitmap) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		w0 := a[i] | b[i]
+		w1 := a[i+1] | b[i+1]
+		w2 := a[i+2] | b[i+2]
+		w3 := a[i+3] | b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = w0, w1, w2, w3
+		n += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(a); i++ {
+		w := a[i] | b[i]
+		dst[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for each set bit in ascending order, hopping between set
+// bits with trailing-zero counts so sparse bitmaps cost proportional to
+// their popcount, not their capacity.
+func (b Bitmap) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 // AndCount returns |a ∩ b| without materializing the intersection — the
 // kernel for counting a two-constraint pattern straight from its two
 // precomputed value bitmaps.

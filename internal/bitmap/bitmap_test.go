@@ -89,6 +89,71 @@ func TestKernelsMatchReference(t *testing.T) {
 	}
 }
 
+func TestOrMatchesReference(t *testing.T) {
+	r := rng.New(7)
+	for round := 0; round < 50; round++ {
+		nbits := 1 + r.Intn(500)
+		a, ra := randomPair(r, nbits, 0.4)
+		b, rb := randomPair(r, nbits, 0.4)
+		want := 0
+		for i := 0; i < nbits; i++ {
+			if ra[i] || rb[i] {
+				want++
+			}
+		}
+		dst := New(nbits)
+		if got := Or(dst, a, b); got != want {
+			t.Fatalf("round %d: Or popcount = %d, want %d", round, got, want)
+		}
+		for i := 0; i < nbits; i++ {
+			if dst.Get(i) != (ra[i] || rb[i]) {
+				t.Fatalf("round %d: Or bit %d wrong", round, i)
+			}
+		}
+		// Aliased form: dst == a.
+		if got := Or(a, a, b); got != want {
+			t.Fatalf("round %d: aliased Or = %d, want %d", round, got, want)
+		}
+		if a.Count() != want {
+			t.Fatalf("round %d: aliased Or result count = %d, want %d", round, a.Count(), want)
+		}
+	}
+	// Or fully overwrites a dirty destination.
+	dirty := New(130)
+	for i := range dirty {
+		dirty[i] = ^uint64(0)
+	}
+	a, b := New(130), New(130)
+	a.Set(3)
+	b.Set(127)
+	if got := Or(dirty, a, b); got != 2 || dirty.Count() != 2 {
+		t.Fatalf("Or on dirty dst = %d bits (count %d), want 2", got, dirty.Count())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	r := rng.New(8)
+	for _, nbits := range []int{0, 1, 63, 64, 65, 300} {
+		b, ref := randomPair(r, nbits, 0.3)
+		var got []int
+		b.ForEach(func(i int) { got = append(got, i) })
+		var want []int
+		for i := 0; i < nbits; i++ {
+			if ref[i] {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("nbits=%d: ForEach visited %d bits, want %d", nbits, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("nbits=%d: ForEach order wrong at %d: %d vs %d", nbits, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestAndAliasesDst(t *testing.T) {
 	r := rng.New(3)
 	a, ra := randomPair(r, 200, 0.5)

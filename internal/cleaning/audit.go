@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"redi/internal/bitmap"
 	"redi/internal/dataset"
 )
 
@@ -45,13 +46,22 @@ func AuditImputation(name string, truth, masked, imputed *dataset.Dataset, attr 
 	sq := make([]float64, groups.NumGroups())
 	n := make([]int, groups.NumGroups())
 	totalSq := 0.0
-	for row := 0; row < truth.NumRows(); row++ {
-		if !masked.IsNull(row, attr) || truth.IsNull(row, attr) {
-			continue
+	// Audited cells = (null in masked) ∩ (observed in truth): two compiled
+	// null-mask scans fused with one AND kernel, visited in ascending row
+	// order so the float accumulations stay bit-identical to the row loop.
+	maskedNull, _ := dataset.CompilePredicate(masked, dataset.IsNull(attr))
+	truthObserved, _ := dataset.CompilePredicate(truth, dataset.NotNull(attr))
+	audited := bitmap.New(truth.NumRows())
+	bitmap.And(audited, maskedNull.SelectBitmap(), truthObserved.SelectBitmap())
+	var auditErr error
+	audited.ForEach(func(row int) {
+		if auditErr != nil {
+			return
 		}
 		got := imputed.Value(row, attr)
 		if got.Null {
-			return nil, fmt.Errorf("cleaning: imputed dataset still has a null at row %d", row)
+			auditErr = fmt.Errorf("cleaning: imputed dataset still has a null at row %d", row)
+			return
 		}
 		d := got.Num - truth.Value(row, attr).Num
 		audit.N++
@@ -60,6 +70,9 @@ func AuditImputation(name string, truth, masked, imputed *dataset.Dataset, attr 
 			sq[gi] += d * d
 			n[gi]++
 		}
+	})
+	if auditErr != nil {
+		return nil, auditErr
 	}
 	if audit.N > 0 {
 		audit.RMSE = math.Sqrt(totalSq / float64(audit.N))

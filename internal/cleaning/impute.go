@@ -239,19 +239,26 @@ func (k KNNImputer) Impute(d *dataset.Dataset, attr string) (*dataset.Dataset, e
 	})
 }
 
-// fillNulls clones d and replaces each null of attr with fill(row).
+// fillNulls clones d and replaces each null of attr with fill(row). The
+// null rows come from a compiled is-null mask — one fused scan over the
+// column's null storage — visited in ascending row order.
 func fillNulls(d *dataset.Dataset, attr string, fill func(row int) float64) (*dataset.Dataset, error) {
 	out := d.Clone()
-	for row := 0; row < d.NumRows(); row++ {
-		if d.IsNull(row, attr) {
-			v := fill(row)
-			if math.IsNaN(v) {
-				return nil, fmt.Errorf("cleaning: imputer produced NaN at row %d", row)
-			}
-			if err := out.SetValue(row, attr, dataset.Num(v)); err != nil {
-				return nil, err
-			}
+	cp, _ := dataset.CompilePredicate(d, dataset.IsNull(attr))
+	var err error
+	cp.SelectBitmap().ForEach(func(row int) {
+		if err != nil {
+			return
 		}
+		v := fill(row)
+		if math.IsNaN(v) {
+			err = fmt.Errorf("cleaning: imputer produced NaN at row %d", row)
+			return
+		}
+		err = out.SetValue(row, attr, dataset.Num(v))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

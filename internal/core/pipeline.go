@@ -195,12 +195,8 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		}
 		// The null scan doubles as the imputed-cell count: every null in
 		// a numeric attribute the imputer handles becomes a filled cell.
-		nulls := 0
-		for row := 0; row < data.NumRows(); row++ {
-			if data.IsNull(row, a.Name) {
-				nulls++
-			}
-		}
+		// Compiled predicate count: one fused null-mask scan.
+		nulls := data.Count(dataset.IsNull(a.Name))
 		if nulls == 0 {
 			continue
 		}

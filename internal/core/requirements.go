@@ -340,12 +340,9 @@ func (r CompletenessRequirement) Check(d *dataset.Dataset) CheckResult {
 	worst := 0.0
 	worstAt := ""
 	for _, a := range attrs {
-		nulls := 0
-		for row := 0; row < d.NumRows(); row++ {
-			if d.IsNull(row, a) {
-				nulls++
-			}
-		}
+		// Compiled null-mask count: one fused scan over the column's codes
+		// or null mask instead of a per-row Value walk.
+		nulls := d.Count(dataset.IsNull(a))
 		rate := 0.0
 		if d.NumRows() > 0 {
 			rate = float64(nulls) / float64(d.NumRows())

@@ -22,10 +22,17 @@ type column interface {
 
 // catColumn stores dictionary-encoded categorical values. Code -1 marks
 // null so the null mask is implicit.
+//
+// The dictionary is copy-on-write: gather and clone share dict/index with
+// the source column and mark both sides shared, so selections never rebuild
+// the value index (for an ID-like column that rebuild dwarfs the selection
+// itself). Any mutation that would grow the dictionary materializes a
+// private copy first; code vectors are always private.
 type catColumn struct {
-	codes []int32
-	dict  []string
-	index map[string]int32
+	codes  []int32
+	dict   []string
+	index  map[string]int32
+	shared bool // dict/index are shared with another column
 }
 
 func newCatColumn() *catColumn {
@@ -47,10 +54,25 @@ func (c *catColumn) code(s string) int32 {
 	if code, ok := c.index[s]; ok {
 		return code
 	}
+	if c.shared {
+		c.materializeDict()
+	}
 	code := int32(len(c.dict))
 	c.dict = append(c.dict, s)
 	c.index[s] = code
 	return code
+}
+
+// materializeDict replaces a shared dictionary with a private copy before
+// the first mutation.
+func (c *catColumn) materializeDict() {
+	dict := make([]string, len(c.dict))
+	copy(dict, c.dict)
+	index := make(map[string]int32, len(c.index)+1)
+	for s, code := range c.index {
+		index[s] = code
+	}
+	c.dict, c.index, c.shared = dict, index, false
 }
 
 func (c *catColumn) appendValue(v Value) error {
@@ -106,11 +128,8 @@ func (c *catColumn) set(i int, v Value) error {
 }
 
 func (c *catColumn) gather(idx []int) column {
-	out := newCatColumn()
-	out.dict = append(out.dict, c.dict...)
-	for s, code := range c.index {
-		out.index[s] = code
-	}
+	c.shared = true
+	out := &catColumn{dict: c.dict, index: c.index, shared: true}
 	out.codes = make([]int32, len(idx))
 	for j, i := range idx {
 		out.codes[j] = c.codes[i]
@@ -119,13 +138,13 @@ func (c *catColumn) gather(idx []int) column {
 }
 
 func (c *catColumn) clone() column {
-	out := newCatColumn()
-	out.codes = append(out.codes, c.codes...)
-	out.dict = append(out.dict, c.dict...)
-	for s, code := range c.index {
-		out.index[s] = code
+	c.shared = true
+	return &catColumn{
+		codes:  append([]int32(nil), c.codes...),
+		dict:   c.dict,
+		index:  c.index,
+		shared: true,
 	}
-	return out
 }
 
 // numColumn stores float64 values with an explicit null mask.

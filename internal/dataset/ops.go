@@ -2,79 +2,32 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 )
 
-// Predicate selects rows of a dataset.
-type Predicate func(d *Dataset, row int) bool
+// The predicate combinators (Eq, In, Range, Compare, NotNull, IsNull, And,
+// Or, Not) live in pred.go; they build compilable expression trees that the
+// selection entry points below recognize and run through the bytecode VM's
+// vectorized bitmap driver. Opaque closures (PredicateFunc) take the
+// interpreted per-row path.
 
-// Eq returns a predicate matching rows whose attr equals the categorical
-// value v (nulls never match).
-func Eq(attr, v string) Predicate {
-	return func(d *Dataset, row int) bool {
-		cell := d.Value(row, attr)
-		return !cell.Null && cell.Kind == Categorical && cell.Cat == v
-	}
-}
-
-// Range returns a predicate matching rows whose numeric attr lies in
-// [lo, hi] (nulls never match).
-func Range(attr string, lo, hi float64) Predicate {
-	return func(d *Dataset, row int) bool {
-		cell := d.Value(row, attr)
-		return !cell.Null && cell.Kind == Numeric && cell.Num >= lo && cell.Num <= hi
-	}
-}
-
-// NotNull returns a predicate matching rows where attr is non-null.
-func NotNull(attr string) Predicate {
-	return func(d *Dataset, row int) bool { return !d.IsNull(row, attr) }
-}
-
-// And combines predicates conjunctively.
-func And(ps ...Predicate) Predicate {
-	return func(d *Dataset, row int) bool {
-		for _, p := range ps {
-			if !p(d, row) {
-				return false
-			}
-		}
-		return true
-	}
-}
-
-// Or combines predicates disjunctively.
-func Or(ps ...Predicate) Predicate {
-	return func(d *Dataset, row int) bool {
-		for _, p := range ps {
-			if p(d, row) {
-				return true
-			}
-		}
-		return false
-	}
-}
-
-// Not negates a predicate.
-func Not(p Predicate) Predicate {
-	return func(d *Dataset, row int) bool { return !p(d, row) }
-}
-
-// Select returns the rows matching p, preserving order.
+// Select returns the rows matching p, preserving order. Compilable
+// predicates evaluate vectorized (one fused scan per referenced column plus
+// word kernels); the result is pre-counted from the match bitmap so the
+// index slice is exactly sized. The result is never nil, even when empty.
 func (d *Dataset) Select(p Predicate) *Dataset {
-	var idx []int
-	for r := 0; r < d.n; r++ {
-		if p(d, r) {
-			idx = append(idx, r)
-		}
-	}
-	return d.Gather(idx)
+	return d.Gather(d.SelectIndices(p))
 }
 
-// SelectIndices returns the indices of rows matching p.
+// SelectIndices returns the indices of rows matching p, in ascending
+// order. The slice is non-nil even when no row matches.
 func (d *Dataset) SelectIndices(p Predicate) []int {
-	var idx []int
+	if cp, ok := CompilePredicate(d, p); ok {
+		return cp.SelectIndices()
+	}
+	idx := make([]int, 0)
 	for r := 0; r < d.n; r++ {
-		if p(d, r) {
+		if p.Match(d, r) {
 			idx = append(idx, r)
 		}
 	}
@@ -83,9 +36,12 @@ func (d *Dataset) SelectIndices(p Predicate) []int {
 
 // Count returns the number of rows matching p.
 func (d *Dataset) Count(p Predicate) int {
+	if cp, ok := CompilePredicate(d, p); ok {
+		return cp.CountFast()
+	}
 	n := 0
 	for r := 0; r < d.n; r++ {
-		if p(d, r) {
+		if p.Match(d, r) {
 			n++
 		}
 	}
@@ -117,6 +73,12 @@ func (d *Dataset) Project(attrs ...string) (*Dataset, error) {
 // (hash join, d as build side). The result schema is d's attributes followed
 // by other's attributes except its join key, which is deduplicated; a name
 // collision on non-key attributes is resolved by suffixing "_r".
+//
+// The join runs on column storage: categorical keys bucket build-side rows
+// by dictionary code and translate the probe side's dictionary once, so the
+// probe loop compares nothing — it indexes a remap table; numeric keys hash
+// the raw float64 bits. Matched row pairs are collected first and the
+// output columns gathered in bulk, never boxing a Value.
 func (d *Dataset) Join(other *Dataset, leftKey, rightKey string) (*Dataset, error) {
 	li, ok := d.schema.Index(leftKey)
 	if !ok {
@@ -151,33 +113,94 @@ func (d *Dataset) Join(other *Dataset, leftKey, rightKey string) (*Dataset, erro
 		rightAttrs = append(rightAttrs, a)
 		rightCols = append(rightCols, c)
 	}
-	out := New(NewSchema(append(attrs, rightAttrs...)...))
 
-	// Build hash table on d's key.
-	build := make(map[string][]int, d.n)
-	for r := 0; r < d.n; r++ {
-		v := d.cols[li].value(r)
-		if v.Null {
-			continue
+	// Matched (left, right) row pairs, in probe order (right rows ascending,
+	// build rows ascending within each key) — the same order the seed's
+	// string-keyed join produced.
+	var leftIdx, rightIdx []int
+	switch lc := d.cols[li].(type) {
+	case *catColumn:
+		rc := other.cols[ri].(*catColumn)
+		// Bucket build rows by dictionary code: codes are dense, so a slice
+		// replaces the hash map entirely.
+		buckets := make([][]int, len(lc.dict))
+		for r, code := range lc.codes {
+			if code >= 0 {
+				buckets[code] = append(buckets[code], r)
+			}
 		}
-		k := v.String()
-		build[k] = append(build[k], r)
+		// Translate the probe dictionary into build codes once (-1 = value
+		// absent from the build side, matches nothing).
+		remap := make([]int32, len(rc.dict))
+		for code, s := range rc.dict {
+			if lcode, present := lc.index[s]; present {
+				remap[code] = lcode
+			} else {
+				remap[code] = -1
+			}
+		}
+		// Pre-count matches so the pair slices allocate once.
+		total := 0
+		for _, code := range rc.codes {
+			if code >= 0 {
+				if lcode := remap[code]; lcode >= 0 {
+					total += len(buckets[lcode])
+				}
+			}
+		}
+		leftIdx = make([]int, 0, total)
+		rightIdx = make([]int, 0, total)
+		for r, code := range rc.codes {
+			if code < 0 {
+				continue
+			}
+			lcode := remap[code]
+			if lcode < 0 {
+				continue
+			}
+			for _, lr := range buckets[lcode] {
+				leftIdx = append(leftIdx, lr)
+				rightIdx = append(rightIdx, r)
+			}
+		}
+	case *numColumn:
+		rc := other.cols[ri].(*numColumn)
+		build := make(map[uint64][]int, d.n)
+		for r, v := range lc.vals {
+			if !lc.nulls[r] {
+				k := math.Float64bits(v)
+				build[k] = append(build[k], r)
+			}
+		}
+		total := 0
+		for r, v := range rc.vals {
+			if !rc.nulls[r] {
+				total += len(build[math.Float64bits(v)])
+			}
+		}
+		leftIdx = make([]int, 0, total)
+		rightIdx = make([]int, 0, total)
+		for r, v := range rc.vals {
+			if rc.nulls[r] {
+				continue
+			}
+			for _, lr := range build[math.Float64bits(v)] {
+				leftIdx = append(leftIdx, lr)
+				rightIdx = append(rightIdx, r)
+			}
+		}
 	}
-	// Probe.
-	for r := 0; r < other.n; r++ {
-		v := other.cols[ri].value(r)
-		if v.Null {
-			continue
-		}
-		for _, lr := range build[v.String()] {
-			row := d.Row(lr)
-			for _, c := range rightCols {
-				row = append(row, other.cols[c].value(r))
-			}
-			if err := out.AppendRow(row...); err != nil {
-				return nil, err
-			}
-		}
+
+	out := &Dataset{
+		schema: NewSchema(append(attrs, rightAttrs...)...),
+		cols:   make([]column, 0, len(attrs)+len(rightAttrs)),
+		n:      len(leftIdx),
+	}
+	for _, c := range d.cols {
+		out.cols = append(out.cols, c.gather(leftIdx))
+	}
+	for _, c := range rightCols {
+		out.cols = append(out.cols, other.cols[c].gather(rightIdx))
 	}
 	return out, nil
 }

@@ -5,19 +5,6 @@ import (
 	"strings"
 )
 
-// In returns a predicate matching rows whose categorical attr equals any of
-// the given values (nulls never match).
-func In(attr string, values ...string) Predicate {
-	set := make(map[string]bool, len(values))
-	for _, v := range values {
-		set[v] = true
-	}
-	return func(d *Dataset, row int) bool {
-		cell := d.Value(row, attr)
-		return !cell.Null && cell.Kind == Categorical && set[cell.Cat]
-	}
-}
-
 // Distinct returns the rows of d deduplicated on the given attributes
 // (all attributes when none given), keeping the first occurrence and
 // preserving order. Nulls compare equal to nulls.

@@ -204,17 +204,30 @@ func Rake(d *dataset.Dataset, marginals []Marginal, tol float64, maxIter int) (W
 }
 
 // WeightedCount estimates the population fraction of rows matching p:
-// Σ_match w / Σ w.
+// Σ_match w / Σ w. Compilable predicates evaluate vectorized: the matching
+// row-set comes back as a bitmap and only its set bits are visited for the
+// numerator (ascending row order, so the float sum is deterministic).
 func WeightedCount(d *dataset.Dataset, w Weights, p dataset.Predicate) float64 {
-	num, den := 0.0, 0.0
+	den := 0.0
 	for r := 0; r < d.NumRows(); r++ {
 		den += w[r]
-		if w[r] > 0 && p(d, r) {
-			num += w[r]
-		}
 	}
 	if den == 0 {
 		return 0
+	}
+	num := 0.0
+	if cp, ok := dataset.CompilePredicate(d, p); ok {
+		cp.SelectBitmap().ForEach(func(r int) {
+			if w[r] > 0 {
+				num += w[r]
+			}
+		})
+	} else {
+		for r := 0; r < d.NumRows(); r++ {
+			if w[r] > 0 && p.Match(d, r) {
+				num += w[r]
+			}
+		}
 	}
 	return num / den
 }

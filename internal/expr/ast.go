@@ -1,0 +1,120 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Node is an expression AST node. String renders the canonical s-expression
+// form used by the golden parse tests; Pos is the byte offset of the
+// node's anchor token.
+type Node interface {
+	String() string
+	Pos() int
+}
+
+// Ident is an attribute reference.
+type Ident struct {
+	Name string
+	Off  int
+}
+
+// StrVal is a string literal.
+type StrVal struct {
+	V   string
+	Off int
+}
+
+// NumVal is a numeric literal.
+type NumVal struct {
+	V   float64
+	Off int
+}
+
+func quoteStr(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+func fmtNum(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// CmpNode is attr <op> literal, with Op one of = != < <= > >=. Exactly one
+// of Str and Num is set.
+type CmpNode struct {
+	Attr Ident
+	Op   string
+	Str  *StrVal
+	Num  *NumVal
+}
+
+func (n *CmpNode) Pos() int { return n.Attr.Off }
+func (n *CmpNode) String() string {
+	if n.Str != nil {
+		return "(" + n.Op + " " + n.Attr.Name + " " + quoteStr(n.Str.V) + ")"
+	}
+	return "(" + n.Op + " " + n.Attr.Name + " " + fmtNum(n.Num.V) + ")"
+}
+
+// InNode is attr [not] in ('a', 'b', ...).
+type InNode struct {
+	Attr Ident
+	Vals []StrVal
+	Neg  bool
+}
+
+func (n *InNode) Pos() int { return n.Attr.Off }
+func (n *InNode) String() string {
+	op := "in"
+	if n.Neg {
+		op = "notin"
+	}
+	var sb strings.Builder
+	sb.WriteString("(" + op + " " + n.Attr.Name)
+	for _, v := range n.Vals {
+		sb.WriteString(" " + quoteStr(v.V))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// BetweenNode is attr between lo and hi (inclusive bounds).
+type BetweenNode struct {
+	Attr   Ident
+	Lo, Hi NumVal
+}
+
+func (n *BetweenNode) Pos() int { return n.Attr.Off }
+func (n *BetweenNode) String() string {
+	return "(between " + n.Attr.Name + " " + fmtNum(n.Lo.V) + " " + fmtNum(n.Hi.V) + ")"
+}
+
+// NullNode is attr is [not] null.
+type NullNode struct {
+	Attr Ident
+	Not  bool // true for "is not null"
+}
+
+func (n *NullNode) Pos() int { return n.Attr.Off }
+func (n *NullNode) String() string {
+	if n.Not {
+		return "(notnull " + n.Attr.Name + ")"
+	}
+	return "(isnull " + n.Attr.Name + ")"
+}
+
+// BinNode is a conjunction or disjunction; Op is "and" or "or".
+type BinNode struct {
+	Op   string
+	L, R Node
+}
+
+func (n *BinNode) Pos() int       { return n.L.Pos() }
+func (n *BinNode) String() string { return "(" + n.Op + " " + n.L.String() + " " + n.R.String() + ")" }
+
+// NotNode is boolean negation.
+type NotNode struct {
+	X   Node
+	Off int
+}
+
+func (n *NotNode) Pos() int       { return n.Off }
+func (n *NotNode) String() string { return "(not " + n.X.String() + ")" }

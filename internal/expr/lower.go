@@ -1,0 +1,114 @@
+package expr
+
+import "redi/internal/dataset"
+
+// lower maps an AST onto dataset predicate IR, checking attribute names and
+// kinds against the schema. Negated forms preserve the language's null
+// semantics: `!=` and `not in` are attribute predicates and so require the
+// cell to be non-null, while the bare `not` operator is plain negation.
+func lower(n Node, s *dataset.Schema) (dataset.Predicate, error) {
+	switch n := n.(type) {
+	case *CmpNode:
+		a, err := attrOf(s, n.Attr)
+		if err != nil {
+			return dataset.Predicate{}, err
+		}
+		if n.Str != nil {
+			if a.Kind != dataset.Categorical {
+				return dataset.Predicate{}, errAt(n.Attr.Off,
+					"attribute %q is numeric; compare it with a number, not a string", a.Name)
+			}
+			eq := dataset.Eq(a.Name, n.Str.V)
+			if n.Op == "!=" {
+				return dataset.And(dataset.NotNull(a.Name), dataset.Not(eq)), nil
+			}
+			return eq, nil
+		}
+		if a.Kind != dataset.Numeric {
+			return dataset.Predicate{}, errAt(n.Attr.Off,
+				"attribute %q is categorical; compare it with a string, not a number", a.Name)
+		}
+		var op dataset.CompareOp
+		switch n.Op {
+		case "=":
+			op = dataset.CmpEQ
+		case "!=":
+			op = dataset.CmpNE
+		case "<":
+			op = dataset.CmpLT
+		case "<=":
+			op = dataset.CmpLE
+		case ">":
+			op = dataset.CmpGT
+		case ">=":
+			op = dataset.CmpGE
+		}
+		return dataset.Compare(a.Name, op, n.Num.V), nil
+	case *InNode:
+		a, err := attrOf(s, n.Attr)
+		if err != nil {
+			return dataset.Predicate{}, err
+		}
+		if a.Kind != dataset.Categorical {
+			return dataset.Predicate{}, errAt(n.Attr.Off,
+				"attribute %q is numeric; 'in' lists are for categorical attributes", a.Name)
+		}
+		vals := make([]string, len(n.Vals))
+		for i, v := range n.Vals {
+			vals[i] = v.V
+		}
+		in := dataset.In(a.Name, vals...)
+		if n.Neg {
+			return dataset.And(dataset.NotNull(a.Name), dataset.Not(in)), nil
+		}
+		return in, nil
+	case *BetweenNode:
+		a, err := attrOf(s, n.Attr)
+		if err != nil {
+			return dataset.Predicate{}, err
+		}
+		if a.Kind != dataset.Numeric {
+			return dataset.Predicate{}, errAt(n.Attr.Off,
+				"attribute %q is categorical; 'between' is for numeric attributes", a.Name)
+		}
+		return dataset.Range(a.Name, n.Lo.V, n.Hi.V), nil
+	case *NullNode:
+		a, err := attrOf(s, n.Attr)
+		if err != nil {
+			return dataset.Predicate{}, err
+		}
+		if n.Not {
+			return dataset.NotNull(a.Name), nil
+		}
+		return dataset.IsNull(a.Name), nil
+	case *BinNode:
+		l, err := lower(n.L, s)
+		if err != nil {
+			return dataset.Predicate{}, err
+		}
+		r, err := lower(n.R, s)
+		if err != nil {
+			return dataset.Predicate{}, err
+		}
+		if n.Op == "and" {
+			return dataset.And(l, r), nil
+		}
+		return dataset.Or(l, r), nil
+	case *NotNode:
+		x, err := lower(n.X, s)
+		if err != nil {
+			return dataset.Predicate{}, err
+		}
+		return dataset.Not(x), nil
+	default:
+		return dataset.Predicate{}, errAt(n.Pos(), "internal: unknown node %T", n)
+	}
+}
+
+func attrOf(s *dataset.Schema, id Ident) (dataset.Attribute, error) {
+	i, ok := s.Index(id.Name)
+	if !ok {
+		return dataset.Attribute{}, errAt(id.Off, "unknown attribute %q", id.Name)
+	}
+	return s.Attr(i), nil
+}

@@ -1,0 +1,169 @@
+package expr
+
+// Pratt parser over the token stream. Binding powers: or < and < not;
+// comparison predicates are parsed whole inside nud, so they bind tightest.
+
+const (
+	bpOr  = 1
+	bpAnd = 2
+	bpNot = 3
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, *Error) {
+	t := p.next()
+	if t.kind != k {
+		return token{}, errAt(t.off, "expected %s, found %s", what, t.describe())
+	}
+	return t, nil
+}
+
+// parseExpr parses an expression whose operators all bind tighter than
+// minBP, consuming "and"/"or" chains left-associatively.
+func (p *parser) parseExpr(minBP int) (Node, *Error) {
+	left, err := p.nud()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var bp int
+		var op string
+		switch t.kind {
+		case tAnd:
+			bp, op = bpAnd, "and"
+		case tOr:
+			bp, op = bpOr, "or"
+		default:
+			return left, nil
+		}
+		if bp <= minBP {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseExpr(bp)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinNode{Op: op, L: left, R: right}
+	}
+}
+
+// nud parses a prefix position: not, a parenthesized group, or a predicate.
+func (p *parser) nud() (Node, *Error) {
+	t := p.next()
+	switch t.kind {
+	case tNot:
+		x, err := p.parseExpr(bpNot)
+		if err != nil {
+			return nil, err
+		}
+		return &NotNode{X: x, Off: t.off}, nil
+	case tLParen:
+		x, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tIdent:
+		return p.parsePredicate(Ident{Name: t.text, Off: t.off})
+	default:
+		return nil, errAt(t.off, "expected attribute, 'not', or '(', found %s", t.describe())
+	}
+}
+
+// parsePredicate parses the clause that follows an attribute name.
+func (p *parser) parsePredicate(attr Ident) (Node, *Error) {
+	t := p.next()
+	switch t.kind {
+	case tEq, tNe:
+		v := p.next()
+		switch v.kind {
+		case tString:
+			return &CmpNode{Attr: attr, Op: t.text, Str: &StrVal{V: v.str, Off: v.off}}, nil
+		case tNumber:
+			return &CmpNode{Attr: attr, Op: t.text, Num: &NumVal{V: v.num, Off: v.off}}, nil
+		default:
+			return nil, errAt(v.off, "expected string or number after '%s', found %s", t.text, v.describe())
+		}
+	case tLt, tLe, tGt, tGe:
+		v, err := p.expect(tNumber, "number")
+		if err != nil {
+			return nil, err
+		}
+		return &CmpNode{Attr: attr, Op: t.text, Num: &NumVal{V: v.num, Off: v.off}}, nil
+	case tIn:
+		return p.parseInList(attr, false)
+	case tNot:
+		if _, err := p.expect(tIn, "'in' after 'not'"); err != nil {
+			return nil, err
+		}
+		return p.parseInList(attr, true)
+	case tBetween:
+		lo, err := p.expect(tNumber, "number")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tAnd, "'and'"); err != nil {
+			return nil, err
+		}
+		hi, err := p.expect(tNumber, "number")
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenNode{Attr: attr,
+			Lo: NumVal{V: lo.num, Off: lo.off},
+			Hi: NumVal{V: hi.num, Off: hi.off}}, nil
+	case tIs:
+		neg := false
+		if p.peek().kind == tNot {
+			p.next()
+			neg = true
+		}
+		if _, err := p.expect(tNull, "'null'"); err != nil {
+			return nil, err
+		}
+		return &NullNode{Attr: attr, Not: neg}, nil
+	default:
+		return nil, errAt(t.off, "expected comparison, 'in', 'between', or 'is' after attribute %q, found %s",
+			attr.Name, t.describe())
+	}
+}
+
+func (p *parser) parseInList(attr Ident, neg bool) (Node, *Error) {
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var vals []StrVal
+	for {
+		v, err := p.expect(tString, "string")
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, StrVal{V: v.str, Off: v.off})
+		t := p.next()
+		if t.kind == tRParen {
+			return &InNode{Attr: attr, Vals: vals, Neg: neg}, nil
+		}
+		if t.kind != tComma {
+			return nil, errAt(t.off, "expected ',' or ')', found %s", t.describe())
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tAnd
+	tOr
+	tNot
+	tIn
+	tBetween
+	tIs
+	tNull
+	tEq     // =
+	tNe     // !=
+	tLt     // <
+	tLe     // <=
+	tGt     // >
+	tGe     // >=
+	tLParen // (
+	tRParen // )
+	tComma  // ,
+)
+
+type token struct {
+	kind tokKind
+	off  int
+	text string  // ident text or operator spelling
+	str  string  // decoded string literal
+	num  float64 // decoded number
+}
+
+// describe renders the token for error messages.
+func (t token) describe() string {
+	switch t.kind {
+	case tEOF:
+		return "end of expression"
+	case tIdent:
+		return "identifier " + strconv.Quote(t.text)
+	case tString:
+		return "string '" + t.str + "'"
+	case tNumber:
+		return "number " + strconv.FormatFloat(t.num, 'g', -1, 64)
+	default:
+		return "'" + t.text + "'"
+	}
+}
+
+var keywords = map[string]tokKind{
+	"and": tAnd, "or": tOr, "not": tNot, "in": tIn,
+	"between": tBetween, "is": tIs, "null": tNull,
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// scanAll tokenizes src, decoding string and number literals and folding
+// case-insensitive keywords. Every token carries its byte offset.
+func scanAll(src string) ([]token, *Error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			if k, ok := keywords[strings.ToLower(word)]; ok {
+				toks = append(toks, token{kind: k, off: start, text: strings.ToLower(word)})
+			} else {
+				toks = append(toks, token{kind: tIdent, off: start, text: word})
+			}
+		case isDigit(c), c == '-' && i+1 < len(src) && (isDigit(src[i+1]) || src[i+1] == '.'),
+			c == '.' && i+1 < len(src) && isDigit(src[i+1]):
+			start := i
+			if src[i] == '-' {
+				i++
+			}
+			for i < len(src) && (isDigit(src[i]) || src[i] == '.' || src[i] == 'e' || src[i] == 'E') {
+				// Exponent sign.
+				if (src[i] == 'e' || src[i] == 'E') && i+1 < len(src) && (src[i+1] == '+' || src[i+1] == '-') {
+					i++
+				}
+				i++
+			}
+			x, err := strconv.ParseFloat(src[start:i], 64)
+			if err != nil {
+				return nil, errAt(start, "bad number %q", src[start:i])
+			}
+			toks = append(toks, token{kind: tNumber, off: start, text: src[start:i], num: x})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, errAt(start, "unterminated string")
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' { // '' escapes a quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{kind: tString, off: start, str: sb.String()})
+		case c == '=':
+			toks = append(toks, token{kind: tEq, off: i, text: "="})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tNe, off: i, text: "!="})
+				i += 2
+			} else {
+				return nil, errAt(i, "unexpected '!' (did you mean '!=')")
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tLe, off: i, text: "<="})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tLt, off: i, text: "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tGe, off: i, text: ">="})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tGt, off: i, text: ">"})
+				i++
+			}
+		case c == '(':
+			toks = append(toks, token{kind: tLParen, off: i, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tRParen, off: i, text: ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tComma, off: i, text: ","})
+			i++
+		default:
+			return nil, errAt(i, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{kind: tEOF, off: len(src)})
+	return toks, nil
+}

@@ -1,0 +1,95 @@
+package lint
+
+import "testing"
+
+// The predicate VM's evaluation shapes — a bytecode loop writing a
+// sp-indexed boolean stack, word-accumulate fill kernels, and dictionary
+// binding at compile time — must pass the determinism analyzers with zero
+// //redi:allow annotations. This fixture distills those shapes (from
+// dataset's predvm.go/predcompile.go) and pins that MapOrder and ParCapture
+// stay silent on them.
+const vmFixtureSrc = `package fixture
+
+import "redi/internal/parallel"
+
+type instr struct {
+	op   int
+	a, b int32
+}
+
+// bindDict is the compile-time shape: build a value→code index from a
+// dictionary slice (per-key map writes, no map iteration).
+func bindDict(dict []string) map[string]int32 {
+	index := make(map[string]int32, len(dict))
+	for i, s := range dict {
+		index[s] = int32(i)
+	}
+	return index
+}
+
+// evalRow is the row VM shape: a stack machine over fixed-width bytecode,
+// writing a sp-indexed local stack.
+func evalRow(code []instr, codes []int32, row int) bool {
+	var st [32]bool
+	sp := 0
+	for i := range code {
+		in := &code[i]
+		switch in.op {
+		case 0:
+			st[sp] = codes[row] == in.b
+			sp++
+		case 1:
+			sp--
+			st[sp-1] = st[sp-1] && st[sp]
+		case 2:
+			st[sp-1] = !st[sp-1]
+		}
+	}
+	return st[0]
+}
+
+// fillEq is the vectorized leaf shape: accumulate each 64-row word in a
+// register and assign it, fully overwriting dst.
+func fillEq(dst []uint64, codes []int32, code int32) {
+	n := len(codes)
+	for wi := range dst {
+		base := wi * 64
+		end := base + 64
+		if end > n {
+			end = n
+		}
+		var w uint64
+		for i := base; i < end; i++ {
+			if codes[i] == code {
+				w |= 1 << uint(i-base)
+			}
+		}
+		dst[wi] = w
+	}
+}
+
+// countMatches is the parallel-driver shape: per-shard match counts land in
+// shard-local accumulators, never in captured state.
+func countMatches(code []instr, codes []int32) int {
+	partial := parallel.MapChunks(parallel.Auto, len(codes), func(shard, lo, hi int) int {
+		local := 0
+		for row := lo; row < hi; row++ {
+			if evalRow(code, codes, row) {
+				local++
+			}
+		}
+		return local
+	})
+	total := 0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+`
+
+func TestVMEvalLoopPassesDeterminismAnalyzers(t *testing.T) {
+	files := map[string]string{"fix.go": vmFixtureSrc}
+	wantFindings(t, runFixture(t, MapOrder, fixturePkg, files), 0, "")
+	wantFindings(t, runFixture(t, ParCapture, fixturePkg, files), 0, "")
+}
