@@ -62,6 +62,8 @@ func (b Bitmap) Count() int {
 
 // And stores a ∩ b into dst and returns the popcount of the result in the
 // same pass. dst may alias a or b.
+//
+//redi:hotpath word kernel; the inner loop of every bitmap-backed count and scan
 func And(dst, a, b Bitmap) int {
 	n := 0
 	i := 0
@@ -84,6 +86,8 @@ func And(dst, a, b Bitmap) int {
 
 // AndNot stores a ∖ b (a AND NOT b) into dst and returns the popcount of
 // the result. dst may alias a or b.
+//
+//redi:hotpath word kernel; the inner loop of every bitmap-backed count and scan
 func AndNot(dst, a, b Bitmap) int {
 	n := 0
 	i := 0
@@ -106,6 +110,8 @@ func AndNot(dst, a, b Bitmap) int {
 
 // Or stores a ∪ b into dst and returns the popcount of the result in the
 // same pass. dst may alias a or b.
+//
+//redi:hotpath word kernel; the inner loop of every bitmap-backed count and scan
 func Or(dst, a, b Bitmap) int {
 	n := 0
 	i := 0
@@ -142,6 +148,8 @@ func (b Bitmap) ForEach(fn func(i int)) {
 // AndCount returns |a ∩ b| without materializing the intersection — the
 // kernel for counting a two-constraint pattern straight from its two
 // precomputed value bitmaps.
+//
+//redi:hotpath word kernel; the inner loop of every bitmap-backed count and scan
 func AndCount(a, b Bitmap) int {
 	n := 0
 	i := 0
@@ -184,6 +192,15 @@ func (b Bitmap) CountRange(lo, hi int) int {
 type Pool struct {
 	words int
 	pool  sync.Pool
+	// OnSizeMismatch, when non-nil, observes every Put of a wrong-length
+	// bitmap (got and want are word counts). A wrong-sized Put is always a
+	// caller bug — the bitmap came from another pool or was re-sliced —
+	// and the production policy is to drop it rather than poison the pool,
+	// which also silently forfeits the reuse the caller expected. The hook
+	// lets tests and debug builds turn that silent drop into a loud
+	// failure. Set it before the pool is shared; the field itself is not
+	// synchronized.
+	OnSizeMismatch func(got, want int)
 }
 
 // NewPool returns a pool of bitmaps sized for nbits bits.
@@ -202,9 +219,14 @@ func (p *Pool) Get() Bitmap {
 }
 
 // Put returns a bitmap to the pool. Bitmaps of the wrong length are
-// dropped rather than poisoning the pool.
+// dropped rather than poisoning the pool (a later Get must always return
+// exactly the pool's size); OnSizeMismatch, when set, observes each drop.
 func (p *Pool) Put(b Bitmap) {
-	if len(b) == p.words {
-		p.pool.Put(&b)
+	if len(b) != p.words {
+		if p.OnSizeMismatch != nil {
+			p.OnSizeMismatch(len(b), p.words)
+		}
+		return
 	}
+	p.pool.Put(&b)
 }

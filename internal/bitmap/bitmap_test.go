@@ -229,3 +229,43 @@ func TestPoolRecyclesAndIsOverwriteSafe(t *testing.T) {
 	// Wrong-size bitmaps are dropped, not pooled.
 	p.Put(New(10))
 }
+
+// TestPoolPutWrongSizeContract pins Put's wrong-size policy: the bitmap is
+// dropped (never handed back out by a later Get), and the OnSizeMismatch
+// debug hook observes the drop with the offending and expected word counts.
+func TestPoolPutWrongSizeContract(t *testing.T) {
+	p := NewPool(130)
+	var gotCalls [][2]int
+	p.OnSizeMismatch = func(got, want int) { gotCalls = append(gotCalls, [2]int{got, want}) }
+
+	p.Put(New(10))   // too short
+	p.Put(New(4096)) // too long
+	p.Put(nil)       // degenerate
+	if want := [][2]int{
+		{WordsFor(10), WordsFor(130)},
+		{WordsFor(4096), WordsFor(130)},
+		{0, WordsFor(130)},
+	}; len(gotCalls) != len(want) {
+		t.Fatalf("OnSizeMismatch fired %d times, want %d", len(gotCalls), len(want))
+	} else {
+		for i := range want {
+			if gotCalls[i] != want[i] {
+				t.Fatalf("OnSizeMismatch call %d = %v, want %v", i, gotCalls[i], want[i])
+			}
+		}
+	}
+
+	// Correct-size Puts never fire the hook, and every Get after the
+	// wrong-size Puts still returns exactly the pool's size.
+	n := len(gotCalls)
+	for i := 0; i < 8; i++ {
+		b := p.Get()
+		if len(b) != WordsFor(130) {
+			t.Fatalf("Get returned %d words after wrong-size Puts, want %d", len(b), WordsFor(130))
+		}
+		p.Put(b)
+	}
+	if len(gotCalls) != n {
+		t.Fatalf("OnSizeMismatch fired on correct-size Puts")
+	}
+}

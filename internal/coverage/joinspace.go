@@ -198,6 +198,7 @@ func sideSet(half Pattern, bits [][]bitmap.Bitmap, pool *bitmap.Pool) (set bitma
 		case !owned:
 			dst := pool.Get()
 			bitmap.And(dst, set, vb)
+			//redi:allow poolcheck scratch leaves via the named result; JoinSpace.Count Puts it back under the lOwned/rOwned flags
 			set, owned = dst, true
 		default:
 			bitmap.And(set, set, vb)
@@ -329,6 +330,7 @@ func (js *JoinSpace) childSet(parent rowSet, pos, val int, st *walkStats) rowSet
 		}
 	}
 	child.count = js.factorCount(child.a, child.b)
+	//redi:allow poolcheck both side sets transfer to the DFS caller; JoinSpace.releaseSet Puts them under the ownedA/ownedB flags
 	return child
 }
 

@@ -291,6 +291,7 @@ func (s *Space) childSet(parent rowSet, pos, val int, st *walkStats) rowSet {
 	st.ands++
 	dst := s.pool.Get()
 	n := bitmap.And(dst, parent.a, vb)
+	//redi:allow poolcheck ownership transfers to the DFS caller; every child set is released by Space.releaseSet when its subtree pops
 	return rowSet{a: dst, count: n, ownedA: true}
 }
 

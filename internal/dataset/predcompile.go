@@ -62,6 +62,9 @@ type CompiledPredicate struct {
 	sets     [][]bool // pInSet membership, indexed by dictionary code + 1 (slot 0 = null, always false)
 	eqLits   []string // pEqCode literal (by b-side index) for Disassemble
 	depth    int      // max boolean-stack depth
+	// verified is set once the program passes bytecode verification (see
+	// predverify.go); the VM entry points refuse to run without it.
+	verified bool
 	// Vectorized evaluation scratch, allocated once at compile time.
 	bms  []bitmap.Bitmap
 	full bitmap.Bitmap
@@ -107,8 +110,17 @@ func compileNode(d *Dataset, n *predNode) *CompiledPredicate {
 	if rem := d.n % 64; rem != 0 && len(cp.full) > 0 {
 		cp.full[len(cp.full)-1] = (uint64(1) << uint(rem)) - 1
 	}
+	// Every compiled program passes the bytecode verifier before it is
+	// handed out. A failure here is a compiler bug, not user error: the
+	// panic keeps an unsafe program from ever reaching the unchecked VM
+	// loops.
+	if err := cp.verify(); err != nil {
+		panic(fmt.Sprintf("dataset: compiler produced invalid program: %v\n%s", err, cp.Disassemble()))
+	}
+	cp.verified = true
 	reg := obs.Active(nil)
 	reg.Counter("dataset.predicate_compiles").Inc()
+	reg.Counter("dataset.predicate_verifies").Inc()
 	cp.cRows = reg.Counter("dataset.predicate_rows_scanned")
 	cp.cOps = reg.Counter("dataset.predicate_bitmap_ops")
 	return cp

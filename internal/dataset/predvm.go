@@ -10,8 +10,14 @@ const vmStackHint = 32
 
 // Match evaluates the program on one row with the stack VM. The hot loop
 // touches only int32 codes, float64s, and null masks — no Value boxing, no
-// string compares, no allocation. Safe for concurrent use.
+// string compares, no allocation. Safe for concurrent use. It panics on a
+// program that has not passed bytecode verification (predverify.go): the
+// loop runs with no per-instruction bounds checks, on the verifier's
+// guarantee that every operand access is in range.
+//
+//redi:hotpath per-row VM dispatch; called once per row under filters
 func (cp *CompiledPredicate) Match(row int) bool {
+	cp.mustBeVerified()
 	var a [vmStackHint]bool
 	st := a[:]
 	if cp.depth > vmStackHint {
@@ -96,8 +102,12 @@ func (cp *CompiledPredicate) Predicate() Predicate {
 // scan over the column's codes or values; boolean operators run as word
 // kernels over the bitmap stack. The returned bitmap is the program's
 // internal scratch: read-only, valid until the next vectorized evaluation,
-// and no allocation happens per call.
+// and no allocation happens per call. Like Match, it panics on a program
+// that has not passed bytecode verification.
+//
+//redi:hotpath vectorized program replay; one fused scan per leaf
 func (cp *CompiledPredicate) SelectBitmap() bitmap.Bitmap {
+	cp.mustBeVerified()
 	sp := 0
 	var rows, kernels int64
 	for i := range cp.code {
@@ -192,6 +202,7 @@ func (cp *CompiledPredicate) Select() *Dataset {
 // subslice (bounds checks eliminated), and match bits are ORed in as 0/1
 // values so the loop body stays branch-free.
 
+//redi:hotpath word-building scan kernel; one pass over the column per leaf
 func fillEq(dst bitmap.Bitmap, codes []int32, code int32) {
 	n := len(codes)
 	for wi := range dst {
@@ -212,6 +223,7 @@ func fillEq(dst bitmap.Bitmap, codes []int32, code int32) {
 	}
 }
 
+//redi:hotpath word-building scan kernel; one pass over the column per leaf
 func fillIn(dst bitmap.Bitmap, codes []int32, set []bool) {
 	n := len(codes)
 	for wi := range dst {
@@ -234,6 +246,7 @@ func fillIn(dst bitmap.Bitmap, codes []int32, set []bool) {
 	}
 }
 
+//redi:hotpath word-building scan kernel; one pass over the column per leaf
 func fillRange(dst bitmap.Bitmap, vals []float64, nulls []bool, lo, hi float64) {
 	n := len(vals)
 	for wi := range dst {
@@ -269,6 +282,8 @@ func fillRange(dst bitmap.Bitmap, vals []float64, nulls []bool, lo, hi float64) 
 
 // fillCmp dispatches on the operator once and runs a specialized branch-free
 // loop; a per-row switch would dominate the scan.
+//
+//redi:hotpath word-building scan kernel; one pass over the column per leaf
 func fillCmp(dst bitmap.Bitmap, vals []float64, nulls []bool, op CompareOp, x float64) {
 	n := len(vals)
 	for wi := range dst {
@@ -352,6 +367,7 @@ func fillCmp(dst bitmap.Bitmap, vals []float64, nulls []bool, op CompareOp, x fl
 	}
 }
 
+//redi:hotpath word-building scan kernel; one pass over the column per leaf
 func fillNotNullCat(dst bitmap.Bitmap, codes []int32) {
 	n := len(codes)
 	for wi := range dst {
@@ -372,6 +388,7 @@ func fillNotNullCat(dst bitmap.Bitmap, codes []int32) {
 	}
 }
 
+//redi:hotpath word-building scan kernel; one pass over the column per leaf
 func fillNotNullNum(dst bitmap.Bitmap, nulls []bool) {
 	n := len(nulls)
 	for wi := range dst {

@@ -1,0 +1,33 @@
+package lint
+
+import "testing"
+
+// BenchmarkRedilint pins the full-repo lint run — load, type-check, and all
+// eight analyzers over every package — which CI executes on every push. The
+// budget is ~2s per cold run (currently ~0.5s): one batched `go list
+// -export -deps` maps every stdlib import to its export-data file up front,
+// dependency-ordered unit checking type-checks each module package once,
+// and the per-loader stdlib/module caches absorb repeat imports.
+func BenchmarkRedilint(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatalf("module root: %v", err)
+	}
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			b.Fatalf("loader: %v", err)
+		}
+		pkgs, err := l.Load("./...")
+		if err != nil {
+			b.Fatalf("load: %v", err)
+		}
+		findings := 0
+		for _, pkg := range pkgs {
+			findings += len(Run(pkg, All()...))
+		}
+		if findings != 0 {
+			b.Fatalf("tree has %d findings; sweep before benchmarking", findings)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the lint framework's intraprocedural analysis engine: a
+// lightweight control-flow graph over go/ast function bodies plus a generic
+// forward-dataflow fixpoint. PR 2's analyzers were per-node AST walks; the
+// invariants added since (pooled-scratch ownership, the deterministic/runtime
+// obs class split, mutex-guarded captures) are *flow* properties — "on all
+// paths", "never reaches" — that need path structure. The CFG stays
+// deliberately small: basic blocks of statements in source order, edges for
+// branches and loops, an Exit block that models function return (with
+// deferred calls replayed into it), and nothing interprocedural.
+//
+// Shapes handled: if/else, for (all three clauses), range, switch (incl.
+// fallthrough and tagless), type switch, select, labeled statements,
+// break/continue (labeled and bare), goto, return, and defer. A call to
+// panic terminates its path without reaching Exit: pooled scratch lost on a
+// panicking path is not a leak worth flagging, and no result flows out of
+// it. Statements the builder does not recognize are appended to the current
+// block, so analyses degrade to straight-line conservatism rather than
+// missing code.
+
+// Block is one basic block: statements (and loop/branch header nodes) that
+// execute in sequence, followed by edges to every possible successor.
+type Block struct {
+	// Index is the block's creation order, stable across runs.
+	Index int
+	// Nodes are the block's AST nodes in execution order: statements,
+	// plus branch/loop conditions and case guards in the blocks that
+	// evaluate them. Every node appears in exactly one block, so walking
+	// each block's subtrees visits each expression once.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks in a deterministic order
+	// (then before else, case order, loop body before loop exit).
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit models function return. Every return statement and the body's
+	// fallthrough end edge into it; deferred calls are replayed inside it
+	// (innermost-last registration runs first, per Go's LIFO defer order).
+	Exit *Block
+	// Blocks lists every block in creation order, Entry first, Exit last.
+	Blocks []*Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body. It never
+// fails: unrecognized statements land in the current block unchanged.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	if b.cur != nil {
+		b.edge(b.cur, exit)
+	}
+	for _, ret := range b.returns {
+		b.edge(ret, exit)
+	}
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	// Deferred calls run on the way out, last registration first.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		exit.Nodes = append(exit.Nodes, b.defers[i])
+	}
+	return b.cfg
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return seen
+}
+
+// preds returns the predecessor lists of every block.
+func (g *CFG) preds() map[*Block][]*Block {
+	p := map[*Block][]*Block{}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			p[s] = append(p[s], blk)
+		}
+	}
+	return p
+}
+
+// Forward runs a forward dataflow analysis to fixpoint and returns each
+// block's in-state. entry seeds the Entry block; unreachable blocks keep
+// top. join folds a predecessor's out-state into a block's in-state (union
+// for may-analyses, intersection for must-analyses); transfer folds one
+// block's nodes over a state and must not mutate its argument's aliases
+// observable by eq; eq decides convergence.
+func Forward[S any](g *CFG, entry S, top S, join func(S, S) S, transfer func(*Block, S) S, eq func(S, S) bool) map[*Block]S {
+	in := map[*Block]S{}
+	for _, blk := range g.Blocks {
+		in[blk] = top
+	}
+	in[g.Entry] = entry
+	preds := g.preds()
+	// Worklist seeded in block order; block indexes keep iteration
+	// deterministic so analyses converge identically run to run.
+	work := append([]*Block(nil), g.Blocks...)
+	inWork := make([]bool, len(g.Blocks))
+	for i := range inWork {
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.Index] = false
+		state := in[blk]
+		if blk != g.Entry {
+			state = top
+			first := true
+			for _, p := range preds[blk] {
+				out := transfer(p, in[p])
+				if first {
+					state = out
+					first = false
+				} else {
+					state = join(state, out)
+				}
+			}
+			if first {
+				continue // unreachable: keep top, nothing to propagate
+			}
+		}
+		if eq(state, in[blk]) && blk != g.Entry {
+			continue
+		}
+		in[blk] = state
+		for _, s := range blk.Succs {
+			if !inWork[s.Index] {
+				inWork[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// --- builder -------------------------------------------------------------
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopFrame records where break and continue jump for one enclosing loop,
+// switch, or select statement.
+type loopFrame struct {
+	label       string
+	breakTarget *Block
+	continueTgt *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block // nil while control cannot reach the next statement
+	frames  []loopFrame
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	returns []*Block
+	defers  []ast.Node
+	// pendingLabel holds a label whose statement is about to be built, so
+	// `outer: for ...` attaches "outer" to the loop's frame.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins a new block with an edge from the current one (when
+// live) and makes it current.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// add appends a node to the current block, reviving a dead position into a
+// fresh unreachable block so the node is never lost to analyses.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, st := range list {
+		b.stmt(st)
+	}
+}
+
+// takeLabel consumes the pending label for the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is both a goto target and (for loops/switches) the
+		// name break/continue statements refer to.
+		target := b.startBlock()
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.returns = append(b.returns, b.cur)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		// then branch
+		b.cur = b.newBlock()
+		b.edge(condBlk, b.cur)
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		// else branch (or fallthrough to after)
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			b.edge(condBlk, b.cur)
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		// The header block carries only the condition — the part that
+		// re-evaluates on the back edge. The ForStmt node itself must NOT
+		// land in any block: its subtree contains the whole body, which
+		// would double into the header for subtree-walking analyses.
+		head := b.startBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, continueTgt: post})
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after) // condition can be false
+		}
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		// s.X evaluates once before the loop; the header block stays empty
+		// (the RangeStmt node would duplicate the body subtree) and only
+		// anchors the back edge and the key/value rebind point.
+		b.add(s.X)
+		head := b.startBlock()
+		after := b.newBlock()
+		b.edge(head, after) // range can be empty or exhausted
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, continueTgt: head})
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CaseClause)
+			var guards []ast.Node
+			for _, e := range c.List {
+				guards = append(guards, e)
+			}
+			return guards, c.Body, c.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CaseClause)
+			var guards []ast.Node
+			for _, e := range c.List {
+				guards = append(guards, e)
+			}
+			return guards, c.Body, c.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.switchClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CommClause)
+			var guards []ast.Node
+			if c.Comm != nil {
+				guards = append(guards, c.Comm)
+			}
+			return guards, c.Body, c.Comm == nil
+		})
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			// panic leaves the function without producing a result; the
+			// path ends here rather than at Exit.
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec, empty
+		// statements: straight-line, no control flow.
+		b.add(st)
+	}
+}
+
+// switchClauses builds the shared switch/type-switch/select shape: a head
+// that may branch to each clause, clauses that run to a common after block,
+// and (for switch) fallthrough edges to the next clause's body.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after})
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	bodyStmts := make([][]ast.Stmt, len(clauses))
+	for i, cc := range clauses {
+		guards, body, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		blk.Nodes = append(blk.Nodes, guards...)
+		b.edge(head, blk)
+		bodies[i] = blk
+		bodyStmts[i] = body
+	}
+	for i := range clauses {
+		b.cur = bodies[i]
+		list := bodyStmts[i]
+		fallsThrough := false
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				list = list[:n-1]
+			}
+		}
+		b.stmtList(list)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1])
+			} else {
+				b.edge(b.cur, after)
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// branch wires break/continue/goto edges. Fallthrough is consumed by
+// switchClauses; one reaching here (malformed code) ends the path.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	if b.cur == nil {
+		return
+	}
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.breakTarget)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTgt != nil && (label == "" || f.label == label) {
+				b.edge(b.cur, f.continueTgt)
+				break
+			}
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+	}
+	b.cur = nil
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses src (a file body containing func f), finds f, and
+// builds its CFG.
+func buildTestCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\n\nfunc mark(string) {}\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return BuildCFG(fn.Body)
+		}
+	}
+	t.Fatal("no func f in fixture")
+	return nil
+}
+
+// reachableMarks returns the sorted set of mark("...") literals appearing in
+// blocks reachable from entry — the oracle the shape tests compare against.
+func reachableMarks(g *CFG) []string {
+	seen := map[string]bool{}
+	reach := g.Reachable()
+	for blk := range reach {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+						seen[strings.Trim(lit.Value, `"`)] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantMarks(t *testing.T, g *CFG, want ...string) {
+	t.Helper()
+	got := reachableMarks(g)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("reachable marks = %v, want %v", got, want)
+	}
+}
+
+func TestCFGIfShapes(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(c bool) {
+	mark("top")
+	if c {
+		mark("then")
+		return
+	} else {
+		mark("else")
+	}
+	mark("after")
+}`)
+	wantMarks(t, g, "top", "then", "else", "after")
+	if !g.Reachable()[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+	mark("live")
+	return
+	mark("dead")
+}`)
+	wantMarks(t, g, "live")
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		mark("body")
+		if i == 2 {
+			continue
+		}
+		mark("tail")
+	}
+	mark("after")
+}`)
+	wantMarks(t, g, "body", "tail", "after")
+}
+
+func TestCFGInfiniteLoopWithoutBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+	for {
+		mark("body")
+	}
+	mark("after")
+}`)
+	// A condition-free loop with no break never falls through.
+	wantMarks(t, g, "body")
+	if g.Reachable()[g.Exit] {
+		t.Fatal("exit should be unreachable past for{}")
+	}
+}
+
+func TestCFGInfiniteLoopWithBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+		mark("body")
+	}
+	mark("after")
+}`)
+	wantMarks(t, g, "body", "after")
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			mark("inner")
+			break outer
+		}
+		mark("unreached")
+	}
+	mark("after")
+}`)
+	// The inner loop has no normal exit; only `break outer` leaves it, so
+	// the outer loop's tail never runs.
+	wantMarks(t, g, "inner", "after")
+}
+
+func TestCFGRange(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		mark("body")
+	}
+	mark("after")
+}`)
+	wantMarks(t, g, "body", "after")
+}
+
+func TestCFGSwitch(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		mark("one")
+		fallthrough
+	case 2:
+		mark("two")
+	default:
+		mark("def")
+		return
+	}
+	mark("after")
+}`)
+	wantMarks(t, g, "one", "two", "def", "after")
+}
+
+func TestCFGSwitchAllReturn(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		return
+	default:
+		return
+	}
+	mark("dead")
+}`)
+	wantMarks(t, g)
+}
+
+func TestCFGTypeSwitchAndSelect(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(v any, ch chan int) {
+	switch v.(type) {
+	case int:
+		mark("int")
+	case string:
+		mark("string")
+	}
+	select {
+	case <-ch:
+		mark("recv")
+	default:
+		mark("none")
+	}
+	mark("after")
+}`)
+	wantMarks(t, g, "int", "string", "recv", "none", "after")
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(c bool) {
+	if c {
+		goto done
+	}
+	mark("middle")
+done:
+	mark("done")
+}`)
+	wantMarks(t, g, "middle", "done")
+
+	g = buildTestCFG(t, `
+func f() {
+	goto skip
+	mark("dead")
+skip:
+	mark("live")
+}`)
+	wantMarks(t, g, "live")
+}
+
+func TestCFGPanicTerminatesPath(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(c bool) {
+	if !c {
+		panic("boom")
+	}
+	mark("after")
+}`)
+	wantMarks(t, g, "after")
+	// Exit is reachable only through the non-panicking path.
+	if !g.Reachable()[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+
+	g = buildTestCFG(t, `
+func f() {
+	panic("always")
+	mark("dead")
+}`)
+	wantMarks(t, g)
+	if g.Reachable()[g.Exit] {
+		t.Fatal("exit should be unreachable past an unconditional panic")
+	}
+}
+
+// TestCFGDeferReplay pins defer semantics: deferred calls replay in the
+// Exit block in LIFO order, so all-paths analyses see them on every
+// function exit.
+func TestCFGDeferReplay(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+	defer mark("first")
+	defer mark("second")
+	mark("body")
+}`)
+	var order []string
+	for _, n := range g.Exit.Nodes {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				order = append(order, strings.Trim(lit.Value, `"`))
+			}
+		}
+	}
+	if strings.Join(order, ",") != "second,first" {
+		t.Fatalf("exit defers = %v, want [second first]", order)
+	}
+}
+
+// TestForwardMustAnalysis exercises the generic fixpoint with a tiny
+// must-analysis: "mark(\"flag\") has executed on every path". The branch
+// that skips the flag must force the join to false at the merge point.
+func TestForwardMustAnalysis(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(c bool) {
+	if c {
+		mark("flag")
+	}
+	mark("merge")
+}`)
+	hasFlag := func(blk *Block, s bool) bool {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Value == `"flag"` {
+							s = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return s
+	}
+	in := Forward(g, false, true,
+		func(a, b bool) bool { return a && b },
+		hasFlag,
+		func(a, b bool) bool { return a == b })
+	// Find the block containing mark("merge"): its in-state must be false
+	// (one path skipped the flag).
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if lit, ok := x.(*ast.BasicLit); ok && lit.Value == `"merge"` {
+					found = true
+				}
+				return true
+			})
+			if found {
+				if in[blk] {
+					t.Fatal("must-analysis claims flag set on all paths; the else path skips it")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("merge block not found")
+}

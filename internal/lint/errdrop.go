@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags statement-level calls in internal/ non-test files whose
+// error result vanishes: `f()` where f returns an error is a silent failure
+// path, invisible in audits and impossible to reproduce from output. The
+// rule only fires on expression statements — assigning the error away with
+// `_ = f()` is explicit (the author visibly chose to drop it), and deferred
+// calls are deliberately out of scope (a deferred error has no local
+// consumer; routing it anywhere is a design decision, not a lint fix).
+//
+// Calls whose error is impossible by documented contract are exempt:
+// methods on strings.Builder and bytes.Buffer always return a nil error,
+// and fmt.Fprint* only propagates its writer's error, so printing into one
+// of those two types cannot fail either. Everything else that is genuinely
+// uncheckable carries //redi:allow errdrop with the reason.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "statement-level calls must not silently discard error results; use _ = or //redi:allow errdrop <reason>",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	if !isInternalPkg(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if n := droppedErrorResults(pass, call); n > 0 && !isInfallibleCall(pass, call) {
+				pass.Reportf(st.Pos(), "call discards its error result; handle it, assign it to _ explicitly, or //redi:allow errdrop with a reason")
+			}
+			return true
+		})
+	}
+}
+
+// isInfallibleCall reports whether the call's error result is nil by
+// documented contract: strings.Builder/bytes.Buffer methods, or fmt.Fprint*
+// whose destination's static type is one of those sinks.
+func isInfallibleCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if t := exprType(pass, sel.X); isInfallibleSink(t) {
+		return true
+	}
+	if isPkgCall(pass, call, "fmt") && strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+		return isInfallibleSink(exprType(pass, call.Args[0]))
+	}
+	return false
+}
+
+// isInfallibleSink reports whether t is strings.Builder or bytes.Buffer
+// (possibly behind a pointer), the two stdlib writers that never error.
+func isInfallibleSink(t types.Type) bool {
+	return isNamedType(t, "strings", "Builder") || isNamedType(t, "bytes", "Buffer")
+}
+
+// droppedErrorResults counts error-typed results of the call.
+func droppedErrorResults(pass *Pass, call *ast.CallExpr) int {
+	t := exprType(pass, call)
+	if t == nil {
+		return 0
+	}
+	errType := types.Universe.Lookup("error").Type()
+	count := 0
+	switch r := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < r.Len(); i++ {
+			if types.Identical(r.At(i).Type(), errType) {
+				count++
+			}
+		}
+	default:
+		if types.Identical(t, errType) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,91 @@
+package lint
+
+import "testing"
+
+func TestErrDropTruePositive(t *testing.T) {
+	diags := runFixture(t, ErrDrop, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "strconv"
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func drop(w interface{ Write([]byte) (int, error) }) {
+	fallible()             // dropped single error
+	pair()                 // dropped (int, error)
+	w.Write([]byte("x"))   // dropped method error
+	_ = strconv.Itoa(1)    // no error result anywhere
+}
+`,
+	})
+	wantFindings(t, diags, 3, "discards its error result")
+}
+
+func TestErrDropSuppressed(t *testing.T) {
+	diags := runFixture(t, ErrDrop, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+func fallible() error { return nil }
+
+func drop() {
+	//redi:allow errdrop best-effort cleanup, failure changes nothing downstream
+	fallible()
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestErrDropCleanShapes(t *testing.T) {
+	diags := runFixture(t, ErrDrop, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+func fallible() error { return nil }
+
+func pure() int { return 1 }
+
+func clean() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_ = fallible()
+	pure()
+	return fallible()
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+// TestErrDropInfallibleSinks pins the documented-contract exemption:
+// strings.Builder/bytes.Buffer writes and fmt.Fprint* into them cannot
+// fail, so dropping their error is not a finding — but the same fmt call
+// into an arbitrary io.Writer is.
+func TestErrDropInfallibleSinks(t *testing.T) {
+	diags := runFixture(t, ErrDrop, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func render(w io.Writer) string {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	sb.WriteString("a")
+	sb.WriteByte('b')
+	buf.WriteRune('c')
+	fmt.Fprintf(&sb, "%d", 1)
+	fmt.Fprintln(&buf, "x")
+	fmt.Fprintf(w, "real writer can fail") // the one real finding
+	return sb.String() + buf.String()
+}
+`,
+	})
+	wantFindings(t, diags, 1, "discards its error result")
+}

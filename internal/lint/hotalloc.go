@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc keeps allocation out of declared hot paths. A body is hot when
+// its function carries a `//redi:hotpath` annotation (the VM eval loops and
+// fill kernels in internal/dataset opt in this way) or when it is a closure
+// handed to parallel.For/Map/MapChunks (worker bodies run once per element
+// or chunk). Inside a hot body the rule flags the alloc-bearing constructs
+// that profiling has repeatedly caught sneaking into kernels:
+//
+//   - any fmt.* call (formatting allocates and takes interface arguments)
+//   - string concatenation (+ / += on strings builds garbage per row)
+//   - map and slice composite literals (per-iteration heap allocation)
+//   - interface boxing of numerics: passing an int/float argument where the
+//     callee takes an interface — the conversion heap-allocates on most
+//     values and is invisible at the call site
+//
+// The rule is about steady-state per-element work; one-time setup belongs
+// outside the annotated function, and genuinely cold diagnostics inside a
+// hot body carry a //redi:allow hotalloc with the reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//redi:hotpath functions and parallel worker closures must not use fmt, string concat, map/slice literals, or box numerics into interfaces",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if !isInternalPkg(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		// A closure nested in an annotated function is seen twice (outer walk
+		// + parallel-arg walk); dedup by position.
+		reported := map[token.Pos]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil && isHotpathAnnotated(d.Doc) {
+					checkHotBody(pass, d.Body, "//redi:hotpath function "+d.Name.Name, reported)
+				}
+			case *ast.CallExpr:
+				if fl := parallelWorkerArg(pass, file, d); fl != nil {
+					sel := d.Fun.(*ast.SelectorExpr)
+					checkHotBody(pass, fl.Body, "parallel."+sel.Sel.Name+" worker closure", reported)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// parallelWorkerArg returns the closure literal passed to a
+// parallel.For/Map/MapChunks call, or nil.
+func parallelWorkerArg(pass *Pass, file *ast.File, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !parallelEntrypoints[sel.Sel.Name] {
+		return nil
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok || pass.pkgNamePath(file, pkgID) != pass.Module+"/internal/parallel" {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if fl, ok := arg.(*ast.FuncLit); ok {
+			return fl
+		}
+	}
+	return nil
+}
+
+// isHotpathAnnotated reports whether the doc comment carries //redi:hotpath.
+func isHotpathAnnotated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//redi:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody walks one hot body (including nested closures — they are
+// created, and almost always invoked, in the hot context) and reports
+// alloc-bearing constructs.
+func checkHotBody(pass *Pass, body *ast.BlockStmt, where string, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, msg string) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, "%s in %s; hot bodies run per row/element and must not allocate", msg, where)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isPkgCall(pass, e, "fmt") {
+				report(e.Pos(), "fmt call")
+				return true // don't double-report its boxed arguments
+			}
+			checkBoxedArgs(pass, e, report)
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(exprType(pass, e.X)) {
+				report(e.OpPos, "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(exprType(pass, e.Lhs[0])) {
+				report(e.TokPos, "string concatenation")
+			}
+		case *ast.CompositeLit:
+			switch coreType(pass, e).(type) {
+			case *types.Map:
+				report(e.Pos(), "map literal")
+			case *types.Slice:
+				report(e.Pos(), "slice literal")
+			}
+		}
+		return true
+	})
+}
+
+// isPkgCall reports whether call is <pkg>.<anything>(...) for the named
+// standard-library package.
+func isPkgCall(pass *Pass, call *ast.CallExpr, pkgPath string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := identObj(pass, id).(*types.PkgName); ok {
+		return pn.Imported().Path() == pkgPath
+	}
+	return false
+}
+
+// checkBoxedArgs flags numeric arguments passed in interface-typed
+// parameter slots.
+func checkBoxedArgs(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	sig, ok := exprType(pass, call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin, not a function call
+	}
+	if call.Ellipsis != token.NoPos {
+		return // spread of an existing slice does not box per element here
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if b, ok := basicOf(exprType(pass, arg)); ok && b.Info()&(types.IsInteger|types.IsFloat|types.IsComplex) != 0 {
+			report(arg.Pos(), "numeric value boxed into interface argument")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package lint
+
+import "testing"
+
+func TestHotAllocAnnotatedFunction(t *testing.T) {
+	diags := runFixture(t, HotAlloc, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//redi:hotpath
+func evalRow(codes []int32, names []string) string {
+	out := ""
+	for i, c := range codes {
+		out += names[c]                  // string concat
+		pair := []int32{c, int32(i)}     // slice literal
+		m := map[int32]bool{c: true}     // map literal
+		_ = pair
+		_ = m
+		sink(c)                          // numeric boxed into interface
+		fmt.Println(c)                   // fmt in hot path
+	}
+	return out
+}
+`,
+	})
+	wantFindings(t, diags, 5, "hot bodies run per row/element and must not allocate")
+}
+
+func TestHotAllocParallelClosure(t *testing.T) {
+	diags := runFixture(t, HotAlloc, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"fmt"
+
+	"redi/internal/parallel"
+)
+
+func work(out []string, in []int) {
+	parallel.For(0, len(in), 0, func(i int) {
+		out[i] = fmt.Sprint(in[i])
+	})
+}
+`,
+	})
+	wantFindings(t, diags, 1, "fmt call in parallel.For worker closure")
+}
+
+func TestHotAllocSuppressed(t *testing.T) {
+	diags := runFixture(t, HotAlloc, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "fmt"
+
+//redi:hotpath
+func evalRow(codes []int32) {
+	for _, c := range codes {
+		if c < 0 {
+			//redi:allow hotalloc cold corrupt-data diagnostic, unreachable on verified programs
+			panic(fmt.Sprintf("bad code %d", c))
+		}
+	}
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestHotAllocCleanShapes(t *testing.T) {
+	diags := runFixture(t, HotAlloc, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"fmt"
+
+	"redi/internal/parallel"
+)
+
+// Not annotated: fmt and literals are fine in cold code.
+func cold(xs []int) string {
+	s := fmt.Sprint(xs)
+	m := map[int]bool{1: true}
+	_ = m
+	return s + "!"
+}
+
+//redi:hotpath
+func kernel(dst, a, b []uint64) int {
+	n := 0
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+		if dst[i] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Worker closure doing pure index-disjoint arithmetic.
+func work(out, in []int) {
+	parallel.For(0, len(in), 0, func(i int) {
+		out[i] = in[i] * 2
+	})
+}
+
+// Boxing a non-numeric (string) is not flagged by this rule.
+func sink(v any) { _ = v }
+
+//redi:hotpath
+func strings_ok(names []string) {
+	for _, n := range names {
+		sink(n)
+	}
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}

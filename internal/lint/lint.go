@@ -141,9 +141,10 @@ func (p *Pass) pkgNamePath(file *ast.File, id *ast.Ident) string {
 	return ""
 }
 
-// All returns the full determinism-contract rule set in stable order.
+// All returns the full determinism-contract rule set in stable order: the
+// four syntactic rules from PR 2 plus the four CFG/dataflow rules.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, RandSource, WallTime, ParCapture}
+	return []*Analyzer{MapOrder, RandSource, WallTime, ParCapture, PoolCheck, ObsClass, HotAlloc, ErrDrop}
 }
 
 // Run executes each analyzer over pkg and returns the surviving

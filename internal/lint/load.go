@@ -8,7 +8,9 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -44,9 +46,20 @@ type Loader struct {
 	ModPath string
 	ModRoot string
 
-	std     types.ImporterFrom
-	imports map[string]*types.Package // module-local import cache (no test files)
-	loading map[string]bool           // cycle guard for module-local imports
+	std    types.ImporterFrom // lookup-backed gc importer, set once exports are warmed
+	stdDef types.ImporterFrom // default gc export-data importer (per-import resolution)
+	stdSrc types.ImporterFrom // source importer, last resort
+	// exports maps std import paths to export-data files, filled by one
+	// batched `go list -export -deps` run: the default gc importer resolves
+	// export data per import (a subprocess each on toolchains without
+	// pre-built .a files), which dominated the full-repo wall clock.
+	exports map[string]string
+	// stdCache memoizes standard-library imports: the gc importer re-reads
+	// export data per call, and redilint imports the same handful of std
+	// packages from every package in the module.
+	stdCache map[string]*types.Package
+	imports  map[string]*types.Package // module-local import cache (no test files)
+	loading  map[string]bool           // cycle guard for module-local imports
 }
 
 // NewLoader builds a loader for the module rooted at modRoot (a directory
@@ -72,14 +85,58 @@ func NewLoader(modRoot string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	l := &Loader{
-		Fset:    fset,
-		ModPath: modPath,
-		ModRoot: abs,
-		imports: map[string]*types.Package{},
-		loading: map[string]bool{},
+		Fset:     fset,
+		ModPath:  modPath,
+		ModRoot:  abs,
+		stdCache: map[string]*types.Package{},
+		imports:  map[string]*types.Package{},
+		loading:  map[string]bool{},
 	}
-	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	// Standard-library imports prefer compiled export data over
+	// type-checking the stdlib from source (net/http: ~0.2s vs several
+	// seconds). Load() additionally warms a path→export-file map with one
+	// batched `go list` so the common case never spawns a per-import
+	// subprocess; the chain degrades gracefully on toolchains without
+	// export data.
+	l.exports = map[string]string{}
+	if gc, ok := importer.ForCompiler(fset, "gc", nil).(types.ImporterFrom); ok {
+		l.stdDef = gc
+	}
+	l.stdSrc = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
+}
+
+// warmStdExports resolves export-data files for the given stdlib roots (and
+// all their transitive dependencies) with a single `go list -export -deps`
+// invocation, then rebuilds the gc importer around a direct-file lookup.
+// Best-effort: on any failure the loader keeps its slower fallback chain.
+func (l *Loader) warmStdExports(roots []string) {
+	if len(roots) == 0 {
+		return
+	}
+	sort.Strings(roots)
+	args := append([]string{"list", "-e", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, roots...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModRoot
+	out, err := cmd.Output()
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if ok && file != "" {
+			l.exports[path] = file
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if f, ok := l.exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	if gc, ok := importer.ForCompiler(l.Fset, "gc", lookup).(types.ImporterFrom); ok {
+		l.std = gc
+	}
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing
@@ -143,13 +200,92 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Strings(sorted)
 
-	var pkgs []*Package
+	// Scan every matched directory up front, then type-check units in
+	// dependency order so each unit's own Types can serve as the import
+	// surface for later units. Without this, every module-local package gets
+	// type-checked twice — once as a unit, once (minus test files) when
+	// another package imports it — which roughly doubles the full-repo run.
+	type entry struct {
+		dir  string
+		path string
+		bp   *build.Package
+	}
+	var entries []*entry
+	byPath := map[string]*entry{}
 	for _, dir := range sorted {
-		units, err := l.loadDir(dir)
+		bp, err := build.Default.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, fmt.Errorf("lint: scanning %s: %w", dir, err)
+		}
+		path, err := l.importPathFor(dir)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, units...)
+		e := &entry{dir: dir, path: path, bp: bp}
+		entries = append(entries, e)
+		byPath[path] = e
+	}
+	// Warm the stdlib export-data map once, for the union of every scanned
+	// package's non-module imports (transitive deps come along via -deps).
+	stdRoots := map[string]bool{}
+	for _, e := range entries {
+		for _, imp := range [][]string{e.bp.Imports, e.bp.TestImports, e.bp.XTestImports} {
+			for _, p := range imp {
+				if p != "C" && p != "unsafe" && p != l.ModPath && !strings.HasPrefix(p, l.ModPath+"/") {
+					stdRoots[p] = true
+				}
+			}
+		}
+	}
+	roots := make([]string, 0, len(stdRoots))
+	for p := range stdRoots {
+		roots = append(roots, p)
+	}
+	sort.Strings(roots)
+	l.warmStdExports(roots)
+
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[*entry]int{}
+	var order []*entry
+	var visit func(*entry)
+	visit = func(e *entry) {
+		if state[e] != 0 {
+			return // done, or a test-import cycle: the importLocal fallback covers it
+		}
+		state[e] = visiting
+		deps := append(append([]string{}, e.bp.Imports...), e.bp.TestImports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[e] = done
+		order = append(order, e)
+	}
+	for _, e := range entries {
+		visit(e)
+	}
+
+	units := map[*entry][]*Package{}
+	for _, e := range order {
+		us, err := l.loadUnits(e.dir, e.path, e.bp)
+		if err != nil {
+			return nil, err
+		}
+		units[e] = us
+	}
+	// Emit in the original sorted-directory order regardless of
+	// dependency-visit order, so output stays stable.
+	var pkgs []*Package
+	for _, e := range entries {
+		pkgs = append(pkgs, units[e]...)
 	}
 	return pkgs, nil
 }
@@ -169,26 +305,25 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.ModPath + "/" + filepath.ToSlash(rel), nil
 }
 
-// loadDir loads the analysis units of one directory: the package including
-// its in-package test files, plus (when present) the external _test
-// package. Directories without Go files yield no units.
-func (l *Loader) loadDir(dir string) ([]*Package, error) {
-	bp, err := build.Default.ImportDir(dir, 0)
-	if err != nil {
-		if _, ok := err.(*build.NoGoError); ok {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("lint: scanning %s: %w", dir, err)
-	}
-	importPath, err := l.importPathFor(dir)
-	if err != nil {
-		return nil, err
-	}
+// loadUnits type-checks the analysis units of one pre-scanned directory:
+// the package including its in-package test files, plus (when present) the
+// external _test package. The base unit's Types is registered as the
+// package's import surface before the external test unit (which imports it)
+// is checked, and before any later unit in the caller's dependency order
+// needs it. The registered surface includes in-package test declarations —
+// importers can only gain symbols from that, never lose them.
+func (l *Loader) loadUnits(dir, importPath string, bp *build.Package) ([]*Package, error) {
 	var units []*Package
 	if files := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...); len(files) > 0 {
 		pkg, err := l.check(importPath, dir, files)
 		if err != nil {
 			return nil, err
+		}
+		if pkg.Types != nil {
+			pkg.Types.MarkComplete()
+			if _, ok := l.imports[importPath]; !ok {
+				l.imports[importPath] = pkg.Types
+			}
 		}
 		units = append(units, pkg)
 	}
@@ -207,7 +342,9 @@ func (l *Loader) check(importPath, dir string, names []string) (*Package, error)
 	sort.Strings(names)
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		// SkipObjectResolution: go/types does its own name resolution; the
+		// legacy ast.Object scopes would be pure overhead.
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
 		}
@@ -227,7 +364,7 @@ func (l *Loader) PackageFromSource(importPath string, files map[string]string) (
 	sort.Strings(names)
 	var parsed []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, name, files[name], parser.ParseComments)
+		f, err := parser.ParseFile(l.Fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing fixture %s: %w", name, err)
 		}
@@ -245,11 +382,11 @@ func (l *Loader) typecheck(importPath string, files []*ast.File) *Package {
 		Fset:   l.Fset,
 		Files:  files,
 		Info: &types.Info{
-			Types:     map[ast.Expr]types.TypeAndValue{},
-			Defs:      map[*ast.Ident]types.Object{},
-			Uses:      map[*ast.Ident]types.Object{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
 			Selections: map[*ast.SelectorExpr]*types.Selection{},
-			Implicits: map[ast.Node]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
 		},
 	}
 	if len(files) > 0 {
@@ -279,10 +416,23 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		return l.importLocal(path)
 	}
-	pkg, err := l.std.ImportFrom(path, l.ModRoot, 0)
+	if pkg, ok := l.stdCache[path]; ok {
+		return pkg, nil
+	}
+	for _, imp := range []types.ImporterFrom{l.std, l.stdDef} {
+		if imp == nil {
+			continue
+		}
+		if pkg, err := imp.ImportFrom(path, l.ModRoot, 0); err == nil {
+			l.stdCache[path] = pkg
+			return pkg, nil
+		}
+	}
+	pkg, err := l.stdSrc.ImportFrom(path, l.ModRoot, 0)
 	if err != nil {
 		return l.placeholder(path), nil
 	}
+	l.stdCache[path] = pkg
 	return pkg, nil
 }
 

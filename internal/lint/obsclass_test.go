@@ -1,0 +1,84 @@
+package lint
+
+import "testing"
+
+func TestObsClassTaintReachesDetSink(t *testing.T) {
+	diags := runFixture(t, ObsClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/obs"
+
+func direct(r *obs.Registry) {
+	c := r.Counter("rows")
+	g := r.Gauge("load")
+	c.Add(int64(g.Value())) // runtime gauge into det counter
+}
+
+func transitive(r *obs.Registry) {
+	h := r.Histogram("lat", obs.ExpBounds(1, 8))
+	start := obs.Now()
+	elapsed := obs.Now().Sub(start).Nanoseconds()
+	h.Observe(elapsed) // wall-clock duration into det histogram
+}
+
+func runtimeCounterRead(r *obs.Registry) {
+	rc := r.RuntimeCounter("dispatches")
+	c := r.Counter("work")
+	c.Add(rc.Value()) // runtime counter value into det counter
+}
+`,
+	})
+	wantFindings(t, diags, 3, "runtime-class observability value flows into deterministic")
+}
+
+func TestObsClassSuppressed(t *testing.T) {
+	diags := runFixture(t, ObsClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/obs"
+
+func direct(r *obs.Registry) {
+	c := r.Counter("rows")
+	g := r.Gauge("load")
+	//redi:allow obsclass test-only fixture exercising the suppression path
+	c.Add(int64(g.Value()))
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestObsClassCleanShapes(t *testing.T) {
+	diags := runFixture(t, ObsClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/obs"
+
+// Deterministic data into deterministic counters: fine.
+func det(r *obs.Registry, rows []int) {
+	c := r.Counter("rows")
+	c.Add(int64(len(rows)))
+	c.Inc()
+}
+
+// Runtime values into runtime-class handles: that is what they are for.
+func runtime(r *obs.Registry) {
+	rc := r.RuntimeCounter("ticks")
+	rh := r.RuntimeHistogram("lat", obs.ExpBounds(1, 8))
+	start := obs.Now()
+	rc.Add(1)
+	rh.Observe(obs.Now().Sub(start).Nanoseconds())
+	g := r.Gauge("load")
+	g.Set(g.Value() + 1)
+}
+
+// Reading a deterministic counter back is not taint.
+func readback(r *obs.Registry) {
+	c := r.Counter("a")
+	d := r.Counter("b")
+	d.Add(c.Value())
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}

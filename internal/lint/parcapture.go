@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // ParCapture flags closures handed to the deterministic parallel layer
@@ -60,7 +61,7 @@ func runParCapture(pass *Pass) {
 }
 
 func checkWorkerClosure(pass *Pass, entry string, fl *ast.FuncLit) {
-	lockPositions := lockCalls(fl)
+	guard := newLockOracle(fl)
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.FuncLit:
@@ -72,16 +73,16 @@ func checkWorkerClosure(pass *Pass, entry string, fl *ast.FuncLit) {
 				return true
 			}
 			for _, lhs := range st.Lhs {
-				checkClosureWrite(pass, entry, fl, lockPositions, lhs)
+				checkClosureWrite(pass, entry, fl, guard, lhs)
 			}
 		case *ast.IncDecStmt:
-			checkClosureWrite(pass, entry, fl, lockPositions, st.X)
+			checkClosureWrite(pass, entry, fl, guard, st.X)
 		}
 		return true
 	})
 }
 
-func checkClosureWrite(pass *Pass, entry string, fl *ast.FuncLit, locks []token.Pos, lhs ast.Expr) {
+func checkClosureWrite(pass *Pass, entry string, fl *ast.FuncLit, guard *lockOracle, lhs ast.Expr) {
 	base := baseIdent(lhs)
 	if base == nil || base.Name == "_" {
 		return
@@ -99,14 +100,81 @@ func checkClosureWrite(pass *Pass, entry string, fl *ast.FuncLit, locks []token.
 	if ix, ok := lhs.(*ast.IndexExpr); ok && indexOwnedByClosure(pass, fl, ix.Index) {
 		return
 	}
-	// Mutex-guarded: a .Lock()/.RLock() call precedes the write inside the
-	// closure body.
-	for _, lp := range locks {
-		if lp < lhs.Pos() {
-			return
-		}
+	// Mutex-guarded: a Lock is held on EVERY path reaching the write (a
+	// must-analysis over the closure CFG — a lock on one branch no longer
+	// blesses writes on the other, which the old any-lock-before-this-
+	// position check accepted).
+	if guard.lockedAt(lhs.Pos()) {
+		return
 	}
 	pass.Reportf(lhs.Pos(), "closure passed to parallel.%s writes captured %s; only index-disjoint element writes keyed by the closure's own index, or mutex-guarded state, stay deterministic at workers > 1", entry, types.ExprString(lhs))
+}
+
+// lockOracle answers "is a mutex provably held here?" for positions inside
+// one closure body, backed by a must-locked forward dataflow over the lint
+// CFG: .Lock()/.RLock() sets the state, .Unlock()/.RUnlock() clears it, and
+// paths merge with AND so only writes dominated by a lock qualify.
+type lockOracle struct {
+	g  *CFG
+	in map[*Block]bool
+}
+
+func newLockOracle(fl *ast.FuncLit) *lockOracle {
+	g := BuildCFG(fl.Body)
+	in := Forward(g, false, true,
+		func(a, b bool) bool { return a && b },
+		func(blk *Block, s bool) bool { return replayLockEvents(blk, s, token.Pos(1)<<62) },
+		func(a, b bool) bool { return a == b })
+	return &lockOracle{g: g, in: in}
+}
+
+func (o *lockOracle) lockedAt(pos token.Pos) bool {
+	for _, blk := range o.g.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				return replayLockEvents(blk, o.in[blk], pos)
+			}
+		}
+	}
+	return false
+}
+
+// replayLockEvents applies the block's lock/unlock calls at positions
+// strictly before `until` to the incoming state, in source order.
+func replayLockEvents(blk *Block, s bool, until token.Pos) bool {
+	type ev struct {
+		pos  token.Pos
+		lock bool
+	}
+	var events []ev
+	for _, n := range blk.Nodes {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			continue // deferred Unlock runs at function exit, not here
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					events = append(events, ev{call.Pos(), true})
+				case "Unlock", "RUnlock":
+					events = append(events, ev{call.Pos(), false})
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, e := range events {
+		if e.pos >= until {
+			break
+		}
+		s = e.lock
+	}
+	return s
 }
 
 // indexOwnedByClosure reports whether every identifier in an index
@@ -135,21 +203,4 @@ func indexOwnedByClosure(pass *Pass, fl *ast.FuncLit, index ast.Expr) bool {
 		return owned
 	})
 	return sawIdent && owned
-}
-
-// lockCalls collects the positions of .Lock()/.RLock() calls inside the
-// closure.
-func lockCalls(fl *ast.FuncLit) []token.Pos {
-	var out []token.Pos
-	ast.Inspect(fl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
-			out = append(out, call.Pos())
-		}
-		return true
-	})
-	return out
 }

@@ -56,6 +56,52 @@ func last(xs []int) int {
 	wantFindings(t, diags, 0, "")
 }
 
+// TestParCaptureBranchOnlyLock pins the CFG must-analysis: a Lock taken on
+// just one branch does not guard a write after the merge point (the old
+// any-lock-earlier-in-the-source check accepted this), while a lock that
+// dominates the write does.
+func TestParCaptureBranchOnlyLock(t *testing.T) {
+	diags := runFixture(t, ParCapture, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"sync"
+
+	"redi/internal/parallel"
+)
+
+func branchLock(xs []float64) float64 {
+	var mu sync.Mutex
+	total := 0.0
+	parallel.For(parallel.Auto, len(xs), func(i int) {
+		if i%2 == 0 {
+			mu.Lock()
+			mu.Unlock()
+		}
+		total += xs[i] // NOT guarded: the odd-i path never locked
+	})
+	return total
+}
+
+func dominatingLock(xs []float64) float64 {
+	var mu sync.Mutex
+	total := 0.0
+	parallel.For(parallel.Auto, len(xs), func(i int) {
+		mu.Lock()
+		if i%2 == 0 {
+			total += xs[i]
+		} else {
+			total -= xs[i]
+		}
+		mu.Unlock()
+	})
+	return total
+}
+`,
+	})
+	wantFindings(t, diags, 1, "writes captured total")
+}
+
 func TestParCaptureCleanPatterns(t *testing.T) {
 	diags := runFixture(t, ParCapture, fixturePkg, map[string]string{
 		"fix.go": `package fixture

@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PoolCheck machine-checks the bitmap scratch-ownership discipline from PR 3:
+// every bitmap obtained from a bitmap.Pool.Get must go back via Put on every
+// path out of the function, must not be touched after it went back, and must
+// not escape the function (pooled memory is recycled — an escaped handle is a
+// use-after-free waiting for the next Get). The coverage DFS's borrowed-vs-
+// pooled rowSet convention transfers ownership deliberately; those sites
+// carry //redi:allow poolcheck annotations naming the releasing counterpart.
+//
+// The analysis is intraprocedural over the lint CFG: each Get allocation is
+// tracked through a {live, released} lattice (join = union over paths), with
+// deferred Puts replayed at function exit. Escapes — returning the handle,
+// storing it into non-local memory, capturing it in a closure, sending it,
+// or handing it to a goroutine — exempt the allocation from the must-Put
+// check (ownership left the function; the annotation documents where it is
+// released) but are themselves reported. Aliases made by plain copies and
+// stores into local containers (rs.a = dst) are tracked; passing the handle
+// as an ordinary call argument is borrowing, not escape.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "bitmap.Pool scratch must be Put on all paths, never used after Put, and never escape without //redi:allow",
+	Run:  runPoolCheck,
+}
+
+// Allocation lattice bits: a path may hold the scratch live, released, or
+// (after a merge) either.
+const (
+	poolLive uint8 = 1 << iota
+	poolReleased
+)
+
+func runPoolCheck(pass *Pass) {
+	if !isInternalPkg(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, body := range functionBodies(file) {
+			checkPoolOwnership(pass, body)
+		}
+	}
+}
+
+// poolAlloc is one Pool.Get allocation site bound to an identifier.
+type poolAlloc struct {
+	getCall *ast.CallExpr // the Pool.Get call
+	obj     types.Object  // the identifier the result is bound to
+	aliases map[types.Object]bool
+	escaped bool
+}
+
+// poolEvent is one ownership-relevant action inside a block, in source order.
+type poolEvent struct {
+	pos  token.Pos
+	kind int // evGet, evPut, evUse
+}
+
+const (
+	evGet = iota
+	evPut
+	evUse
+	// evKill: the primary variable is reassigned to something unrelated —
+	// the allocation is no longer trackable on this path, so the analysis
+	// goes quiet rather than guess (prefer a false negative to flagging a
+	// reused variable).
+	evKill
+)
+
+func checkPoolOwnership(pass *Pass, body *ast.BlockStmt) {
+	allocs := findPoolAllocs(pass, body)
+	if len(allocs) == 0 {
+		return
+	}
+	growAliases(pass, body, allocs)
+	findEscapes(pass, body, allocs)
+	g := BuildCFG(body)
+	reach := g.Reachable()
+	for _, a := range allocs {
+		if a.obj == nil {
+			// Get used inline (argument, expression): nothing can ever
+			// Put it back.
+			pass.Reportf(a.getCall.Pos(), "result of bitmap.Pool.Get is used inline and can never be returned to the pool; bind it and Put it on every path")
+			continue
+		}
+		if a.escaped {
+			continue // ownership transferred; the escape site carries the report
+		}
+		checkAllocFlow(pass, g, reach, a)
+	}
+}
+
+// checkAllocFlow runs the {live,released} dataflow for one allocation and
+// reports missing Puts, double Puts, and uses after Put.
+func checkAllocFlow(pass *Pass, g *CFG, reach map[*Block]bool, a *poolAlloc) {
+	transfer := func(blk *Block, s uint8) uint8 {
+		for _, ev := range blockEvents(pass, blk, a) {
+			switch ev.kind {
+			case evGet:
+				s = poolLive
+			case evPut:
+				s = poolReleased
+			case evKill:
+				s = 0
+			}
+		}
+		return s
+	}
+	in := Forward(g, 0, 0,
+		func(x, y uint8) uint8 { return x | y },
+		transfer,
+		func(x, y uint8) bool { return x == y })
+
+	// Replay each reachable block once with its fixpoint in-state to place
+	// the diagnostics (reporting inside the fixpoint would duplicate them).
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		s := in[blk]
+		for _, ev := range blockEvents(pass, blk, a) {
+			switch ev.kind {
+			case evGet:
+				s = poolLive
+			case evPut:
+				if s&poolReleased != 0 && s&poolLive == 0 {
+					pass.Reportf(ev.pos, "pooled bitmap %s is returned to the pool twice on this path", a.obj.Name())
+				}
+				s = poolReleased
+			case evUse:
+				if s&poolReleased != 0 {
+					pass.Reportf(ev.pos, "pooled bitmap %s is used after being returned to the pool; pooled scratch may be handed to another goroutine by the next Get", a.obj.Name())
+				}
+			case evKill:
+				s = 0
+			}
+		}
+	}
+	// Exit in-state after replaying exit nodes (deferred Puts run there):
+	// any path still holding the scratch leaks it from the pool's view.
+	s := in[g.Exit]
+	for _, ev := range blockEvents(pass, g.Exit, a) {
+		if ev.kind == evPut {
+			s = poolReleased
+		}
+	}
+	if reach[g.Exit] && s&poolLive != 0 {
+		pass.Reportf(a.getCall.Pos(), "pooled bitmap %s is not returned to the pool on every path; add Put (or defer it) before each return", a.obj.Name())
+	}
+}
+
+// blockEvents extracts the allocation's Get/Put/use events from one block in
+// source order. DeferStmt registration nodes are skipped — their calls
+// replay in the Exit block.
+func blockEvents(pass *Pass, blk *Block, a *poolAlloc) []poolEvent {
+	var events []poolEvent
+	for _, n := range blk.Nodes {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		// Positions excluded from use-reporting: the Get binding's LHS,
+		// and Put arguments (the Put itself is the event).
+		skip := map[token.Pos]bool{}
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch e := x.(type) {
+			case *ast.FuncLit:
+				return false // separate execution context; escape scan covers capture
+			case *ast.AssignStmt:
+				for i, lhs := range e.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !a.aliases[identObj(pass, id)] {
+						continue
+					}
+					// Assigning over the whole variable is not a use of the
+					// pooled memory.
+					skip[id.Pos()] = true
+					var rhs ast.Expr
+					if len(e.Rhs) == len(e.Lhs) {
+						rhs = e.Rhs[i]
+					}
+					switch {
+					case rhs == a.getCall:
+						events = append(events, poolEvent{pos: rhs.Pos(), kind: evGet})
+					case identObj(pass, id) == a.obj && (rhs == nil || !mentionsAlias(pass, rhs, a)):
+						events = append(events, poolEvent{pos: id.Pos(), kind: evKill})
+					}
+				}
+			case *ast.CallExpr:
+				if isPoolMethodCall(pass, e, "Put") && len(e.Args) == 1 {
+					if id := baseIdent(e.Args[0]); id != nil && a.aliases[identObj(pass, id)] {
+						events = append(events, poolEvent{pos: e.Pos(), kind: evPut})
+						skip[id.Pos()] = true
+					}
+				}
+			case *ast.Ident:
+				if a.aliases[identObj(pass, e)] && !skip[e.Pos()] {
+					events = append(events, poolEvent{pos: e.Pos(), kind: evUse})
+				}
+			}
+			return true
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// findPoolAllocs collects Pool.Get calls in body (outside nested closures)
+// and the identifiers they bind to.
+func findPoolAllocs(pass *Pass, body *ast.BlockStmt) []*poolAlloc {
+	var allocs []*poolAlloc
+	bound := map[*ast.CallExpr]bool{}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isPoolMethodCall(pass, call, "Get") || i >= len(as.Lhs) {
+				continue
+			}
+			bound[call] = true
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				allocs = append(allocs, &poolAlloc{getCall: call})
+				continue
+			}
+			obj := identObj(pass, id)
+			if obj == nil {
+				continue // no type info; stay quiet
+			}
+			allocs = append(allocs, &poolAlloc{getCall: call, obj: obj, aliases: map[types.Object]bool{obj: true}})
+		}
+	})
+	// Get calls not bound by any assignment are inline uses.
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && !bound[call] && isPoolMethodCall(pass, call, "Get") {
+			allocs = append(allocs, &poolAlloc{getCall: call})
+		}
+	})
+	return allocs
+}
+
+// growAliases propagates pooled handles through plain copies (y := x) and
+// stores into local containers (rs.a = x makes rs an alias container, so a
+// later `return rs` is seen as an escape). Runs to fixpoint.
+func growAliases(pass *Pass, body *ast.BlockStmt, allocs []*poolAlloc) {
+	changed := true
+	for changed {
+		changed = false
+		inspectSkippingFuncLits(body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				for _, a := range allocs {
+					if a.obj == nil || !carriesAlias(pass, rhs, a) {
+						continue
+					}
+					target := baseIdent(as.Lhs[i])
+					if target == nil || target.Name == "_" {
+						continue
+					}
+					obj := identObj(pass, target)
+					if obj == nil || a.aliases[obj] {
+						continue
+					}
+					if !declaredWithin(pass, obj, body) {
+						continue // non-local store: the escape scan reports it
+					}
+					a.aliases[obj] = true
+					changed = true
+				}
+			}
+		})
+	}
+}
+
+// findEscapes marks and reports allocations whose handle leaves the
+// function: via return, store to non-local memory, closure capture, channel
+// send, or goroutine argument.
+func findEscapes(pass *Pass, body *ast.BlockStmt, allocs []*poolAlloc) {
+	report := func(a *poolAlloc, pos token.Pos, how string) {
+		a.escaped = true
+		pass.Reportf(pos, "pooled bitmap %s escapes the function (%s); pooled scratch is recycled by the next Get — transfer ownership only with an //redi:allow naming where it is released", a.obj.Name(), how)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, a := range allocs {
+				if a.obj == nil {
+					continue
+				}
+				for _, res := range st.Results {
+					if carriesAlias(pass, res, a) {
+						report(a, st.Pos(), "returned")
+						break
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				for _, a := range allocs {
+					if a.obj == nil || !carriesAlias(pass, rhs, a) {
+						continue
+					}
+					base := baseIdent(st.Lhs[i])
+					if base == nil || base.Name == "_" {
+						continue
+					}
+					obj := identObj(pass, base)
+					if obj != nil && !declaredWithin(pass, obj, body) {
+						report(a, st.Pos(), "stored outside the function")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			for _, a := range allocs {
+				if a.obj != nil && carriesAlias(pass, st.Value, a) {
+					report(a, st.Pos(), "sent on a channel")
+				}
+			}
+		case *ast.GoStmt:
+			for _, a := range allocs {
+				if a.obj != nil && mentionsAlias(pass, st.Call, a) {
+					report(a, st.Pos(), "handed to a goroutine")
+				}
+			}
+		case *ast.FuncLit:
+			for _, a := range allocs {
+				if a.obj == nil || a.escaped {
+					continue
+				}
+				for obj := range a.aliases {
+					if declaredWithin(pass, obj, st) {
+						continue // closure-local re-declaration, not a capture
+					}
+					if nodeMentionsObj(pass, st.Body, obj) {
+						report(a, st.Pos(), "captured by a closure")
+						break
+					}
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// nodeMentionsObj reports whether any identifier under n resolves to obj.
+func nodeMentionsObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && identObj(pass, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsAlias reports whether expr references any alias of the allocation,
+// including inside call arguments (used for goroutine hand-off, where the
+// callee runs concurrently with the caller).
+func mentionsAlias(pass *Pass, expr ast.Expr, a *poolAlloc) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && a.aliases[identObj(pass, id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// carriesAlias is mentionsAlias restricted to expressions that can carry the
+// pooled memory itself: it does not descend into call expressions, whose
+// results (counts, words) are derived scalars, not the handle. `return
+// b.Count()` is not an escape; `return rowSet{a: b}` is. A call that truly
+// smuggles the handle out (return identity(b)) is missed — the analysis
+// prefers a false negative to flagging every derived value.
+func carriesAlias(pass *Pass, expr ast.Expr, a *poolAlloc) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && a.aliases[identObj(pass, id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPoolMethodCall reports whether call is pool.<name>(...) on a
+// bitmap.Pool receiver.
+func isPoolMethodCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return isModuleType(pass, exprType(pass, sel.X), "/internal/bitmap", "Pool")
+}
+
+// isModuleType reports whether t (possibly behind a pointer) is the named
+// type <module><pkgSuffix>.<name>.
+func isModuleType(pass *Pass, t types.Type, pkgSuffix, name string) bool {
+	return isNamedType(t, pass.Module+pkgSuffix, name)
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type <pkgPath>.<name>.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != name {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}
+
+// isInternalPkg reports whether the pass's package is an algorithm package
+// (<module>/internal/...), the scope shared by the flow rules.
+func isInternalPkg(pass *Pass) bool {
+	return strings.HasPrefix(pass.Path, pass.Module+"/internal/")
+}
+
+// functionBodies returns every function-like body in the file: FuncDecl
+// bodies plus FuncLit bodies, each to be analyzed as its own unit.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectSkippingFuncLits walks the body without descending into nested
+// closures — those are separate execution contexts analyzed on their own.
+func inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
