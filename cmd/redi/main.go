@@ -1,17 +1,24 @@
 // Command redi is the REDI command-line tool: profile, label, audit, and
-// tailor datasets from CSV files.
+// tailor datasets from CSV or column files.
 //
 // Usage:
 //
 //	redi profile  -schema <spec> <file.csv>
 //	redi label    -schema <spec> <file.csv>
-//	redi audit    -schema <spec> -sensitive a,b -threshold 25 -maxnull 0.05 <file.csv>
-//	redi tailor   -schema <spec> -sensitive a,b -need "k=v;k=v:COUNT,..." -out out.csv <src1.csv> <src2.csv> ...
+//	redi audit    -schema <spec> -sensitive a,b -threshold 25 -maxnull 0.05 <file.csv|file.col>
+//	redi tailor   -schema <spec> -sensitive a,b -need "k=v;k=v:COUNT,..." -out out.csv <src1.csv|src1.col> ...
 //	redi sample   -schema <spec> -n 100 -seed 1 <file.csv>
-//	redi query    -schema <spec> -e "race = 'black' and age between 20 and 40" [-count|-select] <file.csv>
+//	redi query    -schema <spec> -e "race = 'black' and age between 20 and 40" [-count|-select] <file.csv|file.col>
+//	redi convert  -schema <spec> -out <file.col> [-partrows N] <file.csv>
 //
 // A schema spec is a comma-separated list of name:kind[:role] entries,
 // e.g. "id:cat:id,race:cat:sensitive,age:num,label:cat:target".
+//
+// audit, tailor, and query detect column files (written by convert) by
+// their magic and run partition-at-a-time over mapped pages instead of
+// loading rows; -partition N forces the same out-of-core execution path
+// onto a CSV input by viewing it in N-row partitions. Results are
+// bit-identical across all of these modes and any -workers setting.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"redi/internal/colfile"
 	"redi/internal/core"
 	"redi/internal/dataset"
 	"redi/internal/expr"
@@ -76,6 +84,8 @@ func main() {
 		err = cmdDrift(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -99,10 +109,15 @@ commands:
   tailor    integrate multiple CSV sources to meet group counts
   sample    uniform random sample of a CSV dataset
   drift     distribution drift between a baseline and a candidate CSV
-  query     filter a CSV with a compiled predicate expression
+  query     filter a dataset with a compiled predicate expression
+  convert   stream a CSV into a page-aligned column file
 
 run "redi <command> -h" for flags; every command needs -schema
-  name:kind[:role],...   kind: cat|num   role: feature|sensitive|target|id`)
+  name:kind[:role],...   kind: cat|num   role: feature|sensitive|target|id
+
+audit, tailor, and query also accept column files written by convert
+(detected by magic; -schema is then taken from the file) and execute
+partition-at-a-time over mapped pages.`)
 }
 
 // parseSchema parses "name:kind[:role],..." into a schema.
@@ -151,6 +166,91 @@ func loadCSV(path string, schema *dataset.Schema) (*dataset.Dataset, error) {
 	}
 	defer f.Close()
 	return dataset.ReadCSV(f, schema)
+}
+
+// input is one dataset argument resolved to a backend: exactly one of d
+// (in-memory rows) and pd (partition-at-a-time view) is set. cf is non-nil
+// when pd is file-backed and must be closed after use.
+type input struct {
+	d  *dataset.Dataset
+	pd *dataset.Partitioned
+	cf *colfile.File
+}
+
+func (in *input) close() {
+	if in.cf != nil {
+		in.cf.Close()
+	}
+}
+
+func (in *input) schema() *dataset.Schema {
+	if in.pd != nil {
+		return in.pd.Schema()
+	}
+	return in.d.Schema()
+}
+
+// loadInput opens a dataset argument. Column files (detected by magic)
+// always become partitioned views over their own embedded schema — the
+// schema spec is not consulted — and map pages instead of loading rows.
+// CSVs load against the spec'd schema; partRows > 0 views the loaded rows
+// in partRows-row partitions, forcing the out-of-core execution path.
+func loadInput(path string, schemaSpec string, partRows int, noMmap bool) (*input, error) {
+	if colfile.Sniff(path) {
+		cf, err := colfile.Open(path, colfile.OpenOptions{DisableMmap: noMmap})
+		if err != nil {
+			return nil, err
+		}
+		return &input{pd: dataset.NewPartitioned(cf), cf: cf}, nil
+	}
+	schema, err := parseSchema(schemaSpec)
+	if err != nil {
+		return nil, err
+	}
+	d, err := loadCSV(path, schema)
+	if err != nil {
+		return nil, err
+	}
+	if partRows > 0 {
+		return &input{pd: d.Partitions(partRows)}, nil
+	}
+	return &input{d: d}, nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", "schema spec")
+	partRows := fs.Int("partrows", 0, "rows per partition (0 = 65536; must be a positive multiple of 64)")
+	outPath := fs.String("out", "", "output column file path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("convert needs exactly one CSV file")
+	}
+	if *outPath == "" {
+		return fmt.Errorf("missing -out")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := colfile.ConvertCSV(f, schema, *outPath, colfile.WriterOptions{PartRows: *partRows}); err != nil {
+		return err
+	}
+	// Reopen for the summary: proves the file round-trips before the tool
+	// reports success.
+	cf, err := colfile.Open(*outPath, colfile.OpenOptions{})
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	fmt.Fprintf(os.Stderr, "converted %d rows into %d partitions of %d (%s)\n",
+		cf.NumRows(), cf.NumPartitions(), cf.PartRows(), *outPath)
+	return nil
 }
 
 func cmdProfile(args []string) error {
@@ -203,21 +303,21 @@ func cmdAudit(args []string) error {
 	sensitive := fs.String("sensitive", "", "comma-separated sensitive attributes (default: schema roles)")
 	threshold := fs.Int("threshold", 10, "coverage threshold")
 	maxNull := fs.Float64("maxnull", 0.05, "maximum tolerated null rate")
+	partition := fs.Int("partition", 0, "view a CSV input in N-row partitions (out-of-core path; multiple of 64)")
+	workers := fs.Int("workers", 0, "worker count for partition-parallel stages (0 = serial)")
+	noMmap := fs.Bool("no-mmap", false, "use the read-at pager instead of mmap for column files")
 	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the audit")
 	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("audit needs exactly one CSV file")
+		return fmt.Errorf("audit needs exactly one input file")
 	}
-	schema, err := parseSchema(*schemaSpec)
+	in, err := loadInput(fs.Arg(0), *schemaSpec, *partition, *noMmap)
 	if err != nil {
 		return err
 	}
-	d, err := loadCSV(fs.Arg(0), schema)
-	if err != nil {
-		return err
-	}
-	sens := schema.ByRole(dataset.Sensitive)
+	defer in.close()
+	sens := in.schema().ByRole(dataset.Sensitive)
 	if *sensitive != "" {
 		sens = strings.Split(*sensitive, ",")
 	}
@@ -231,10 +331,16 @@ func cmdAudit(args []string) error {
 		reg = obs.NewRegistry()
 		obs.Enable(reg)
 	}
-	rep := core.Audit(d, []core.Requirement{
+	reqs := []core.Requirement{
 		core.CoverageRequirement{Attrs: sens, Threshold: *threshold},
 		core.CompletenessRequirement{Sensitive: sens, MaxNullRate: *maxNull},
-	})
+	}
+	var rep *core.AuditReport
+	if in.pd != nil {
+		rep = core.AuditPartitioned(in.pd, reqs, *workers)
+	} else {
+		rep = core.Audit(in.d, reqs)
+	}
 	fmt.Print(rep.String())
 	if err := writeObsReport(reg, *obsFlag, *obsJSON); err != nil {
 		return err
@@ -273,27 +379,41 @@ func cmdTailor(args []string) error {
 	outPath := fs.String("out", "", "output CSV path (default stdout)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	known := fs.Bool("known", true, "use known source distributions (RatioColl); false = UCB")
+	partition := fs.Int("partition", 0, "view CSV sources in N-row partitions (out-of-core path; multiple of 64)")
+	workers := fs.Int("workers", 0, "worker count for partition-parallel stages (0 = serial)")
+	noMmap := fs.Bool("no-mmap", false, "use the read-at pager instead of mmap for column files")
 	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the run")
 	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
-		return fmt.Errorf("tailor needs at least one source CSV")
-	}
-	schema, err := parseSchema(*schemaSpec)
-	if err != nil {
-		return err
+		return fmt.Errorf("tailor needs at least one source file")
 	}
 	need, err := parseNeed(*needSpec)
 	if err != nil {
 		return err
 	}
+	// In-memory and partitioned sources coexist in one pipeline; the
+	// pipeline orders partitioned sources after in-memory ones, so costs
+	// and per-source stats follow that order, not the argument order.
 	var sources []*dataset.Dataset
+	var partSources []*dataset.Partitioned
 	for _, path := range fs.Args() {
-		d, err := loadCSV(path, schema)
+		in, err := loadInput(path, *schemaSpec, *partition, *noMmap)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		sources = append(sources, d)
+		defer in.close()
+		if in.pd != nil {
+			partSources = append(partSources, in.pd)
+		} else {
+			sources = append(sources, in.d)
+		}
+	}
+	var schema *dataset.Schema
+	if len(sources) > 0 {
+		schema = sources[0].Schema()
+	} else {
+		schema = partSources[0].Schema()
 	}
 	sens := schema.ByRole(dataset.Sensitive)
 	if *sensitive != "" {
@@ -303,7 +423,10 @@ func cmdTailor(args []string) error {
 	if *obsFlag || *obsJSON != "" {
 		reg = obs.NewRegistry()
 	}
-	p := &core.Pipeline{Sources: sources, Sensitive: sens, KnownDistributions: *known, Obs: reg}
+	p := &core.Pipeline{
+		Sources: sources, PartitionedSources: partSources, Workers: *workers,
+		Sensitive: sens, KnownDistributions: *known, Obs: reg,
+	}
 	res, err := p.Run(need, nil, rng.New(*seed))
 	if err != nil {
 		return err
@@ -359,11 +482,14 @@ func cmdQuery(args []string) error {
 	doCount := fs.Bool("count", false, "print only the number of matching rows (default)")
 	doSelect := fs.Bool("select", false, "write the matching rows as CSV to stdout")
 	explain := fs.Bool("explain", false, "print the parsed AST and disassembled bytecode to stderr")
+	partition := fs.Int("partition", 0, "view a CSV input in N-row partitions (out-of-core path; multiple of 64)")
+	workers := fs.Int("workers", 0, "worker count for partition-parallel stages (0 = serial)")
+	noMmap := fs.Bool("no-mmap", false, "use the read-at pager instead of mmap for column files")
 	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the query")
 	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("query needs exactly one CSV file")
+		return fmt.Errorf("query needs exactly one input file")
 	}
 	if *exprSrc == "" {
 		return fmt.Errorf("missing -e expression")
@@ -371,20 +497,42 @@ func cmdQuery(args []string) error {
 	if *doCount && *doSelect {
 		return fmt.Errorf("-count and -select are mutually exclusive")
 	}
-	schema, err := parseSchema(*schemaSpec)
+	in, err := loadInput(fs.Arg(0), *schemaSpec, *partition, *noMmap)
 	if err != nil {
 		return err
 	}
-	d, err := loadCSV(fs.Arg(0), schema)
-	if err != nil {
-		return err
-	}
+	defer in.close()
 	var reg *obs.Registry
 	if *obsFlag || *obsJSON != "" {
 		reg = obs.NewRegistry()
 		obs.Enable(reg)
 	}
-	cp, err := expr.Compile(*exprSrc, d)
+	if in.pd != nil {
+		pp, err := expr.CompilePartitioned(*exprSrc, in.pd)
+		if err != nil {
+			return err
+		}
+		if *explain {
+			n, _ := expr.Parse(*exprSrc) // already compiled, cannot fail
+			fmt.Fprintln(os.Stderr, "ast:", n.String())
+			fmt.Fprint(os.Stderr, pp.Program().Disassemble())
+		}
+		if *doSelect {
+			// Materialize only the matching rows: each touched partition's
+			// pages are fetched once by AppendRowsTo.
+			out := dataset.New(in.pd.Schema())
+			if err := in.pd.AppendRowsTo(out, pp.SelectIndices(*workers)); err != nil {
+				return err
+			}
+			if err := out.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(pp.Count(*workers))
+		}
+		return writeObsReport(reg, *obsFlag, *obsJSON)
+	}
+	cp, err := expr.Compile(*exprSrc, in.d)
 	if err != nil {
 		return err
 	}

@@ -183,6 +183,47 @@ func (b Bitmap) CountRange(lo, hi int) int {
 	return n + bits.OnesCount64(b[hiW]&hiMask)
 }
 
+// The *Words kernels below operate on external []uint64 word slices —
+// word-packed bit data that does not live in a Bitmap the caller built,
+// such as validity bitmaps cast straight off mmap'd column pages
+// (internal/colfile). Bitmap is []uint64 underneath, so the conversions are
+// free: no copy, no allocation; the kernels run directly on the mapped
+// memory. Callers guarantee the usual layout invariant (bit i of the
+// logical range lives in word i/64 at position i%64, trailing bits zero).
+
+// CountWords returns the number of set bits in an external word slice.
+//
+//redi:hotpath word kernel over mapped pages; null-rate counting reads it per partition
+func CountWords(words []uint64) int {
+	return Bitmap(words).Count()
+}
+
+// CountRangeWords returns the number of set bits in bit range [lo, hi) of
+// an external word slice — Bitmap.CountRange for mapped pages.
+//
+//redi:hotpath word kernel over mapped pages; per-key factor counts read it per range
+func CountRangeWords(words []uint64, lo, hi int) int {
+	return Bitmap(words).CountRange(lo, hi)
+}
+
+// AndCountFrom returns |a ∩ words| without materializing the intersection.
+// words may be longer than a (a mapped page can cover more words than the
+// query bitmap); only the first len(a) words participate.
+//
+//redi:hotpath word kernel over mapped pages; fused AND+popcount per partition
+func AndCountFrom(a Bitmap, words []uint64) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n += bits.OnesCount64(a[i]&words[i]) + bits.OnesCount64(a[i+1]&words[i+1]) +
+			bits.OnesCount64(a[i+2]&words[i+2]) + bits.OnesCount64(a[i+3]&words[i+3])
+	}
+	for ; i < len(a); i++ {
+		n += bits.OnesCount64(a[i] & words[i])
+	}
+	return n
+}
+
 // Pool hands out scratch bitmaps of a fixed word length so the lattice DFS
 // and ad-hoc counts allocate only on first use per goroutine. A bitmap
 // obtained from Get carries arbitrary stale bits: every kernel above fully

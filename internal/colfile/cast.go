@@ -1,0 +1,110 @@
+package colfile
+
+import "unsafe"
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian. The file format is little-endian on disk; on LE hosts the
+// typed views below are zero-copy casts (this is the mmap fast path), on BE
+// hosts they decode into fresh slices so results stay correct everywhere.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// asInt32s views b as little-endian int32s. b must be 4-byte aligned and a
+// multiple of 4 long — guaranteed for column blobs by the 64-byte blob
+// alignment invariant.
+func asInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(leU32(b[i*4:]))
+	}
+	return out
+}
+
+// asFloat64s views b as little-endian float64s (alignment per asInt32s).
+func asFloat64s(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		bits := uint64(leU32(b[i*8:])) | uint64(leU32(b[i*8+4:]))<<32
+		out[i] = *(*float64)(unsafe.Pointer(&bits))
+	}
+	return out
+}
+
+// asUint64s views b as little-endian uint64 words (alignment per asInt32s).
+func asUint64s(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = uint64(leU32(b[i*8:])) | uint64(leU32(b[i*8+4:]))<<32
+	}
+	return out
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// int32Bytes/float64Bytes/uint64Bytes are the write-side mirrors: they view
+// a typed slice as the little-endian bytes to put on disk (zero-copy on LE
+// hosts, explicit encode on BE hosts).
+
+func int32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+	}
+	out := make([]byte, 0, len(v)*4)
+	for _, x := range v {
+		out = appendU32(out, uint32(x))
+	}
+	return out
+}
+
+func float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	out := make([]byte, 0, len(v)*8)
+	for _, x := range v {
+		out = appendU64(out, *(*uint64)(unsafe.Pointer(&x)))
+	}
+	return out
+}
+
+func uint64Bytes(v []uint64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	out := make([]byte, 0, len(v)*8)
+	for _, x := range v {
+		out = appendU64(out, x)
+	}
+	return out
+}

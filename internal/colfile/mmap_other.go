@@ -1,0 +1,18 @@
+//go:build !unix
+
+package colfile
+
+import (
+	"errors"
+	"os"
+)
+
+// Non-unix targets have no syscall.Mmap; Open silently uses the read-at
+// pager instead (mmapFile is never called when mmapSupported is false).
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("colfile: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package colfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy backend: true on unix-family targets
+// where syscall.Mmap exists. Non-unix builds use the read-at pager.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and shared. The mapping's
+// lifetime is owned by File.Close via munmapFile.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

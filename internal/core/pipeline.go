@@ -27,7 +27,17 @@ type Pipeline struct {
 	// Sources are the candidate datasets (e.g. the per-institution
 	// extracts of Example 1).
 	Sources []*dataset.Dataset
-	// Costs[i] is the per-sample cost of source i (default 1).
+	// PartitionedSources are candidate partitioned views (e.g. converted
+	// column files too large to load), appended after Sources in source
+	// index order. Their group indexing and sampling run partition-at-a-
+	// time; only the rows tailoring keeps are ever materialized.
+	PartitionedSources []*dataset.Partitioned
+	// Workers is the worker count for partition-parallel stages
+	// (parallel.Workers semantics; 0 = serial). Results are bit-identical
+	// at any setting.
+	Workers int
+	// Costs[i] is the per-sample cost of source i (default 1), indexed
+	// over Sources then PartitionedSources.
 	Costs []float64
 	// Sensitive lists the grouping attributes (default: schema roles).
 	Sensitive []string
@@ -59,12 +69,17 @@ type RunResult struct {
 // collected rows, imputes nulls in the numeric feature attributes with
 // group-conditional means, audits the result, and builds its label.
 func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng.RNG) (*RunResult, error) {
-	if len(p.Sources) == 0 {
+	nSrc := len(p.Sources) + len(p.PartitionedSources)
+	if nSrc == 0 {
 		return nil, errors.New("core: pipeline has no sources")
 	}
 	sensitive := p.Sensitive
 	if len(sensitive) == 0 {
-		sensitive = p.Sources[0].Schema().ByRole(dataset.Sensitive)
+		if len(p.Sources) > 0 {
+			sensitive = p.Sources[0].Schema().ByRole(dataset.Sensitive)
+		} else {
+			sensitive = p.PartitionedSources[0].Schema().ByRole(dataset.Sensitive)
+		}
 	}
 	if len(sensitive) == 0 {
 		return nil, errors.New("core: no sensitive attributes")
@@ -79,10 +94,18 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 			keys = append(keys, k)
 		}
 	}
-	sourceGroups := make([]*dataset.Groups, len(p.Sources))
+	// In-memory sources first, then partitioned views; the group indexes
+	// are bit-identical across the two backends, so mixed pipelines see one
+	// consistent key universe.
+	sourceGroups := make([]*dataset.Groups, nSrc)
 	for i, s := range p.Sources {
 		sourceGroups[i] = s.GroupBy(sensitive...)
-		for _, k := range sourceGroups[i].Keys() {
+	}
+	for i, pd := range p.PartitionedSources {
+		sourceGroups[len(p.Sources)+i] = pd.GroupBy(p.Workers, sensitive...)
+	}
+	for _, g := range sourceGroups {
+		for _, k := range g.Keys() {
 			addKey(k)
 		}
 	}
@@ -96,13 +119,19 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	// Build dt sources and the need vector.
 	var sources []dt.Source
 	var costs []float64
-	probs := make([][]float64, 0, len(p.Sources))
-	for i, s := range p.Sources {
+	probs := make([][]float64, 0, nSrc)
+	for i := 0; i < nSrc; i++ {
 		cost := 1.0
 		if p.Costs != nil {
 			cost = p.Costs[i]
 		}
-		src, err := dt.NewDatasetSource(s, sourceGroups[i], keys, cost)
+		var src dt.Source
+		var err error
+		if i < len(p.Sources) {
+			src, err = dt.NewDatasetSource(p.Sources[i], sourceGroups[i], keys, cost)
+		} else {
+			src, err = dt.NewPartitionedSource(p.PartitionedSources[i-len(p.Sources)], sourceGroups[i], keys, cost)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: source %d: %w", i, err)
 		}
@@ -180,7 +209,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	reg.Counter("core.rows_collected").Add(int64(data.NumRows()))
 	endTailor(
 		fmt.Sprintf("collected %d rows from %d sources via %s (%d draws, cost %.2f)",
-			data.NumRows(), len(p.Sources), res.Strategy, res.Draws, res.TotalCost),
+			data.NumRows(), nSrc, res.Strategy, res.Draws, res.TotalCost),
 		map[string]string{
 			"strategy": res.Strategy,
 			"groups":   fmt.Sprintf("%d", len(keys)),

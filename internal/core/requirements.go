@@ -172,8 +172,18 @@ func (r DistributionRequirement) Name() string { return "distribution-representa
 
 // Check implements Requirement.
 func (r DistributionRequirement) Check(d *dataset.Dataset) CheckResult {
+	return r.checkGroups(d.GroupBy(r.Attrs...))
+}
+
+// CheckPartitioned implements PartitionedRequirement: the group index comes
+// from the partition-parallel GroupBy, which is bit-identical to the
+// in-memory one, so the TV distance is too.
+func (r DistributionRequirement) CheckPartitioned(pd *dataset.Partitioned, workers int) CheckResult {
+	return r.checkGroups(pd.GroupBy(workers, r.Attrs...))
+}
+
+func (r DistributionRequirement) checkGroups(groups *dataset.Groups) CheckResult {
 	res := CheckResult{Requirement: r.Name()}
-	groups := d.GroupBy(r.Attrs...)
 	// Align the observed distribution with the target's key set: keys
 	// absent from the data get probability 0 and vice versa.
 	keySet := map[dataset.GroupKey]bool{}
@@ -216,8 +226,16 @@ func (r CountRequirement) Name() string { return "group-counts" }
 
 // Check implements Requirement.
 func (r CountRequirement) Check(d *dataset.Dataset) CheckResult {
+	return r.checkGroups(d.GroupBy(r.Attrs...))
+}
+
+// CheckPartitioned implements PartitionedRequirement.
+func (r CountRequirement) CheckPartitioned(pd *dataset.Partitioned, workers int) CheckResult {
+	return r.checkGroups(pd.GroupBy(workers, r.Attrs...))
+}
+
+func (r CountRequirement) checkGroups(groups *dataset.Groups) CheckResult {
 	res := CheckResult{Requirement: r.Name(), Satisfied: true}
-	groups := d.GroupBy(r.Attrs...)
 	worst := math.Inf(1)
 	// Sorted keys keep the failing-group listing in Details stable
 	// (maporder flags the string accumulation below otherwise).
@@ -258,9 +276,20 @@ func (r CoverageRequirement) Name() string { return "coverage" }
 
 // Check implements Requirement.
 func (r CoverageRequirement) Check(d *dataset.Dataset) CheckResult {
-	res := CheckResult{Requirement: r.Name()}
 	space := coverage.NewSpace(d, r.Attrs, r.Threshold)
-	mups := space.MUPs()
+	return r.checkSpace(space, space.MUPs())
+}
+
+// CheckPartitioned implements PartitionedRequirement: the space is built
+// partition-at-a-time and the MUP walk sharded over workers; both are
+// bit-identical to the in-memory path.
+func (r CoverageRequirement) CheckPartitioned(pd *dataset.Partitioned, workers int) CheckResult {
+	space := coverage.NewSpacePartitioned(pd, r.Attrs, r.Threshold, workers)
+	return r.checkSpace(space, space.MUPsParallel(workers))
+}
+
+func (r CoverageRequirement) checkSpace(space *coverage.Space, mups []coverage.MUP) CheckResult {
+	res := CheckResult{Requirement: r.Name()}
 	res.Score = float64(len(mups))
 	res.Satisfied = len(mups) == 0
 	if res.Satisfied {

@@ -1,0 +1,191 @@
+package coverage
+
+import (
+	"sort"
+
+	"redi/internal/bitmap"
+	"redi/internal/dataset"
+	"redi/internal/parallel"
+)
+
+// NewSpacePartitioned prepares a pattern space over a partitioned view,
+// building the per-(attribute, value) bitmaps partition-at-a-time with the
+// given worker count (parallel.Workers semantics; 0 = serial). Codes in
+// every partition index the view's global dictionaries, so the resulting
+// space — domains, bitmaps, counts, and therefore every MUP enumeration —
+// is identical to NewSpace on the materialized rows, at any worker count:
+// partition row ranges are disjoint bitmap word ranges (PartRows is a
+// multiple of 64), so shards fill the shared bitmaps lock-free, and the
+// per-value counts merge in shard order.
+//
+// Only the bitmaps are materialized (one bit per row per value); the
+// underlying pages are scanned once and not retained, which is what makes
+// MUP enumeration work on datasets that never fit in memory as rows.
+func NewSpacePartitioned(pd *dataset.Partitioned, attrs []string, threshold int, workers int) *Space {
+	if len(attrs) == 0 {
+		panic("coverage: NewSpacePartitioned requires at least one attribute")
+	}
+	schema := pd.Schema()
+	s := &Space{
+		Attrs:     append([]string(nil), attrs...),
+		Threshold: threshold,
+		numRows:   pd.NumRows(),
+		pool:      bitmap.NewPool(pd.NumRows()),
+	}
+	cols := make([]int, len(attrs))
+	s.bits = make([][]bitmap.Bitmap, len(attrs))
+	s.valCounts = make([][]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = schema.MustIndex(a)
+		dict := pd.Dict(a)
+		s.Domains = append(s.Domains, dict)
+		s.bits[i] = make([]bitmap.Bitmap, len(dict))
+		s.valCounts[i] = make([]int, len(dict))
+		for v := range dict {
+			s.bits[i][v] = bitmap.New(s.numRows)
+		}
+	}
+	// s.cols stays nil: the row-scan oracle (countScan) is a test aid for
+	// in-memory spaces; partitioned builds do not retain per-row codes.
+
+	src := pd.Source()
+	partRows := pd.PartRows()
+	type tally struct{ counts [][]int }
+	shards := parallel.MapChunks(workers, pd.NumPartitions(), func(_, plo, phi int) tally {
+		t := tally{counts: make([][]int, len(attrs))}
+		for i := range attrs {
+			t.counts[i] = make([]int, len(s.Domains[i]))
+		}
+		for p := plo; p < phi; p++ {
+			base := p * partRows
+			for i, ci := range cols {
+				codes := src.PartitionCatCodes(p, ci)
+				bits := s.bits[i]
+				for r, c := range codes {
+					if c >= 0 {
+						//redi:allow parcapture partition row ranges are disjoint word ranges of each shared bitmap (PartRows is a multiple of 64), so shards never touch the same word
+						bits[c][(base+r)/64] |= 1 << (uint(base+r) % 64)
+						t.counts[i][c]++
+					}
+				}
+			}
+		}
+		return t
+	})
+	for _, t := range shards {
+		for i := range attrs {
+			for v, n := range t.counts[i] {
+				s.valCounts[i][v] += n
+			}
+		}
+	}
+	return s
+}
+
+// NewJoinSpacePartitioned prepares coverage over the equi-join of two
+// partitioned views without materializing either side's rows or the join:
+// each side is scanned partition-at-a-time to group its rows by join key,
+// then the flat per-key layouts and value bitmaps are filled from the
+// partitions' code pages. Join keys must be categorical on both sides; rows
+// with a null or empty key are excluded, as in NewJoinSpace. The resulting
+// space is identical to NewJoinSpace on the materialized rows.
+func NewJoinSpacePartitioned(left *dataset.Partitioned, leftKey string, leftAttrs []string,
+	right *dataset.Partitioned, rightKey string, rightAttrs []string, threshold int) *JoinSpace {
+	if len(leftAttrs)+len(rightAttrs) == 0 {
+		panic("coverage: NewJoinSpacePartitioned requires at least one pattern attribute")
+	}
+	js := &JoinSpace{
+		Threshold: threshold,
+		numLeft:   len(leftAttrs),
+	}
+	collect := func(pd *dataset.Partitioned, key string, attrs []string) (cols []int, byKey map[string][]int) {
+		schema := pd.Schema()
+		keyCol := schema.MustIndex(key)
+		keyDict := pd.Dict(key) // panics if the key is not categorical
+		cols = make([]int, len(attrs))
+		for i, a := range attrs {
+			cols[i] = schema.MustIndex(a)
+			js.Domains = append(js.Domains, pd.Dict(a))
+			js.Attrs = append(js.Attrs, a)
+		}
+		byKey = map[string][]int{}
+		src := pd.Source()
+		partRows := pd.PartRows()
+		for p := 0; p < pd.NumPartitions(); p++ {
+			base := p * partRows
+			for r, c := range src.PartitionCatCodes(p, keyCol) {
+				if c < 0 || keyDict[c] == "" {
+					continue
+				}
+				byKey[keyDict[c]] = append(byKey[keyDict[c]], base+r)
+			}
+		}
+		return cols, byKey
+	}
+	lCols, lByKey := collect(left, leftKey, leftAttrs)
+	rCols, rByKey := collect(right, rightKey, rightAttrs)
+
+	for k := range lByKey {
+		if _, ok := rByKey[k]; ok {
+			js.keys = append(js.keys, k) //redi:allow maporder collected keys are sorted immediately below
+		}
+	}
+	sort.Strings(js.keys)
+
+	// Flatten one side: global row indices grouped by key become the flat
+	// layout, with codes pulled partition-at-a-time (each partition's code
+	// page is fetched once per attribute and sliced for every row in it).
+	flatten := func(pd *dataset.Partitioned, byKey map[string][]int, cols []int, domOff int) (off []int, flat [][]int32, bits [][]bitmap.Bitmap) {
+		src := pd.Source()
+		partRows := pd.PartRows()
+		nAttrs := len(cols)
+		off = make([]int, len(js.keys)+1)
+		n := 0
+		for ki, k := range js.keys {
+			off[ki] = n
+			n += len(byKey[k])
+		}
+		off[len(js.keys)] = n
+		flat = make([][]int32, nAttrs)
+		for a := 0; a < nAttrs; a++ {
+			flat[a] = make([]int32, n)
+		}
+		pageCache := make(map[int][]int32, 1)
+		at := 0
+		for _, k := range js.keys {
+			rows := byKey[k]
+			for a, ci := range cols {
+				clear(pageCache)
+				for i, r := range rows {
+					p := r / partRows
+					page, ok := pageCache[p]
+					if !ok {
+						page = src.PartitionCatCodes(p, ci)
+						pageCache[p] = page
+					}
+					flat[a][at+i] = page[r%partRows]
+				}
+			}
+			at += len(rows)
+		}
+		bits = make([][]bitmap.Bitmap, nAttrs)
+		for a := 0; a < nAttrs; a++ {
+			bits[a] = make([]bitmap.Bitmap, len(js.Domains[domOff+a]))
+			for v := range bits[a] {
+				bits[a][v] = bitmap.New(n)
+			}
+			for i, c := range flat[a] {
+				if c >= 0 {
+					bits[a][c].Set(i)
+				}
+			}
+		}
+		return off, flat, bits
+	}
+	js.offL, js.leftCols, js.leftBits = flatten(left, lByKey, lCols, 0)
+	js.offR, js.rightCols, js.rightBits = flatten(right, rByKey, rCols, js.numLeft)
+	js.poolL = bitmap.NewPool(js.offL[len(js.keys)])
+	js.poolR = bitmap.NewPool(js.offR[len(js.keys)])
+	js.totalJoin = js.factorCount(nil, nil)
+	return js
+}

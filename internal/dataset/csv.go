@@ -34,33 +34,41 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a CSV stream with a header row into a dataset conforming to
-// schema. The header must list exactly the schema's attribute names in
-// order. Empty fields become nulls; numeric fields must parse as floats.
-func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+// ScanCSV parses a CSV stream with a header row and calls fn once per data
+// row with the parsed values. The header must list exactly the schema's
+// attribute names in order. Empty fields become nulls; numeric fields must
+// parse as floats.
+//
+// ScanCSV is the streaming ingest path: it holds one record at a time in a
+// bounded buffer (csv.Reader with ReuseRecord, one reused []Value row) and
+// never materializes the file, so it ingests inputs far larger than RAM.
+// The row slice passed to fn is reused between calls — fn must copy any
+// values it keeps. A non-nil error from fn aborts the scan and is returned
+// verbatim.
+func ScanCSV(r io.Reader, schema *Schema, fn func(row []Value) error) error {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return fmt.Errorf("dataset: reading CSV header: %w", err)
 	}
 	if len(header) != schema.Len() {
-		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), schema.Len())
+		return fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), schema.Len())
 	}
 	for i, name := range header {
 		if name != schema.Attr(i).Name {
-			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, schema.Attr(i).Name)
+			return fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, schema.Attr(i).Name)
 		}
 	}
-	d := New(schema)
 	row := make([]Value, schema.Len())
 	line := 1
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return d, nil
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+			return fmt.Errorf("dataset: reading CSV: %w", err)
 		}
 		line++
 		for i, field := range rec {
@@ -72,15 +80,31 @@ func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
 			if attr.Kind == Numeric {
 				x, err := strconv.ParseFloat(field, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: line %d, attribute %q: %w", line, attr.Name, err)
+					return fmt.Errorf("dataset: line %d, attribute %q: %w", line, attr.Name, err)
 				}
 				row[i] = Num(x)
 			} else {
+				// ReuseRecord means field aliases the reader's scratch; the
+				// string header is fresh per record, so keeping it is safe
+				// (Go strings are immutable — csv allocates each field's
+				// bytes once per record even when reusing the record slice).
 				row[i] = Cat(field)
 			}
 		}
-		if err := d.AppendRow(row...); err != nil {
-			return nil, err
+		if err := fn(row); err != nil {
+			return err
 		}
 	}
+}
+
+// ReadCSV parses a CSV stream with a header row into a dataset conforming to
+// schema — ScanCSV with an append-every-row sink.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	d := New(schema)
+	if err := ScanCSV(r, schema, func(row []Value) error {
+		return d.AppendRow(row...)
+	}); err != nil {
+		return nil, err
+	}
+	return d, nil
 }

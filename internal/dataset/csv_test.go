@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func csvTestSchema() *Schema {
+	return NewSchema(
+		Attribute{Name: "group", Kind: Categorical, Role: Sensitive},
+		Attribute{Name: "score", Kind: Numeric, Role: Feature},
+	)
+}
+
+// csvRowGen is an io.Reader that synthesizes CSV rows on the fly, so the
+// large-file ingest test never holds the whole input in memory — the point
+// being tested on the consumer side.
+type csvRowGen struct {
+	rows int
+	next int
+	buf  []byte
+}
+
+func (g *csvRowGen) Read(p []byte) (int, error) {
+	for len(g.buf) == 0 {
+		if g.next > g.rows {
+			return 0, io.EOF
+		}
+		if g.next == 0 {
+			g.buf = append(g.buf, "group,score\n"...)
+		} else {
+			i := g.next - 1
+			// Every 7th score is null; groups cycle through 5 values.
+			if i%7 == 0 {
+				g.buf = fmt.Appendf(g.buf, "g%d,\n", i%5)
+			} else {
+				g.buf = fmt.Appendf(g.buf, "g%d,%d.5\n", i%5, i)
+			}
+		}
+		g.next++
+	}
+	n := copy(p, g.buf)
+	g.buf = g.buf[n:]
+	return n, nil
+}
+
+// TestScanCSVLargeFileStreams ingests a synthesized 300k-row CSV through
+// ScanCSV and checks counts and spot values. The input reader generates
+// bytes lazily and the sink keeps only aggregates, so peak memory stays
+// bounded regardless of file size — the streaming contract of satellite 1.
+func TestScanCSVLargeFileStreams(t *testing.T) {
+	const rows = 300_000
+	schema := csvTestSchema()
+	var n, nulls int
+	var sum float64
+	groupCounts := make(map[string]int)
+	err := ScanCSV(&csvRowGen{rows: rows}, schema, func(row []Value) error {
+		if row[1].Null {
+			nulls++
+		} else {
+			sum += row[1].Num
+		}
+		groupCounts[row[0].Cat]++
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanCSV: %v", err)
+	}
+	if n != rows {
+		t.Fatalf("scanned %d rows, want %d", n, rows)
+	}
+	wantNulls := (rows + 6) / 7
+	if nulls != wantNulls {
+		t.Fatalf("null scores = %d, want %d", nulls, wantNulls)
+	}
+	var wantSum float64
+	for i := 0; i < rows; i++ {
+		if i%7 != 0 {
+			wantSum += float64(i) + 0.5
+		}
+	}
+	if sum != wantSum {
+		t.Fatalf("score sum = %v, want %v", sum, wantSum)
+	}
+	for g, c := range groupCounts {
+		if c < rows/5-1 || c > rows/5+1 {
+			t.Fatalf("group %s count = %d, want ~%d", g, c, rows/5)
+		}
+	}
+}
+
+// TestScanCSVRowReuseAndErrors pins the documented contract: the row slice
+// is reused between callbacks (values must be copied to be kept), string
+// values survive the reuse, and a callback error aborts the scan verbatim.
+func TestScanCSVRowReuseAndErrors(t *testing.T) {
+	schema := csvTestSchema()
+	in := "group,score\na,1\nb,2\nc,3\n"
+
+	var firstRow []Value
+	var cats []string
+	calls := 0
+	err := ScanCSV(strings.NewReader(in), schema, func(row []Value) error {
+		if calls == 0 {
+			firstRow = row
+		} else if &row[0] != &firstRow[0] {
+			t.Fatal("ScanCSV allocated a fresh row slice per record")
+		}
+		cats = append(cats, row[0].Cat)
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanCSV: %v", err)
+	}
+	if want := []string{"a", "b", "c"}; strings.Join(cats, "") != strings.Join(want, "") {
+		t.Fatalf("cats = %v, want %v", cats, want)
+	}
+
+	sentinel := fmt.Errorf("stop here")
+	calls = 0
+	err = ScanCSV(strings.NewReader(in), schema, func(row []Value) error {
+		calls++
+		if row[0].Cat == "b" {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("callback error not returned verbatim: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("scan did not abort at the error: %d calls", calls)
+	}
+}
+
+// TestReadCSVMatchesScan pins ReadCSV as a thin sink over ScanCSV and
+// round-trips through WriteCSV.
+func TestReadCSVMatchesScan(t *testing.T) {
+	schema := csvTestSchema()
+	in := "group,score\na,1.5\nb,\n,3\n"
+	d, err := ReadCSV(strings.NewReader(in), schema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if d.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", d.NumRows())
+	}
+	if v := d.Value(1, "score"); !v.Null {
+		t.Fatalf("row 1 score = %v, want null", v)
+	}
+	if v := d.Value(2, "group"); !v.Null {
+		t.Fatalf("row 2 group = %v, want null", v)
+	}
+	var sb strings.Builder
+	if err := d.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	d2, err := ReadCSV(strings.NewReader(sb.String()), schema)
+	if err != nil {
+		t.Fatalf("ReadCSV round-trip: %v", err)
+	}
+	if d2.NumRows() != d.NumRows() {
+		t.Fatalf("round-trip rows = %d, want %d", d2.NumRows(), d.NumRows())
+	}
+	for r := 0; r < d.NumRows(); r++ {
+		for _, a := range schema.Names() {
+			if d.Value(r, a) != d2.Value(r, a) {
+				t.Fatalf("round-trip mismatch at row %d attr %s", r, a)
+			}
+		}
+	}
+
+	// Malformed inputs surface clean errors, not partial datasets.
+	if _, err := ReadCSV(strings.NewReader("wrong,header\n"), schema); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("group,score\na,notanumber\n"), schema); err == nil {
+		t.Fatal("bad numeric accepted")
+	}
+}

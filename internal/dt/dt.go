@@ -329,20 +329,30 @@ func (e *Engine) RunBudget(s Strategy, need []int, budget float64, r *rng.RNG) (
 	return res, nil
 }
 
-// Materialize assembles the collected rows of a run over DatasetSources
-// into one dataset. Sources that are not dataset-backed contribute nothing.
+// Materialize assembles the collected rows of a run over DatasetSources and
+// PartitionedSources into one dataset. Partitioned sources batch their rows
+// through AppendRowsTo, fetching each touched partition's pages once.
+// Sources that are not row-backed contribute nothing.
 func (e *Engine) Materialize(res *Result) *dataset.Dataset {
 	var out *dataset.Dataset
 	for i, src := range e.Sources {
-		ds, ok := src.(*DatasetSource)
-		if !ok {
-			continue
-		}
-		if out == nil {
-			out = dataset.New(ds.Data.Schema())
-		}
-		for _, row := range res.RowsBySrc[i] {
-			out.MustAppendRow(ds.Data.Row(row)...)
+		switch s := src.(type) {
+		case *DatasetSource:
+			if out == nil {
+				out = dataset.New(s.Data.Schema())
+			}
+			for _, row := range res.RowsBySrc[i] {
+				out.MustAppendRow(s.Data.Row(row)...)
+			}
+		case *PartitionedSource:
+			if out == nil {
+				out = dataset.New(s.Data.Schema())
+			}
+			if err := s.Data.AppendRowsTo(out, res.RowsBySrc[i]); err != nil {
+				// Row handles come from Draw over this very source, so a
+				// failure here is a programming error, not input.
+				panic(fmt.Sprintf("dt: materializing partitioned source %d: %v", i, err))
+			}
 		}
 	}
 	return out

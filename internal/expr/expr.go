@@ -96,3 +96,17 @@ func Compile(src string, d *dataset.Dataset) (*dataset.CompiledPredicate, error)
 	cp, _ := dataset.CompilePredicate(d, p) // lowered predicates always compile
 	return cp, nil
 }
+
+// CompilePartitioned parses src, lowers it against the view's schema, and
+// compiles it to bytecode bound to the view's merged global dictionaries —
+// the out-of-core counterpart of Compile. The returned predicate replays
+// per partition (with present-code pruning) and selects bit-identically to
+// Compile over the same rows at any worker count.
+func CompilePartitioned(src string, pd *dataset.Partitioned) (*dataset.PartitionedPredicate, error) {
+	p, err := CompilePredicate(src, pd.Schema())
+	if err != nil {
+		return nil, err
+	}
+	pp, _ := pd.CompilePredicate(p) // lowered predicates always compile
+	return pp, nil
+}

@@ -89,3 +89,36 @@ func render(w io.Writer) string {
 	})
 	wantFindings(t, diags, 1, "discards its error result")
 }
+
+// TestErrDropFileAndMmapPaths pins the rule on the out-of-core substrate's
+// I/O idioms: a statement-level Close or Munmap that drops its error fires;
+// the deferred forms colfile actually uses (errors routed via named
+// returns, or deliberate //redi:allow on unmap-during-close) do not.
+func TestErrDropFileAndMmapPaths(t *testing.T) {
+	diags := runFixture(t, ErrDrop, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"os"
+	"syscall"
+)
+
+func pager(path string, mapped []byte) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	f.Close()               // finding: error silently gone
+	syscall.Munmap(mapped)  // finding: unmap failure invisible
+	defer f.Close()         // deferred calls are out of scope by design
+	//redi:allow errdrop unmap failure at close leaves only a dead mapping, nothing downstream reads it
+	syscall.Munmap(mapped)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+	})
+	wantFindings(t, diags, 2, "discards its error result")
+}

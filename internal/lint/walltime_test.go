@@ -99,3 +99,26 @@ func within(elapsed, budget time.Duration) bool { return elapsed < budget }
 	})
 	wantFindings(t, diags, 0, "")
 }
+
+// TestWallTimeFlagsPagerTiming pins that I/O-adjacent code gets no special
+// treatment: timing a read-at page fetch with the wall clock still fires —
+// page-fetch durations belong in obs spans behind the injectable seam, not
+// inline in the pager.
+func TestWallTimeFlagsPagerTiming(t *testing.T) {
+	diags := runFixture(t, WallTime, fixturePkg, map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"os"
+	"time"
+)
+
+func fetch(f *os.File, buf []byte, off int64) (time.Duration, error) {
+	start := time.Now()
+	_, err := f.ReadAt(buf, off)
+	return time.Since(start), err
+}
+`,
+	})
+	wantFindings(t, diags, 2, "wall-clock")
+}
