@@ -10,6 +10,7 @@
 //	redi sample   -schema <spec> -n 100 -seed 1 <file.csv>
 //	redi query    -schema <spec> -e "race = 'black' and age between 20 and 40" [-count|-select] <file.csv|file.col>
 //	redi convert  -schema <spec> -out <file.col> [-partrows N] <file.csv>
+//	redi serve    -schema <spec> -addr localhost:8080 [-replay log.jsonl] <file.csv>
 //
 // A schema spec is a comma-separated list of name:kind[:role] entries,
 // e.g. "id:cat:id,race:cat:sensitive,age:num,label:cat:target".
@@ -86,6 +87,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -111,6 +114,7 @@ commands:
   drift     distribution drift between a baseline and a candidate CSV
   query     filter a dataset with a compiled predicate expression
   convert   stream a CSV into a page-aligned column file
+  serve     hold a dataset resident and serve the integration API over HTTP
 
 run "redi <command> -h" for flags; every command needs -schema
   name:kind[:role],...   kind: cat|num   role: feature|sensitive|target|id

@@ -224,6 +224,52 @@ func AndCountFrom(a Bitmap, words []uint64) int {
 	return n
 }
 
+// Grow returns a bitmap with capacity for nbits bits whose first len(b)
+// words are b's. It is the ingest path's extend-in-place primitive: when the
+// word count is unchanged the receiver comes back untouched, when spare
+// capacity exists the slice is extended over it (new words zeroed — spare
+// capacity may hold stale data from a previous realloc), and only when the
+// backing array is exhausted does it allocate, with doubling growth so a
+// stream of appends costs amortized O(1) words per row instead of a full
+// realloc+copy per batch. The layout invariant is preserved: bit i stays in
+// word i/64, and every bit at or above the old length reads 0.
+//
+// Callers that share bitmaps across goroutines must not Grow concurrently
+// with readers; the serving layer serializes Grow under its ingest lock.
+func (b Bitmap) Grow(nbits int) Bitmap {
+	w := WordsFor(nbits)
+	if w <= len(b) {
+		return b
+	}
+	if w <= cap(b) {
+		nb := b[:w]
+		for i := len(b); i < w; i++ {
+			nb[i] = 0
+		}
+		return nb
+	}
+	c := 2 * len(b)
+	if c < w {
+		c = w
+	}
+	nb := make(Bitmap, w, c)
+	copy(nb, b)
+	return nb
+}
+
+// AppendWords appends whole 64-bit words — 64-row blocks — to b and returns
+// the extended bitmap. It is the bulk form of Grow for word-aligned
+// producers (partition ingest, validity words streamed off column pages):
+// appending words keeps PR 8's alignment invariant that a 64-row-multiple
+// prefix owns exactly its leading words, so partition-parallel writers stay
+// disjoint. The receiver must itself be word-full (its bit length a multiple
+// of 64); the appended words land immediately after it.
+func AppendWords(b Bitmap, words ...uint64) Bitmap {
+	nb := b.Grow((len(b) + len(words)) * wordBits)
+	copy(nb[len(b):], words)
+	return nb
+}
+
 // Pool hands out scratch bitmaps of a fixed word length so the lattice DFS
 // and ad-hoc counts allocate only on first use per goroutine. A bitmap
 // obtained from Get carries arbitrary stale bits: every kernel above fully

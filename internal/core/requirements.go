@@ -288,6 +288,17 @@ func (r CoverageRequirement) CheckPartitioned(pd *dataset.Partitioned, workers i
 	return r.checkSpace(space, space.MUPsParallel(workers))
 }
 
+// CheckSpace evaluates the requirement against an already-built — e.g.
+// incrementally maintained — pattern space instead of deriving one from a
+// dataset, sharded over workers. The space's threshold is set from the
+// requirement before the walk; the caller must hold exclusive access to the
+// space for the duration (the MUP walk uses the space's shared bitmap
+// pool). Results are bit-identical to Check on a dataset with the same rows.
+func (r CoverageRequirement) CheckSpace(space *coverage.Space, workers int) CheckResult {
+	space.Threshold = r.Threshold
+	return r.checkSpace(space, space.MUPsParallel(workers))
+}
+
 func (r CoverageRequirement) checkSpace(space *coverage.Space, mups []coverage.MUP) CheckResult {
 	res := CheckResult{Requirement: r.Name()}
 	res.Score = float64(len(mups))

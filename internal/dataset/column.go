@@ -18,6 +18,12 @@ type column interface {
 	// gather returns a new column containing the rows at idx, in order.
 	gather(idx []int) column
 	clone() column
+	// snapshot returns an immutable view of the column's current rows that
+	// shares storage with the receiver (see Dataset.Snapshot). It freezes
+	// the shared prefix on the live column: later set calls on frozen rows
+	// materialize private storage first, and later appends land strictly
+	// beyond every outstanding snapshot's length.
+	snapshot() column
 }
 
 // catColumn stores dictionary-encoded categorical values. Code -1 marks
@@ -33,6 +39,12 @@ type catColumn struct {
 	dict   []string
 	index  map[string]int32
 	shared bool // dict/index are shared with another column
+	// frozen is the snapshot watermark: rows [0, frozen) may be visible
+	// through an outstanding snapshot's aliased code slice, so in-place
+	// mutation of them must materialize private storage first. Appends are
+	// exempt — they land at indices >= frozen, beyond every snapshot's
+	// capped length.
+	frozen int
 }
 
 func newCatColumn() *catColumn {
@@ -101,7 +113,13 @@ func (c *catColumn) appendBulk(src column) error {
 		remap[code] = c.code(s)
 	}
 	if free := cap(c.codes) - len(c.codes); free < len(o.codes) {
-		grown := make([]int32, len(c.codes), len(c.codes)+len(o.codes))
+		// Grow geometrically: a resident dataset bulk-appends many batches,
+		// and exact-fit growth would copy every prior row on each one.
+		newCap := 2 * cap(c.codes)
+		if need := len(c.codes) + len(o.codes); newCap < need {
+			newCap = need
+		}
+		grown := make([]int32, len(c.codes), newCap)
 		copy(grown, c.codes)
 		c.codes = grown
 	}
@@ -116,6 +134,9 @@ func (c *catColumn) appendBulk(src column) error {
 }
 
 func (c *catColumn) set(i int, v Value) error {
+	if i < c.frozen {
+		c.materializeRows()
+	}
 	if v.Null {
 		c.codes[i] = -1
 		return nil
@@ -127,8 +148,21 @@ func (c *catColumn) set(i int, v Value) error {
 	return nil
 }
 
+// materializeRows detaches the code vector from any outstanding snapshot by
+// copying it into fresh backing before the first in-place mutation of a
+// frozen row. Snapshots keep the old backing untouched.
+func (c *catColumn) materializeRows() {
+	c.codes = append(make([]int32, 0, cap(c.codes)), c.codes...)
+	c.frozen = 0
+}
+
 func (c *catColumn) gather(idx []int) column {
-	c.shared = true
+	if !c.shared {
+		// Guarded write: concurrent gathers from an already-shared column
+		// (e.g. two requests selecting rows of the same snapshot) must not
+		// race on the flag.
+		c.shared = true
+	}
 	out := &catColumn{dict: c.dict, index: c.index, shared: true}
 	out.codes = make([]int32, len(idx))
 	for j, i := range idx {
@@ -138,7 +172,9 @@ func (c *catColumn) gather(idx []int) column {
 }
 
 func (c *catColumn) clone() column {
-	c.shared = true
+	if !c.shared {
+		c.shared = true
+	}
 	return &catColumn{
 		codes:  append([]int32(nil), c.codes...),
 		dict:   c.dict,
@@ -147,10 +183,24 @@ func (c *catColumn) clone() column {
 	}
 }
 
+func (c *catColumn) snapshot() column {
+	if !c.shared {
+		c.shared = true
+	}
+	n := len(c.codes)
+	c.frozen = n
+	// Three-index slice: the snapshot's capacity equals its length, so even
+	// an append through the snapshot (which immutability forbids anyway)
+	// could never write into the live column's tail.
+	return &catColumn{codes: c.codes[:n:n], dict: c.dict, index: c.index, shared: true, frozen: n}
+}
+
 // numColumn stores float64 values with an explicit null mask.
 type numColumn struct {
 	vals  []float64
 	nulls []bool
+	// frozen is the snapshot watermark; see catColumn.frozen.
+	frozen int
 }
 
 func (c *numColumn) len() int          { return len(c.vals) }
@@ -189,6 +239,9 @@ func (c *numColumn) appendBulk(src column) error {
 }
 
 func (c *numColumn) set(i int, v Value) error {
+	if i < c.frozen {
+		c.materializeRows()
+	}
 	if v.Null {
 		c.vals[i] = 0
 		c.nulls[i] = true
@@ -219,6 +272,20 @@ func (c *numColumn) clone() column {
 		vals:  append([]float64(nil), c.vals...),
 		nulls: append([]bool(nil), c.nulls...),
 	}
+}
+
+// materializeRows detaches value/null storage from any outstanding snapshot
+// before the first in-place mutation of a frozen row.
+func (c *numColumn) materializeRows() {
+	c.vals = append(make([]float64, 0, cap(c.vals)), c.vals...)
+	c.nulls = append(make([]bool, 0, cap(c.nulls)), c.nulls...)
+	c.frozen = 0
+}
+
+func (c *numColumn) snapshot() column {
+	n := len(c.vals)
+	c.frozen = n
+	return &numColumn{vals: c.vals[:n:n], nulls: c.nulls[:n:n], frozen: n}
 }
 
 func newColumn(k Kind) column {

@@ -40,6 +40,12 @@ type Groups struct {
 	gids     map[GroupKey]int32 // lazy: rendered key -> gid
 	rowLists [][]int            // lazy: gid -> member row indices
 	rowSets  []bitmap.Bitmap    // lazy: gid -> member row bitmap
+
+	// Incremental-maintenance state (built on first Append; see
+	// groupsappend.go): byte-encoded code tuple -> gid, plus the same keys
+	// in gid order so renumbering never ranges over the map.
+	lookup    map[string]int32
+	keysBytes []string
 }
 
 // denseGroupLimit bounds the size of the direct-indexed gid lookup table.

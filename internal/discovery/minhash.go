@@ -463,14 +463,4 @@ func (e *LSHEnsemble) Query(query map[string]bool, threshold float64) []ColumnMa
 
 // chooseRows returns the index of the largest row count whose collision
 // probability 1-(1-j^r)^(k/r) is at least 0.9 at Jaccard threshold j.
-func (e *LSHEnsemble) chooseRows(j float64) int {
-	best := 0
-	for ri, rows := range lshRowChoices {
-		bands := float64(e.k / rows)
-		p := 1 - math.Pow(1-math.Pow(j, float64(rows)), bands)
-		if p >= 0.9 {
-			best = ri
-		}
-	}
-	return best
-}
+func (e *LSHEnsemble) chooseRows(j float64) int { return chooseRowsK(e.k, j) }

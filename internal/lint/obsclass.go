@@ -196,6 +196,11 @@ func isRuntimeSourceCall(pass *Pass, call *ast.CallExpr, h *obsHandles) bool {
 		return true
 	case sel == "End" && isObsType(pass, recv, "Span"):
 		return true
+	case sel == "Quantile" && isObsType(pass, recv, "Histogram"):
+		// Quantile estimates are interpolated float reads meant for latency
+		// reporting — runtime-class by definition, whatever the handle's
+		// class, so they may never feed a deterministic sink.
+		return true
 	case sel == "Value" && (isObsType(pass, recv, "Counter") || isObsType(pass, recv, "Histogram")):
 		// Runtime-classified handle reads are tainted; det and unclassified
 		// reads are not.

@@ -31,6 +31,38 @@ func runtimeCounterRead(r *obs.Registry) {
 	wantFindings(t, diags, 3, "runtime-class observability value flows into deterministic")
 }
 
+// Quantile estimates are runtime-class regardless of which histogram they
+// are read from: interpolated floats may never feed the deterministic
+// snapshot surface.
+func TestObsClassQuantileIsRuntime(t *testing.T) {
+	diags := runFixture(t, ObsClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import "redi/internal/obs"
+
+func fromRuntimeHist(r *obs.Registry) {
+	lat := r.RuntimeHistogram("lat", obs.ExpBounds(1, 8))
+	c := r.Counter("slow_requests")
+	c.Add(int64(lat.Quantile(0.99))) // latency quantile into det counter
+}
+
+func fromDetHist(r *obs.Registry) {
+	h := r.Histogram("sizes", obs.ExpBounds(1, 8))
+	c := r.Counter("median_size")
+	c.Add(int64(h.Quantile(0.5))) // even det-handle quantiles are estimates
+}
+
+func transitiveQuantile(r *obs.Registry) {
+	lat := r.RuntimeHistogram("lat", obs.ExpBounds(1, 8))
+	p99 := lat.Quantile(0.99)
+	h := r.Histogram("work", obs.ExpBounds(1, 8))
+	h.Observe(int64(p99)) // via a local
+}
+`,
+	})
+	wantFindings(t, diags, 3, "runtime-class observability value flows into deterministic")
+}
+
 func TestObsClassSuppressed(t *testing.T) {
 	diags := runFixture(t, ObsClass, "redi/internal/fixture", map[string]string{
 		"fix.go": `package fixture

@@ -15,11 +15,14 @@ type BucketCount struct {
 	Count int64 `json:"count"`
 }
 
-// HistogramSnapshot is a histogram's exported state.
+// HistogramSnapshot is a histogram's exported state. Quantiles is populated
+// only for runtime-class histograms in Report — quantile estimates are
+// interpolated floats and never enter the deterministic Snapshot surface.
 type HistogramSnapshot struct {
-	Count   int64         `json:"count"`
-	Sum     int64         `json:"sum"`
-	Buckets []BucketCount `json:"buckets"`
+	Count     int64              `json:"count"`
+	Sum       int64              `json:"sum"`
+	Buckets   []BucketCount      `json:"buckets"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // Snapshot is the deterministic slice of a registry: counters and
@@ -79,7 +82,15 @@ func (r *Registry) Report() Report {
 	if len(r.rhists) > 0 {
 		rep.RuntimeHistograms = make(map[string]HistogramSnapshot, len(r.rhists))
 		for name, h := range r.rhists {
-			rep.RuntimeHistograms[name] = snapHistogram(h)
+			hs := snapHistogram(h)
+			if hs.Count > 0 {
+				hs.Quantiles = map[string]float64{
+					"p50": h.Quantile(0.50),
+					"p90": h.Quantile(0.90),
+					"p99": h.Quantile(0.99),
+				}
+			}
+			rep.RuntimeHistograms[name] = hs
 		}
 	}
 	if len(r.gauges) > 0 {
@@ -163,6 +174,9 @@ func writePromHists(sb *strings.Builder, m map[string]HistogramSnapshot) {
 			fmt.Fprintf(sb, "%s_bucket{le=%q} %d\n", pn, le, cum)
 		}
 		fmt.Fprintf(sb, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+		for _, q := range sortedNames(h.Quantiles) {
+			fmt.Fprintf(sb, "%s_quantile{q=%q} %s\n", pn, q, promFloat(h.Quantiles[q]))
+		}
 	}
 }
 
@@ -266,6 +280,9 @@ func writeTextHists(sb *strings.Builder, title string, m map[string]HistogramSna
 			} else {
 				fmt.Fprintf(sb, " ≤%d:%d", b.LE, b.Count)
 			}
+		}
+		for _, q := range sortedNames(h.Quantiles) {
+			fmt.Fprintf(sb, " %s=%s", q, promFloat(h.Quantiles[q]))
 		}
 		sb.WriteByte('\n')
 	}

@@ -179,6 +179,50 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// Quantile estimates the p-quantile (p in [0, 1]) of the observed values by
+// linear interpolation inside the bucket the rank falls in, Prometheus
+// histogram_quantile style. Values in the overflow bucket are reported as
+// the last finite bound (quantiles saturate there). Returns 0 on a nil or
+// empty histogram.
+//
+// The estimate is runtime-class by definition: it is an interpolated float
+// read of possibly concurrent bucket counts, meant for latency lines
+// (p50/p90/p99 in Report/WriteText and on /metrics), and the obsclass lint
+// rule rejects it as an input to deterministic counters or histograms.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum, lower := int64(0), float64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if i == len(h.bounds) {
+			return lower // overflow bucket: saturate at the last finite bound
+		}
+		upper := float64(h.bounds[i])
+		if n > 0 && float64(cum)+float64(n) >= rank {
+			return lower + (upper-lower)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+		lower = upper
+	}
+	return lower
+}
+
 // ExpBounds returns n doubling bucket bounds starting at start:
 // start, 2*start, 4*start, ...
 func ExpBounds(start int64, n int) []int64 {

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]int64{10, 20, 40, 80})
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile = %v", h.Quantile(0.5))
+	}
+	// 100 observations spread evenly through the ≤20 bucket (values 11..20
+	// land there after 10 land in ≤10): exact ranks are interpolable.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v % 100) // 0..99: 11 in ≤10 (0..10), 10 in ≤20, 20 in ≤40, 40 in ≤80, 19 overflow
+	}
+	if q := h.Quantile(0); q <= 0 || q > 10 {
+		t.Fatalf("p0 = %v, want in (0, 10]", q)
+	}
+	// True median of 0..99 is 49.5; interpolation lands at 49 inside ≤80.
+	if q := h.Quantile(0.5); q < 45 || q > 55 {
+		t.Fatalf("p50 = %v, want near 49", q)
+	}
+	// Quantiles in the overflow bucket saturate at the last finite bound.
+	if q := h.Quantile(0.99); q != 80 {
+		t.Fatalf("p99 = %v, want 80 (saturated)", q)
+	}
+	// Monotonic in p.
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone: p=%v -> %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+}
+
+// TestQuantilesRuntimeOnly pins the class split: p50/p90/p99 appear on
+// runtime histograms in Report, WriteText, and Prometheus output, and never
+// on the deterministic Snapshot surface.
+func TestQuantilesRuntimeOnly(t *testing.T) {
+	r := NewRegistry()
+	det := r.Histogram("det.sizes", ExpBounds(1, 6))
+	rt := r.RuntimeHistogram("serve.latency", ExpBounds(1, 6))
+	for v := int64(1); v <= 30; v++ {
+		det.Observe(v)
+		rt.Observe(v)
+	}
+	rep := r.Report()
+	if q := rep.RuntimeHistograms["serve.latency"].Quantiles; len(q) != 3 {
+		t.Fatalf("runtime quantiles = %v", q)
+	}
+	if q := rep.Histograms["det.sizes"].Quantiles; q != nil {
+		t.Fatalf("deterministic histogram grew quantiles: %v", q)
+	}
+	snap, err := r.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(snap), "quantile") {
+		t.Fatalf("quantiles leaked into deterministic snapshot: %s", snap)
+	}
+	var text, prom strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "p50=") || !strings.Contains(text.String(), "p99=") {
+		t.Fatalf("WriteText missing quantile fields:\n%s", text.String())
+	}
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `redi_serve_latency_quantile{q="p99"}`) {
+		t.Fatalf("Prometheus output missing quantile series:\n%s", prom.String())
+	}
+	if strings.Contains(prom.String(), `redi_det_sizes_quantile`) {
+		t.Fatalf("Prometheus output has quantiles for deterministic histogram:\n%s", prom.String())
+	}
+}

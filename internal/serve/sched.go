@@ -1,0 +1,74 @@
+package serve
+
+import "sync/atomic"
+
+// scheduler is the service's FIFO admission queue: at most `slots` requests
+// execute concurrently, at most `depth` more wait in line, and anything
+// beyond that is rejected immediately (the HTTP layer turns a rejection
+// into 429 Too Many Requests). Admission order is arrival order — the queue
+// is a channel, and a single dispatcher goroutine grants slots strictly in
+// dequeue order — so a burst cannot starve an earlier request.
+type scheduler struct {
+	queue chan chan struct{} // waiting requests, FIFO; each holds its grant channel
+	slots chan struct{}      // concurrency tokens
+	done  chan struct{}
+
+	// pending is 1 while the dispatcher holds a dequeued request that is
+	// still waiting for a slot (observable by tests to sequence admissions
+	// deterministically).
+	pending atomic.Int32
+}
+
+func newScheduler(slots, depth int) *scheduler {
+	if slots <= 0 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	s := &scheduler{
+		queue: make(chan chan struct{}, depth),
+		slots: make(chan struct{}, slots),
+		done:  make(chan struct{}),
+	}
+	go s.dispatch()
+	return s
+}
+
+func (s *scheduler) dispatch() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case g := <-s.queue:
+			s.pending.Store(1)
+			select {
+			case s.slots <- struct{}{}:
+				s.pending.Store(0)
+				close(g)
+			case <-s.done:
+				return
+			}
+		}
+	}
+}
+
+// admit blocks until the request is granted a slot and returns the release
+// func, or returns ok=false immediately when the queue is full (or the
+// scheduler is closed). The caller must invoke release exactly once.
+func (s *scheduler) admit() (release func(), ok bool) {
+	g := make(chan struct{})
+	select {
+	case s.queue <- g:
+	default:
+		return nil, false
+	}
+	select {
+	case <-g:
+		return func() { <-s.slots }, true
+	case <-s.done:
+		return nil, false
+	}
+}
+
+func (s *scheduler) close() { close(s.done) }

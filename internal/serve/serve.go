@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"redi/internal/dataset"
+	"redi/internal/expr"
+	"redi/internal/obs"
+)
+
+// Config configures a Service.
+type Config struct {
+	// StoreConfig parameterizes the resident store (name, sensitive attrs,
+	// coverage threshold, LSH width, per-request worker budget).
+	StoreConfig
+	// MaxNullRate is the default completeness bound for /audit (default
+	// 0.05).
+	MaxNullRate float64
+	// MaxConcurrent is the number of requests executing at once (default 4).
+	MaxConcurrent int
+	// QueueDepth is how many requests may wait for a slot before new
+	// arrivals get 429 (default 64).
+	QueueDepth int
+}
+
+// Service is the resident integration service: a http.Handler exposing the
+// store's audit/tailor/query/discovery/ingest operations as a JSON API,
+// behind a FIFO admission scheduler. /metrics bypasses admission so the
+// service stays observable under overload.
+type Service struct {
+	store *Store
+	sched *scheduler
+	cfg   Config
+	reg   *obs.Registry
+	mux   *http.ServeMux
+}
+
+// NewService builds the store and its indexes from the seed dataset and
+// wires up the HTTP surface. The service takes ownership of d.
+func NewService(d *dataset.Dataset, cfg Config) (*Service, error) {
+	if cfg.MaxNullRate == 0 {
+		cfg.MaxNullRate = 0.05
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.StoreConfig.Obs == nil {
+		cfg.StoreConfig.Obs = obs.NewRegistry()
+	}
+	store, err := NewStore(d, cfg.StoreConfig)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		store: store,
+		sched: newScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
+		cfg:   cfg,
+		reg:   cfg.StoreConfig.Obs,
+		mux:   http.NewServeMux(),
+	}
+	// Create the counters eagerly so /metrics exposes them at zero before
+	// the first request (the CI smoke test asserts on the 5xx series).
+	s.reg.Counter("serve.requests_served")
+	s.reg.Counter("serve.rows_ingested")
+	s.reg.Counter("serve.index_increments")
+	s.reg.Counter("serve.http_5xx")
+	s.mux.Handle("/audit", s.handle("audit", s.handleAudit))
+	s.mux.Handle("/tailor", s.handle("tailor", s.handleTailor))
+	s.mux.Handle("/query", s.handle("query", s.handleQuery))
+	s.mux.Handle("/discovery", s.handle("discovery", s.handleDiscovery))
+	s.mux.Handle("/ingest", s.handle("ingest", s.handleIngest))
+	s.mux.Handle("/stats", s.handle("stats", s.handleStats))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Close stops the admission scheduler. In-flight requests finish; queued
+// requests are rejected.
+func (s *Service) Close() { s.sched.close() }
+
+// Store returns the underlying resident store.
+func (s *Service) Store() *Store { return s.store }
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError carries a status code through handler returns; its message is a
+// pure function of the request and resident rows, so error bodies replay
+// deterministically too.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// handle wraps a handler with admission, latency, and outcome accounting.
+func (s *Service) handle(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	lat := s.reg.RuntimeHistogram("serve.latency."+name, obs.ExpBounds(1, 24))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.sched.admit()
+		if !ok {
+			s.reg.RuntimeCounter("serve.rejected").Inc()
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server at capacity"})
+			return
+		}
+		defer release()
+		start := obs.Now()
+		err := fn(w, r)
+		lat.Observe(obs.Now().Sub(start).Microseconds())
+		if err != nil {
+			code := http.StatusInternalServerError
+			if ae, ok := err.(*apiError); ok {
+				code = ae.code
+			}
+			if code >= 500 {
+				s.reg.Counter("serve.http_5xx").Inc()
+			}
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+			return
+		}
+		s.reg.Counter("serve.requests_served").Inc()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// A failed response write means the client went away; there is no
+	// channel left to report it on.
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// auditResponse mirrors core.CheckResult with stable JSON field order.
+type auditResponse struct {
+	Satisfied bool          `json:"satisfied"`
+	Results   []auditResult `json:"results"`
+}
+
+type auditResult struct {
+	Requirement string  `json:"requirement"`
+	Satisfied   bool    `json:"satisfied"`
+	Score       float64 `json:"score"`
+	Details     string  `json:"details"`
+}
+
+// handleAudit checks coverage and completeness against the resident
+// indexes. Query params: threshold (int), maxnull (float); defaults from
+// the service config.
+func (s *Service) handleAudit(w http.ResponseWriter, r *http.Request) error {
+	threshold := 0
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return badRequest("bad threshold %q", v)
+		}
+		threshold = n
+	}
+	maxNull := s.cfg.MaxNullRate
+	if v := r.URL.Query().Get("maxnull"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return badRequest("bad maxnull %q", v)
+		}
+		maxNull = f
+	}
+	rep := s.store.Audit(threshold, maxNull, s.cfg.StoreConfig.Workers)
+	resp := auditResponse{Satisfied: rep.Satisfied()}
+	for _, res := range rep.Results {
+		resp.Results = append(resp.Results, auditResult{
+			Requirement: res.Requirement,
+			Satisfied:   res.Satisfied,
+			Score:       res.Score,
+			Details:     res.Details,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+type tailorRequest struct {
+	Need     map[string]int `json:"need"`
+	Seed     uint64         `json:"seed"`
+	MaxDraws int            `json:"max_draws"`
+}
+
+type tailorResponse struct {
+	Rows     int     `json:"rows"`
+	Draws    int     `json:"draws"`
+	Cost     float64 `json:"cost"`
+	Strategy string  `json:"strategy"`
+	CSV      string  `json:"csv"`
+}
+
+// handleTailor runs distribution tailoring against the resident dataset and
+// returns the collected rows as CSV inside the JSON response.
+func (s *Service) handleTailor(w http.ResponseWriter, r *http.Request) error {
+	var req tailorRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return badRequest("bad tailor request: %v", err)
+	}
+	if len(req.Need) == 0 {
+		return badRequest("tailor needs a non-empty need map")
+	}
+	need := make(map[dataset.GroupKey]int, len(req.Need))
+	for k, n := range req.Need {
+		if n < 0 {
+			return badRequest("negative count for group %q", k)
+		}
+		need[dataset.GroupKey(k)] = n
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, data, err := s.store.Tailor(need, seed, req.MaxDraws)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	var csv strings.Builder
+	if err := data.WriteCSV(&csv); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, tailorResponse{
+		Rows:     data.NumRows(),
+		Draws:    res.Draws,
+		Cost:     res.TotalCost,
+		Strategy: res.Strategy,
+		CSV:      csv.String(),
+	})
+	return nil
+}
+
+// handleQuery filters the current snapshot with a compiled predicate.
+// Params: e (expression), mode=count|select (default count). The snapshot
+// is captured once and evaluated lock-free, so long selects never block
+// ingest.
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	src := r.URL.Query().Get("e")
+	if src == "" {
+		return badRequest("missing e parameter")
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "count"
+	}
+	snap := s.store.View()
+	cp, err := expr.Compile(src, snap)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	switch mode {
+	case "count":
+		writeJSON(w, http.StatusOK, map[string]int{"count": cp.CountFast()})
+	case "select":
+		var csv strings.Builder
+		if err := cp.Select().WriteCSV(&csv); err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"csv": csv.String()})
+	default:
+		return badRequest("bad mode %q (want count|select)", mode)
+	}
+	return nil
+}
+
+type discoveryRequest struct {
+	Values    []string `json:"values"`
+	Threshold float64  `json:"threshold"`
+}
+
+type discoveryMatch struct {
+	Ref   string  `json:"ref"`
+	Score float64 `json:"score"`
+}
+
+// handleDiscovery probes the resident LSH index for columns containing the
+// posted value set.
+func (s *Service) handleDiscovery(w http.ResponseWriter, r *http.Request) error {
+	var req discoveryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return badRequest("bad discovery request: %v", err)
+	}
+	if len(req.Values) == 0 {
+		return badRequest("discovery needs a non-empty values list")
+	}
+	if req.Threshold <= 0 || req.Threshold > 1 {
+		return badRequest("threshold must be in (0, 1]")
+	}
+	matches := s.store.Discover(req.Values, req.Threshold)
+	resp := struct {
+		Matches []discoveryMatch `json:"matches"`
+	}{Matches: []discoveryMatch{}}
+	for _, m := range matches {
+		resp.Matches = append(resp.Matches, discoveryMatch{Ref: m.Ref.String(), Score: m.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+type ingestRequest struct {
+	CSV string `json:"csv"`
+}
+
+// handleIngest appends the posted CSV rows (with header, matching the
+// resident schema) and advances every index incrementally.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return badRequest("bad ingest request: %v", err)
+	}
+	batch, err := dataset.ReadCSV(strings.NewReader(req.CSV), s.store.View().Schema())
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	ingested, total, err := s.store.Ingest(batch)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"rows_ingested": ingested, "total_rows": total})
+	return nil
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+	return nil
+}
+
+// handleMetrics exposes the registry in the Prometheus text format,
+// including the runtime-class request latency histograms with their
+// p50/p90/p99 series. It bypasses the admission queue.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.reg.Counter("serve.http_5xx").Inc()
+	}
+}

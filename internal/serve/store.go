@@ -1,0 +1,224 @@
+// Package serve is REDI's resident integration service: one dataset held in
+// memory behind an HTTP JSON API, with audit, tailoring, query, and
+// discovery served from incrementally maintained indexes instead of
+// per-request rebuilds.
+//
+// The consistency model has two tiers:
+//
+//   - Snapshot readers (/query, /tailor, completeness checks) work on a
+//     copy-on-write dataset snapshot captured at the last ingest. They grab
+//     the snapshot pointer under a read lock and then run lock-free — the
+//     snapshot is immutable — so they never block ingest and never see torn
+//     rows.
+//   - Index readers (/audit coverage walks, /discovery probes, tailoring's
+//     group index) read the resident mutable indexes and therefore hold the
+//     read lock for the duration; ingest (the sole writer) waits for them.
+//
+// Every index is maintained incrementally on append under the write lock —
+// dataset.Groups.Append, coverage.Space.AppendRows, and
+// discovery.IncrementalLSH.Upsert — each of which is contractually
+// bit-identical to a from-scratch rebuild over the same rows.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"redi/internal/core"
+	"redi/internal/coverage"
+	"redi/internal/dataset"
+	"redi/internal/discovery"
+	"redi/internal/obs"
+)
+
+// StoreConfig configures a resident store.
+type StoreConfig struct {
+	// Name labels the resident table in discovery results (default
+	// "resident").
+	Name string
+	// Sensitive lists the grouping attributes for the group and coverage
+	// indexes (default: schema roles).
+	Sensitive []string
+	// Threshold is the default coverage threshold for audits (default 10).
+	Threshold int
+	// MinhashK is the LSH signature width (default 128).
+	MinhashK int
+	// Workers bounds per-request parallelism (parallel.Workers semantics).
+	Workers int
+	// Obs receives the store's counters (nil: a private registry).
+	Obs *obs.Registry
+}
+
+// Store holds one dataset resident with its incremental indexes.
+type Store struct {
+	cfg StoreConfig
+	reg *obs.Registry
+
+	// mu orders the sole writer (Ingest) against index readers. Snapshot
+	// readers only hold it long enough to copy the snap pointer.
+	mu     sync.RWMutex
+	live   *dataset.Dataset
+	snap   *dataset.Dataset
+	groups *dataset.Groups
+	space  *coverage.Space
+	lsh    *discovery.IncrementalLSH
+	// dictLens[i] is how much of catAttrs[i]'s dictionary has been fed to
+	// the LSH index; ingest upserts only the suffix beyond it.
+	catAttrs []string
+	dictLens []int
+
+	// walkMu serializes pattern-space walks: concurrent audits would race
+	// on the space's shared bitmap pool.
+	walkMu sync.Mutex
+}
+
+// NewStore builds the resident store: group index, coverage space, and LSH
+// ensemble over the seed dataset, plus the first snapshot. The store takes
+// ownership of d; callers must not mutate it afterwards.
+func NewStore(d *dataset.Dataset, cfg StoreConfig) (*Store, error) {
+	if cfg.Name == "" {
+		cfg.Name = "resident"
+	}
+	if len(cfg.Sensitive) == 0 {
+		cfg.Sensitive = d.Schema().ByRole(dataset.Sensitive)
+	}
+	if len(cfg.Sensitive) == 0 {
+		return nil, errors.New("serve: no sensitive attributes (set StoreConfig.Sensitive or schema roles)")
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 10
+	}
+	if cfg.MinhashK == 0 {
+		cfg.MinhashK = 128
+	}
+	lsh, err := discovery.NewIncrementalLSH(cfg.MinhashK)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	lsh.Workers = cfg.Workers
+	lsh.Obs = reg
+	s := &Store{cfg: cfg, reg: reg, live: d, lsh: lsh}
+	s.groups = d.GroupBy(cfg.Sensitive...)
+	s.space = coverage.NewSpace(d, cfg.Sensitive, cfg.Threshold)
+	s.space.Obs = reg
+	schema := d.Schema()
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		if a.Kind != dataset.Categorical {
+			continue
+		}
+		_, dict := d.CodesRange(a.Name, 0, 0)
+		s.lsh.Upsert(discovery.ColumnRef{Table: cfg.Name, Column: a.Name}, dict)
+		s.catAttrs = append(s.catAttrs, a.Name)
+		s.dictLens = append(s.dictLens, len(dict))
+	}
+	s.warmGroups()
+	s.snap = d.Snapshot()
+	return s, nil
+}
+
+// warmGroups pre-builds the group index's lazy key caches so concurrent
+// readers (which hold only the read lock) never trigger a lazy build.
+func (s *Store) warmGroups() {
+	keys := s.groups.Keys()
+	if len(keys) > 0 {
+		s.groups.GID(keys[0])
+	}
+}
+
+// Ingest appends a batch, advances every index incrementally, and refreshes
+// the snapshot. It returns the number of rows appended and the new total.
+func (s *Store) Ingest(batch *dataset.Dataset) (ingested, total int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := s.live.NumRows()
+	if err := s.live.AppendDataset(batch); err != nil {
+		return 0, from, err
+	}
+	s.groups.Append(s.live, from)
+	s.space.AppendRows(s.live, from)
+	increments := 2
+	for i, attr := range s.catAttrs {
+		_, dict := s.live.CodesRange(attr, 0, 0)
+		if len(dict) > s.dictLens[i] {
+			s.lsh.Upsert(discovery.ColumnRef{Table: s.cfg.Name, Column: attr}, dict[s.dictLens[i]:])
+			s.dictLens[i] = len(dict)
+			increments++
+		}
+	}
+	s.warmGroups()
+	s.snap = s.live.Snapshot()
+	s.reg.Counter("serve.rows_ingested").Add(int64(batch.NumRows()))
+	s.reg.Counter("serve.index_increments").Add(int64(increments))
+	return batch.NumRows(), s.live.NumRows(), nil
+}
+
+// View returns the current immutable snapshot. The caller may read it
+// without any locking, concurrently with any number of ingests.
+func (s *Store) View() *dataset.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
+}
+
+// Audit checks coverage (on the resident incremental pattern space) and
+// completeness (on the current snapshot) at the given threshold and null
+// rate. threshold <= 0 and maxNull < 0 fall back to the store defaults.
+func (s *Store) Audit(threshold int, maxNull float64, workers int) *core.AuditReport {
+	if threshold <= 0 {
+		threshold = s.cfg.Threshold
+	}
+	if maxNull < 0 {
+		maxNull = 0.05
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := s.snap
+	cov := core.CoverageRequirement{Attrs: s.cfg.Sensitive, Threshold: threshold}
+	comp := core.CompletenessRequirement{Sensitive: s.cfg.Sensitive, MaxNullRate: maxNull}
+	s.walkMu.Lock()
+	covRes := cov.CheckSpace(s.space, workers)
+	s.walkMu.Unlock()
+	return &core.AuditReport{Results: []core.CheckResult{covRes, comp.Check(snap)}}
+}
+
+// Discover probes the resident LSH index for columns whose estimated
+// containment of the query domain is at least threshold.
+func (s *Store) Discover(values []string, threshold float64) []discovery.ColumnMatch {
+	query := make(map[string]bool, len(values))
+	for _, v := range values {
+		query[v] = true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lsh.Query(query, threshold)
+}
+
+// Stats is a point-in-time summary of the resident state.
+type Stats struct {
+	Name       string   `json:"name"`
+	Rows       int      `json:"rows"`
+	Groups     int      `json:"groups"`
+	Sensitive  []string `json:"sensitive"`
+	LSHColumns int      `json:"lsh_columns"`
+	Threshold  int      `json:"threshold"`
+}
+
+// Stats reports the resident row, group, and index cardinalities.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Name:       s.cfg.Name,
+		Rows:       s.live.NumRows(),
+		Groups:     s.groups.NumGroups(),
+		Sensitive:  s.cfg.Sensitive,
+		LSHColumns: s.lsh.NumColumns(),
+		Threshold:  s.cfg.Threshold,
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"fmt"
+
+	"redi/internal/dataset"
+	"redi/internal/dt"
+	"redi/internal/rng"
+)
+
+// Tailor runs distribution tailoring against the resident dataset as the
+// single source: it draws rows until every requested group count is met and
+// materializes the collected rows from the current snapshot. The group
+// index is read in place (no per-request GroupBy), so the read lock is held
+// for the whole run and ingest waits behind it. Results are a pure function
+// of (resident rows, need, seed, maxDraws).
+func (s *Store) Tailor(need map[dataset.GroupKey]int, seed uint64, maxDraws int) (*dt.Result, *dataset.Dataset, error) {
+	if len(need) == 0 {
+		return nil, nil, fmt.Errorf("serve: tailor needs at least one group count")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Global key order: resident groups first (gid order), then requested
+	// keys absent from the data, in sorted order.
+	resident := s.groups.Keys()
+	keys := make([]dataset.GroupKey, len(resident), len(resident)+len(need))
+	copy(keys, resident)
+	seen := make(map[dataset.GroupKey]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, k := range dataset.SortedKeys(need) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+
+	dist := make([]float64, len(keys))
+	total := 0
+	for _, c := range s.groups.Counts {
+		total += c
+	}
+	needVec := make([]int, len(keys))
+	for gi, k := range keys {
+		if total > 0 {
+			dist[gi] = float64(s.groups.Count(k)) / float64(total)
+		}
+		needVec[gi] = need[k]
+		if needVec[gi] > 0 && dist[gi] == 0 {
+			return nil, nil, fmt.Errorf("serve: group %s requested but absent from the resident dataset", k)
+		}
+	}
+
+	src, err := dt.NewDatasetSource(s.snap, s.groups, keys, 1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	engine := &dt.Engine{Sources: []dt.Source{src}, MaxDraws: maxDraws, Obs: s.reg}
+	res, err := engine.Run(dt.NewRatioColl([][]float64{dist}, []float64{1}), needVec, rng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	data := engine.Materialize(res)
+	if data == nil {
+		data = dataset.New(s.snap.Schema())
+	}
+	return res, data, nil
+}

@@ -1,0 +1,142 @@
+package redi
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"redi/internal/coverage"
+	"redi/internal/dataset"
+	"redi/internal/discovery"
+	"redi/internal/obs"
+	"redi/internal/rng"
+	"redi/internal/serve"
+	"redi/internal/synth"
+)
+
+// serveBenchRows is the resident size for the serving-layer benchmarks:
+// large enough that a from-scratch index rebuild dominates a per-batch
+// incremental advance by a wide margin.
+const serveBenchRows = 20000
+
+const serveBenchBatch = 500
+
+func serveBenchSeed(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	return synth.Generate(synth.DefaultPopulation(serveBenchRows), rng.New(1)).Data
+}
+
+func serveBenchBatches(b *testing.B, n int) []*dataset.Dataset {
+	b.Helper()
+	out := make([]*dataset.Dataset, n)
+	for i := range out {
+		out[i] = synth.Generate(synth.DefaultPopulation(serveBenchBatch), rng.New(uint64(100+i))).Data
+	}
+	return out
+}
+
+// rebuildIndexes is the no-resident-state baseline: what a server without
+// incremental maintenance pays after every ingest batch to serve the next
+// audit/tailor/discovery request — a full group index, coverage space, and
+// LSH build over all resident rows.
+func rebuildIndexes(d *dataset.Dataset, sens []string, threshold int) int {
+	g := d.GroupBy(sens...)
+	sp := coverage.NewSpace(d, sens, threshold)
+	lsh, err := discovery.NewIncrementalLSH(128)
+	if err != nil {
+		panic(err)
+	}
+	schema := d.Schema()
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		if a.Kind != dataset.Categorical {
+			continue
+		}
+		_, dict := d.Codes(a.Name)
+		lsh.Upsert(discovery.ColumnRef{Table: "resident", Column: a.Name}, dict)
+	}
+	return g.NumGroups() + sp.NumAttrs() + lsh.NumColumns()
+}
+
+// BenchmarkIngestIncremental measures one ingest batch advancing the
+// resident store's indexes in place (groups, coverage bitmaps, LSH band
+// tables) plus the copy-on-write snapshot refresh.
+func BenchmarkIngestIncremental(b *testing.B) {
+	store, err := serve.NewStore(serveBenchSeed(b), serve.StoreConfig{Threshold: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := serveBenchBatches(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.Ingest(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestRebuild measures the same batch sequence with the
+// baseline strategy: append, then rebuild every index from scratch over
+// all resident rows. The incremental path must beat this by >=5x at the
+// benchmark geometry (20k seed rows, 500-row batches).
+func BenchmarkIngestRebuild(b *testing.B) {
+	live := serveBenchSeed(b)
+	sens := []string{"race", "sex"}
+	batches := serveBenchBatches(b, 32)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := live.AppendDataset(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+		sink += rebuildIndexes(live, sens, 25)
+	}
+	if sink == 0 {
+		b.Fatal("rebuild produced no indexes")
+	}
+}
+
+// discardWriter is a minimal http.ResponseWriter for driving handlers.
+type discardWriter struct {
+	code int
+	hdr  http.Header
+	buf  bytes.Buffer
+}
+
+func (w *discardWriter) Header() http.Header         { return w.hdr }
+func (w *discardWriter) WriteHeader(code int)        { w.code = code }
+func (w *discardWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+// BenchmarkServeAuditP99 drives /audit through the full service stack —
+// admission queue, handler, incremental coverage walk — and reports the
+// p50/p99 request latency from the service's own runtime histogram, i.e.
+// exactly what /metrics exports as redi_serve_latency_audit_quantile.
+func BenchmarkServeAuditP99(b *testing.B) {
+	reg := obs.NewRegistry()
+	svc, err := serve.NewService(serveBenchSeed(b), serve.Config{
+		StoreConfig: serve.StoreConfig{Threshold: 25, Obs: reg},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	req, err := http.NewRequest("GET", "http://bench/audit?threshold=25&maxnull=0.2", strings.NewReader(""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := &discardWriter{code: http.StatusOK, hdr: http.Header{}}
+		svc.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("audit status %d: %s", w.code, w.buf.String())
+		}
+	}
+	b.StopTimer()
+	hist := reg.Report().RuntimeHistograms["serve.latency.audit"]
+	if q := hist.Quantiles; q != nil {
+		b.ReportMetric(q["p50"], "p50-µs")
+		b.ReportMetric(q["p99"], "p99-µs")
+	}
+}
