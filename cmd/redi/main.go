@@ -36,7 +36,31 @@ import (
 	"redi/internal/obs"
 	"redi/internal/profile"
 	"redi/internal/rng"
+	"redi/internal/trace"
 )
+
+// startTrace opens a root span when -trace was given a path. The
+// returned finish func ends the span and writes the whole tree as
+// Chrome Trace Event JSON (loadable in Perfetto / chrome://tracing)
+// to that path; with no path both the span and finish are no-ops.
+func startTrace(path, name string) (*trace.Span, func() error) {
+	if path == "" {
+		return nil, func() error { return nil }
+	}
+	sp := trace.New(name)
+	return sp, func() error {
+		sp.End()
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, sp, 1); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
 
 // writeObsReport emits the observability report requested by the shared
 // -obs/-obs-json flags. The human-readable report goes to stderr because
@@ -312,6 +336,7 @@ func cmdAudit(args []string) error {
 	noMmap := fs.Bool("no-mmap", false, "use the read-at pager instead of mmap for column files")
 	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the audit")
 	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
+	tracePath := fs.String("trace", "", "write a Chrome Trace Event JSON of this run to the given path")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("audit needs exactly one input file")
@@ -339,11 +364,15 @@ func cmdAudit(args []string) error {
 		core.CoverageRequirement{Attrs: sens, Threshold: *threshold},
 		core.CompletenessRequirement{Sensitive: sens, MaxNullRate: *maxNull},
 	}
+	sp, finishTrace := startTrace(*tracePath, "audit")
 	var rep *core.AuditReport
 	if in.pd != nil {
-		rep = core.AuditPartitioned(in.pd, reqs, *workers)
+		rep = core.AuditPartitionedTraced(in.pd, reqs, *workers, sp)
 	} else {
-		rep = core.Audit(in.d, reqs)
+		rep = core.AuditTraced(in.d, reqs, sp)
+	}
+	if err := finishTrace(); err != nil {
+		return err
 	}
 	fmt.Print(rep.String())
 	if err := writeObsReport(reg, *obsFlag, *obsJSON); err != nil {
@@ -388,6 +417,7 @@ func cmdTailor(args []string) error {
 	noMmap := fs.Bool("no-mmap", false, "use the read-at pager instead of mmap for column files")
 	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the run")
 	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
+	tracePath := fs.String("trace", "", "write a Chrome Trace Event JSON of this run to the given path")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("tailor needs at least one source file")
@@ -427,12 +457,16 @@ func cmdTailor(args []string) error {
 	if *obsFlag || *obsJSON != "" {
 		reg = obs.NewRegistry()
 	}
+	sp, finishTrace := startTrace(*tracePath, "tailor")
 	p := &core.Pipeline{
 		Sources: sources, PartitionedSources: partSources, Workers: *workers,
-		Sensitive: sens, KnownDistributions: *known, Obs: reg,
+		Sensitive: sens, KnownDistributions: *known, Obs: reg, Trace: sp,
 	}
 	res, err := p.Run(need, nil, rng.New(*seed))
 	if err != nil {
+		return err
+	}
+	if err := finishTrace(); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tailored %d rows in %d draws, cost %.2f (strategy %s)\n",
@@ -491,6 +525,7 @@ func cmdQuery(args []string) error {
 	noMmap := fs.Bool("no-mmap", false, "use the read-at pager instead of mmap for column files")
 	obsFlag := fs.Bool("obs", false, "print the observability report to stderr after the query")
 	obsJSON := fs.String("obs-json", "", "write the observability report as JSON to this path")
+	tracePath := fs.String("trace", "", "write a Chrome Trace Event JSON of this run to the given path")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("query needs exactly one input file")
@@ -511,6 +546,7 @@ func cmdQuery(args []string) error {
 		reg = obs.NewRegistry()
 		obs.Enable(reg)
 	}
+	sp, finishTrace := startTrace(*tracePath, "query")
 	if in.pd != nil {
 		pp, err := expr.CompilePartitioned(*exprSrc, in.pd)
 		if err != nil {
@@ -525,14 +561,17 @@ func cmdQuery(args []string) error {
 			// Materialize only the matching rows: each touched partition's
 			// pages are fetched once by AppendRowsTo.
 			out := dataset.New(in.pd.Schema())
-			if err := in.pd.AppendRowsTo(out, pp.SelectIndices(*workers)); err != nil {
+			if err := in.pd.AppendRowsTo(out, pp.SelectIndicesTraced(*workers, sp)); err != nil {
 				return err
 			}
 			if err := out.WriteCSV(os.Stdout); err != nil {
 				return err
 			}
 		} else {
-			fmt.Println(pp.Count(*workers))
+			fmt.Println(pp.CountTraced(*workers, sp))
+		}
+		if err := finishTrace(); err != nil {
+			return err
 		}
 		return writeObsReport(reg, *obsFlag, *obsJSON)
 	}
@@ -546,11 +585,14 @@ func cmdQuery(args []string) error {
 		fmt.Fprint(os.Stderr, cp.Disassemble())
 	}
 	if *doSelect {
-		if err := cp.Select().WriteCSV(os.Stdout); err != nil {
+		if err := cp.SelectTraced(sp).WriteCSV(os.Stdout); err != nil {
 			return err
 		}
 	} else {
-		fmt.Println(cp.CountFast())
+		fmt.Println(cp.CountFastTraced(sp))
+	}
+	if err := finishTrace(); err != nil {
+		return err
 	}
 	return writeObsReport(reg, *obsFlag, *obsJSON)
 }

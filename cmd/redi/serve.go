@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"redi/internal/serve"
 )
@@ -26,6 +27,8 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 64, "admission queue depth before 429")
 	name := fs.String("name", "resident", "table name in /discovery results")
 	replayPath := fs.String("replay", "", "replay a JSONL request log to stdout instead of listening")
+	traceBuf := fs.Int("trace-buffer", 64, "flight-recorder capacity in traces (negative disables /debug/requests)")
+	slowMS := fs.Int("trace-slow-ms", 0, "retain traces at least this slow in the slow-request log (0 disables)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("serve needs exactly one CSV file")
@@ -44,9 +47,11 @@ func cmdServe(args []string) error {
 			Threshold: *threshold,
 			Workers:   *workers,
 		},
-		MaxNullRate:   *maxNull,
-		MaxConcurrent: *concurrent,
-		QueueDepth:    *queue,
+		MaxNullRate:        *maxNull,
+		MaxConcurrent:      *concurrent,
+		QueueDepth:         *queue,
+		TraceBuffer:        *traceBuf,
+		SlowTraceThreshold: time.Duration(*slowMS) * time.Millisecond,
 	}
 	if *sensitive != "" {
 		cfg.Sensitive = strings.Split(*sensitive, ",")

@@ -50,6 +50,10 @@ import (
 	"redi/internal/dataset"
 )
 
+// Format reports the on-disk container tag and format version, for
+// build-info metrics and diagnostics.
+func Format() (magic string, version int) { return fileMagic, formatVersion }
+
 const (
 	fileMagic     = "REDICOL1"
 	formatVersion = 1

@@ -5,6 +5,7 @@ import (
 
 	"redi/internal/dataset"
 	"redi/internal/obs"
+	"redi/internal/trace"
 )
 
 // PartitionedRequirement is a Requirement that can audit a partitioned
@@ -22,14 +23,27 @@ type PartitionedRequirement interface {
 // one-time materialization of the view — correct, but paying the full
 // row-building cost, so hot requirements grow partitioned paths.
 func AuditPartitioned(pd *dataset.Partitioned, reqs []Requirement, workers int) *AuditReport {
-	return auditPartitionedObs(pd, reqs, workers, obs.Active(nil))
+	return AuditPartitionedTraced(pd, reqs, workers, nil)
 }
 
-func auditPartitionedObs(pd *dataset.Partitioned, reqs []Requirement, workers int, reg *obs.Registry) *AuditReport {
+// AuditPartitionedTraced is AuditPartitioned plus one child span per
+// requirement under sp ("audit.<name>", satisfied 0/1 attribute). The
+// partition-at-a-time checks run untraced internally (their kernels
+// already publish deterministic counters); a nil span is the untraced
+// path.
+func AuditPartitionedTraced(pd *dataset.Partitioned, reqs []Requirement, workers int, sp *trace.Span) *AuditReport {
+	return auditPartitionedObs(pd, reqs, workers, obs.Active(nil), sp)
+}
+
+func auditPartitionedObs(pd *dataset.Partitioned, reqs []Requirement, workers int, reg *obs.Registry, sp *trace.Span) *AuditReport {
 	rep := &AuditReport{}
 	failed := 0
 	var materialized *dataset.Dataset
 	for _, req := range reqs {
+		var rs *trace.Span
+		if sp != nil {
+			rs = sp.Child("audit." + req.Name())
+		}
 		var res CheckResult
 		if pr, ok := req.(PartitionedRequirement); ok {
 			res = pr.CheckPartitioned(pd, workers)
@@ -42,6 +56,8 @@ func auditPartitionedObs(pd *dataset.Partitioned, reqs []Requirement, workers in
 		if !res.Satisfied {
 			failed++
 		}
+		rs.SetAttr("satisfied", b2i(res.Satisfied))
+		rs.End()
 		rep.Results = append(rep.Results, res)
 	}
 	reg.Counter("core.requirements_checked").Add(int64(len(reqs)))

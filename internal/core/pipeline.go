@@ -10,6 +10,7 @@ import (
 	"redi/internal/obs"
 	"redi/internal/profile"
 	"redi/internal/rng"
+	"redi/internal/trace"
 )
 
 // now is the pipeline's clock seam, routed through the obs layer's single
@@ -51,6 +52,12 @@ type Pipeline struct {
 	// concurrently — and folds the totals into Obs (or, when Obs is nil,
 	// the process-wide registry from obs.Enable) on completion.
 	Obs *obs.Registry
+	// Trace, when non-nil, receives one child span per pipeline step
+	// ("pipeline.tailor", "pipeline.impute", ...) whose attributes are
+	// the step's obs counter deltas — the exact same map attached to the
+	// matching ProvenanceStep.Metrics — plus the row count after the
+	// step. Nil disables tracing at the cost of one branch per step.
+	Trace *trace.Span
 }
 
 // RunResult is the outcome of a pipeline run.
@@ -97,9 +104,10 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	// In-memory sources first, then partitioned views; the group indexes
 	// are bit-identical across the two backends, so mixed pipelines see one
 	// consistent key universe.
+	isp := p.Trace.Child("pipeline.index")
 	sourceGroups := make([]*dataset.Groups, nSrc)
 	for i, s := range p.Sources {
-		sourceGroups[i] = s.GroupBy(sensitive...)
+		sourceGroups[i] = s.GroupByTraced(isp, sensitive...)
 	}
 	for i, pd := range p.PartitionedSources {
 		sourceGroups[len(p.Sources)+i] = pd.GroupBy(p.Workers, sensitive...)
@@ -115,6 +123,9 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	for _, k := range dataset.SortedKeys(need) {
 		addKey(k)
 	}
+	isp.SetAttr("sources", int64(nSrc))
+	isp.SetAttr("gids", int64(len(keys)))
+	isp.End()
 
 	// Build dt sources and the need vector.
 	var sources []dt.Source
@@ -177,15 +188,22 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	prov := &Provenance{}
 	// step snapshots the counters and the clock; the returned func closes
 	// a provenance entry with the elapsed time, the counter delta, and a
-	// span named after the op.
-	step := func(op string) func(detail string, params map[string]string, rows int) {
+	// span named after the op. The trace span it opens carries the same
+	// delta map as deterministic attributes (sorted key order), so a
+	// trace and the provenance it ships with can be cross-checked
+	// entry-for-entry.
+	step := func(op string) (*trace.Span, func(detail string, params map[string]string, rows int)) {
 		before := reg.CounterValues()
+		ssp := p.Trace.Child("pipeline." + op)
 		start := now()
-		return func(detail string, params map[string]string, rows int) {
+		return ssp, func(detail string, params map[string]string, rows int) {
 			elapsed := now().Sub(start)
 			reg.RecordSpan("pipeline."+op, elapsed)
-			prov.add(op, detail, params, rows, elapsed,
-				obs.DeltaCounters(before, reg.CounterValues()))
+			delta := obs.DeltaCounters(before, reg.CounterValues())
+			ssp.SetAttr("rows_after", int64(rows))
+			ssp.AddDeltas("obs.", delta)
+			ssp.End()
+			prov.add(op, detail, params, rows, elapsed, delta)
 		}
 	}
 
@@ -196,7 +214,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	} else {
 		strategy = dt.NewUCBColl(costs, len(keys))
 	}
-	endTailor := step("tailor")
+	_, endTailor := step("tailor")
 	res, err := engine.Run(strategy, needVec, r)
 	if err != nil {
 		return nil, err
@@ -229,7 +247,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		if nulls == 0 {
 			continue
 		}
-		endImpute := step("impute")
+		_, endImpute := step("impute")
 		repaired, err := cleaning.GroupMeanImputer{Sensitive: sensitive}.Impute(data, a.Name)
 		if err != nil {
 			return nil, fmt.Errorf("core: imputing %s: %w", a.Name, err)
@@ -243,8 +261,8 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 	}
 	out.Data = data
 
-	endAudit := step("audit")
-	out.Audit = auditObs(data, reqs, reg)
+	auditSpan, endAudit := step("audit")
+	out.Audit = auditTracedObs(data, reqs, reg, auditSpan)
 	pass := "passed"
 	if !out.Audit.Satisfied() {
 		pass = "FAILED"
@@ -253,7 +271,7 @@ func (p *Pipeline) Run(need map[dataset.GroupKey]int, reqs []Requirement, r *rng
 		fmt.Sprintf("%d requirements checked: %s", len(reqs), pass),
 		nil, data.NumRows())
 
-	endLabel := step("label")
+	_, endLabel := step("label")
 	out.Label = profile.BuildLabel(data, profile.LabelConfig{Sensitive: sensitive})
 	endLabel("nutritional label built", nil, data.NumRows())
 

@@ -15,6 +15,7 @@ import (
 	"redi/internal/obs"
 	"redi/internal/profile"
 	"redi/internal/stats"
+	"redi/internal/trace"
 )
 
 // Requirement is an auditable responsible-data requirement.
@@ -66,25 +67,62 @@ func (r *AuditReport) String() string {
 
 // Audit checks d against every requirement.
 func Audit(d *dataset.Dataset, reqs []Requirement) *AuditReport {
-	return auditObs(d, reqs, obs.Active(nil))
+	return auditTracedObs(d, reqs, obs.Active(nil), nil)
+}
+
+// AuditTraced is Audit plus one child span per requirement under sp
+// ("audit.<name>", with a satisfied 0/1 attribute); requirements that
+// implement tracedRequirement nest their kernel spans (MUP walk,
+// GroupBy) under it. A nil span is the untraced path.
+func AuditTraced(d *dataset.Dataset, reqs []Requirement, sp *trace.Span) *AuditReport {
+	return auditTracedObs(d, reqs, obs.Active(nil), sp)
 }
 
 // auditObs is Audit with an explicit metrics sink. The pipeline passes its
 // run-private registry so audit counters land in the audit step's delta;
 // the public Audit entry point uses the process-wide registry, if enabled.
 func auditObs(d *dataset.Dataset, reqs []Requirement, reg *obs.Registry) *AuditReport {
+	return auditTracedObs(d, reqs, reg, nil)
+}
+
+// tracedRequirement is implemented by requirements whose Check can hang
+// its kernel work (MUP walks, group indexing, null scans) under a span.
+// CheckTraced with a nil span must behave exactly like Check.
+type tracedRequirement interface {
+	CheckTraced(d *dataset.Dataset, sp *trace.Span) CheckResult
+}
+
+func auditTracedObs(d *dataset.Dataset, reqs []Requirement, reg *obs.Registry, sp *trace.Span) *AuditReport {
 	rep := &AuditReport{}
 	failed := 0
 	for _, req := range reqs {
-		res := req.Check(d)
+		var rs *trace.Span
+		if sp != nil {
+			rs = sp.Child("audit." + req.Name())
+		}
+		var res CheckResult
+		if tr, ok := req.(tracedRequirement); ok {
+			res = tr.CheckTraced(d, rs)
+		} else {
+			res = req.Check(d)
+		}
 		if !res.Satisfied {
 			failed++
 		}
+		rs.SetAttr("satisfied", b2i(res.Satisfied))
+		rs.End()
 		rep.Results = append(rep.Results, res)
 	}
 	reg.Counter("core.requirements_checked").Add(int64(len(reqs)))
 	reg.Counter("core.requirements_failed").Add(int64(failed))
 	return rep
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // NeedForDistribution converts a target group distribution into the count
@@ -175,6 +213,12 @@ func (r DistributionRequirement) Check(d *dataset.Dataset) CheckResult {
 	return r.checkGroups(d.GroupBy(r.Attrs...))
 }
 
+// CheckTraced implements tracedRequirement: the group indexing lands in
+// a "dataset.groupby" span under sp.
+func (r DistributionRequirement) CheckTraced(d *dataset.Dataset, sp *trace.Span) CheckResult {
+	return r.checkGroups(d.GroupByTraced(sp, r.Attrs...))
+}
+
 // CheckPartitioned implements PartitionedRequirement: the group index comes
 // from the partition-parallel GroupBy, which is bit-identical to the
 // in-memory one, so the TV distance is too.
@@ -229,6 +273,11 @@ func (r CountRequirement) Check(d *dataset.Dataset) CheckResult {
 	return r.checkGroups(d.GroupBy(r.Attrs...))
 }
 
+// CheckTraced implements tracedRequirement.
+func (r CountRequirement) CheckTraced(d *dataset.Dataset, sp *trace.Span) CheckResult {
+	return r.checkGroups(d.GroupByTraced(sp, r.Attrs...))
+}
+
 // CheckPartitioned implements PartitionedRequirement.
 func (r CountRequirement) CheckPartitioned(pd *dataset.Partitioned, workers int) CheckResult {
 	return r.checkGroups(pd.GroupBy(workers, r.Attrs...))
@@ -280,6 +329,13 @@ func (r CoverageRequirement) Check(d *dataset.Dataset) CheckResult {
 	return r.checkSpace(space, space.MUPs())
 }
 
+// CheckTraced implements tracedRequirement: the MUP walk lands in a
+// "coverage.mup_walk" span under sp with the walk's per-level tallies.
+func (r CoverageRequirement) CheckTraced(d *dataset.Dataset, sp *trace.Span) CheckResult {
+	space := coverage.NewSpace(d, r.Attrs, r.Threshold)
+	return r.checkSpace(space, space.MUPsTraced(0, sp))
+}
+
 // CheckPartitioned implements PartitionedRequirement: the space is built
 // partition-at-a-time and the MUP walk sharded over workers; both are
 // bit-identical to the in-memory path.
@@ -295,8 +351,14 @@ func (r CoverageRequirement) CheckPartitioned(pd *dataset.Partitioned, workers i
 // space for the duration (the MUP walk uses the space's shared bitmap
 // pool). Results are bit-identical to Check on a dataset with the same rows.
 func (r CoverageRequirement) CheckSpace(space *coverage.Space, workers int) CheckResult {
+	return r.CheckSpaceTraced(space, workers, nil)
+}
+
+// CheckSpaceTraced is CheckSpace plus the walk's "coverage.mup_walk"
+// span under sp. A nil span is the untraced path.
+func (r CoverageRequirement) CheckSpaceTraced(space *coverage.Space, workers int, sp *trace.Span) CheckResult {
 	space.Threshold = r.Threshold
-	return r.checkSpace(space, space.MUPsParallel(workers))
+	return r.checkSpace(space, space.MUPsTraced(workers, sp))
 }
 
 func (r CoverageRequirement) checkSpace(space *coverage.Space, mups []coverage.MUP) CheckResult {
@@ -369,6 +431,19 @@ type CompletenessRequirement struct {
 
 // Name implements Requirement.
 func (r CompletenessRequirement) Name() string { return "completeness" }
+
+// CheckTraced implements tracedRequirement: the null scans run as usual
+// and the span records how many attributes and rows they covered.
+func (r CompletenessRequirement) CheckTraced(d *dataset.Dataset, sp *trace.Span) CheckResult {
+	res := r.Check(d)
+	attrs := len(r.Attrs)
+	if attrs == 0 {
+		attrs = len(d.Schema().Names())
+	}
+	sp.SetAttr("attrs_checked", int64(attrs))
+	sp.SetAttr("rows", int64(d.NumRows()))
+	return res
+}
 
 // Check implements Requirement.
 func (r CompletenessRequirement) Check(d *dataset.Dataset) CheckResult {

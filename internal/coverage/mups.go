@@ -6,6 +6,7 @@ import (
 	"redi/internal/bitmap"
 	"redi/internal/obs"
 	"redi/internal/parallel"
+	"redi/internal/trace"
 )
 
 // MUP is a maximal uncovered pattern with its observed count.
@@ -112,7 +113,7 @@ func foldWalkStats(reg *obs.Registry, st *walkStats) {
 // canonical child rule, and each visit costs one bitmap refinement of its
 // parent's row set — the prefix-intersection DFS.
 func patternBreaker(s patternSpace) []MUP {
-	return patternBreakerWorkers(s, 0)
+	return patternBreakerTraced(s, 0, nil)
 }
 
 // rootChild names one canonical child of the root: position pos
@@ -128,6 +129,17 @@ type rootChild struct{ pos, val int }
 // precomputed value bitmaps (read-only) and the scratch pool (internally
 // synchronized), so no pruning state leaks between subtrees.
 func patternBreakerWorkers(s patternSpace, workers int) []MUP {
+	return patternBreakerTraced(s, workers, nil)
+}
+
+// patternBreakerTraced additionally records one "coverage.mup_walk"
+// span under sp (nil = untraced) whose attributes are the walk's
+// deterministic tallies — the same shard-order-merged walkStats that
+// feed the coverage counters, including the per-level MUP histogram.
+// The span is created and closed on the serial control path, so trace
+// structure stays bit-identical at any worker count.
+func patternBreakerTraced(s patternSpace, workers int, sp *trace.Span) []MUP {
+	ws := sp.Child("coverage.mup_walk")
 	reg := s.observer()
 	root := s.Root()
 	rs := s.rootSet()
@@ -139,6 +151,7 @@ func patternBreakerWorkers(s patternSpace, workers int) []MUP {
 		s.releaseSet(rs)
 		total.recordMUP(0)
 		foldWalkStats(reg, &total)
+		setWalkAttrs(ws, &total)
 		return []MUP{{Pattern: root, Count: rs.count}}
 	}
 	var kids []rootChild
@@ -170,7 +183,26 @@ func patternBreakerWorkers(s patternSpace, workers int) []MUP {
 		total.merge(&parts[i].stats)
 	}
 	foldWalkStats(reg, &total)
+	setWalkAttrs(ws, &total)
 	return out
+}
+
+// setWalkAttrs closes the walk span with the merged tallies as
+// deterministic attributes (mirroring foldWalkStats' counters).
+func setWalkAttrs(ws *trace.Span, st *walkStats) {
+	if ws == nil {
+		return
+	}
+	ws.SetAttr("dfs_nodes", st.nodes)
+	ws.SetAttr("bitmap_ands", st.ands)
+	ws.SetAttr("parent_checks", st.parentChecks)
+	ws.SetAttr("mups", st.mups)
+	for lvl, n := range st.mupsByLevel {
+		if n != 0 {
+			ws.SetAttr(fmt.Sprintf("mups_level_%d", lvl), n)
+		}
+	}
+	ws.End()
 }
 
 // walkSubtree appends, in DFS order, the MUPs found under the pattern p
@@ -206,6 +238,13 @@ func (s *Space) MUPs() []MUP { return patternBreaker(s) }
 // search across workers (parallel.Workers semantics). The result is
 // bit-identical to MUPs at any worker count.
 func (s *Space) MUPsParallel(workers int) []MUP { return patternBreakerWorkers(s, workers) }
+
+// MUPsTraced is MUPsParallel plus a "coverage.mup_walk" span under sp
+// carrying the walk's deterministic tallies (per-level MUP counts,
+// DFS nodes, bitmap refinements). A nil span is the untraced path.
+func (s *Space) MUPsTraced(workers int, sp *trace.Span) []MUP {
+	return patternBreakerTraced(s, workers, sp)
+}
 
 func allParentsCovered(s patternSpace, p Pattern, st *walkStats) bool {
 	for _, parent := range s.Parents(p) {

@@ -292,28 +292,47 @@ func (pp *PartitionedPredicate) SelectIndices(workers int) []int {
 	return idx
 }
 
+// partEvalStats are one evaluation's deterministic work tallies:
+// partition-determined counts summed in chunk order, so they are
+// bit-identical at any worker count (the same shard-order-merge
+// discipline as coverage's walkStats).
+type partEvalStats struct {
+	scanned, pruned, rows, kernels int64
+}
+
 // run evaluates partition-parallel, invoking sink(p, matchBitmap) for every
-// non-pruned partition. Sinks write only partition-disjoint state.
-func (pp *PartitionedPredicate) run(workers int, sink func(p int, m bitmap.Bitmap)) {
+// non-pruned partition. Sinks write only partition-disjoint state. The
+// returned stats feed traced wrappers; untraced callers ignore them.
+func (pp *PartitionedPredicate) run(workers int, sink func(p int, m bitmap.Bitmap)) partEvalStats {
 	cScanned, cPruned := pp.pd.counters()
 	reg := obs.Active(pp.pd.Obs)
 	cRows := reg.Counter("dataset.predicate_rows_scanned")
 	cOps := reg.Counter("dataset.predicate_bitmap_ops")
-	parallel.MapChunks(workers, pp.pd.NumPartitions(), func(_, plo, phi int) struct{} {
+	chunks := parallel.MapChunks(workers, pp.pd.NumPartitions(), func(_, plo, phi int) partEvalStats {
 		sc := pp.newScratch()
-		var rows, kernels int64
+		var st partEvalStats
 		for p := plo; p < phi; p++ {
 			if !pp.mayMatch(p) {
 				cPruned.Inc()
+				st.pruned++
 				continue
 			}
 			cScanned.Inc()
-			sink(p, pp.evalPartition(p, sc, &rows, &kernels))
+			st.scanned++
+			sink(p, pp.evalPartition(p, sc, &st.rows, &st.kernels))
 		}
-		cRows.Add(rows)
-		cOps.Add(kernels)
-		return struct{}{}
+		cRows.Add(st.rows)
+		cOps.Add(st.kernels)
+		return st
 	})
+	var total partEvalStats
+	for _, st := range chunks {
+		total.scanned += st.scanned
+		total.pruned += st.pruned
+		total.rows += st.rows
+		total.kernels += st.kernels
+	}
+	return total
 }
 
 // runCounts returns per-partition match counts (0 for pruned partitions).

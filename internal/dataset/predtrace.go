@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"redi/internal/bitmap"
+	"redi/internal/trace"
+)
+
+// Traced wrappers around the predicate VM and GroupBy. Each takes a
+// parent span and records one child span whose attributes are the
+// evaluation's deterministic work tallies (rows scanned, bitmap
+// kernels, partitions pruned, matches). A nil span routes straight to
+// the untraced hot path, so disabled tracing costs one branch.
+
+// CountFastTraced is CountFast plus a "dataset.predicate_count" span.
+func (cp *CompiledPredicate) CountFastTraced(sp *trace.Span) int {
+	if sp == nil {
+		return cp.CountFast()
+	}
+	ev := sp.Child("dataset.predicate_count")
+	n := cp.SelectBitmap().Count()
+	ev.SetAttr("rows_scanned", cp.lastRows)
+	ev.SetAttr("bitmap_ops", cp.lastOps)
+	ev.SetAttr("matches", int64(n))
+	ev.End()
+	return n
+}
+
+// SelectTraced is Select plus a "dataset.predicate_select" span.
+func (cp *CompiledPredicate) SelectTraced(sp *trace.Span) *Dataset {
+	if sp == nil {
+		return cp.Select()
+	}
+	ev := sp.Child("dataset.predicate_select")
+	idx := cp.SelectIndices()
+	ev.SetAttr("rows_scanned", cp.lastRows)
+	ev.SetAttr("bitmap_ops", cp.lastOps)
+	ev.SetAttr("matches", int64(len(idx)))
+	ev.End()
+	return cp.d.Gather(idx)
+}
+
+// CountTraced is Count plus a "dataset.predicate_count" span carrying
+// the partition pruning tallies.
+func (pp *PartitionedPredicate) CountTraced(workers int, sp *trace.Span) int {
+	if sp == nil {
+		return pp.Count(workers)
+	}
+	ev := sp.Child("dataset.predicate_count")
+	counts := make([]int, pp.pd.NumPartitions())
+	st := pp.run(workers, func(p int, m bitmap.Bitmap) { counts[p] = m.Count() })
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	setPartAttrs(ev, st, int64(total))
+	ev.End()
+	return total
+}
+
+// SelectIndicesTraced is SelectIndices plus a
+// "dataset.predicate_select" span carrying the pruning tallies.
+func (pp *PartitionedPredicate) SelectIndicesTraced(workers int, sp *trace.Span) []int {
+	if sp == nil {
+		return pp.SelectIndices(workers)
+	}
+	ev := sp.Child("dataset.predicate_select")
+	out := bitmap.New(pp.pd.NumRows())
+	st := pp.run(workers, func(p int, m bitmap.Bitmap) {
+		copy(out[p*pp.pd.PartRows()/64:], m)
+	})
+	idx := make([]int, 0, out.Count())
+	out.ForEach(func(r int) { idx = append(idx, r) })
+	setPartAttrs(ev, st, int64(len(idx)))
+	ev.End()
+	return idx
+}
+
+func setPartAttrs(ev *trace.Span, st partEvalStats, matches int64) {
+	ev.SetAttr("partitions_scanned", st.scanned)
+	ev.SetAttr("partitions_pruned", st.pruned)
+	ev.SetAttr("rows_scanned", st.rows)
+	ev.SetAttr("bitmap_ops", st.kernels)
+	ev.SetAttr("matches", matches)
+}
+
+// GroupByTraced is GroupBy plus a "dataset.groupby" span recording the
+// rows grouped and distinct gids produced.
+func (d *Dataset) GroupByTraced(sp *trace.Span, attrs ...string) *Groups {
+	if sp == nil {
+		return d.GroupBy(attrs...)
+	}
+	ev := sp.Child("dataset.groupby")
+	g := d.GroupBy(attrs...)
+	ev.SetAttr("rows", int64(d.NumRows()))
+	ev.SetAttr("gids", int64(g.NumGroups()))
+	ev.End()
+	return g
+}

@@ -173,6 +173,7 @@ func (cp *CompiledPredicate) SelectBitmap() bitmap.Bitmap {
 	}
 	cp.cRows.Add(rows)
 	cp.cOps.Add(kernels)
+	cp.lastRows, cp.lastOps = rows, kernels
 	return cp.bms[0]
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"redi/internal/obs"
 	"redi/internal/parallel"
+	"redi/internal/trace"
 )
 
 // Incremental LSH: the serving-layer counterpart of LSHEnsemble. The batch
@@ -337,9 +338,20 @@ func (e *IncrementalLSH) Upsert(ref ColumnRef, newValues []string) {
 // tuned for it; candidate sets are unioned, deduplicated, and scored, so
 // the result does not depend on insertion order or worker count.
 func (e *IncrementalLSH) Query(query map[string]bool, threshold float64) []ColumnMatch {
+	return e.QueryTraced(query, threshold, nil)
+}
+
+// QueryTraced is Query plus two child spans under sp: a
+// "discovery.lsh_probe" span (band probes, candidates after dedup) and
+// a "discovery.lsh_verify" span (signatures scored, matches kept). The
+// attributes are the same tier-order-merged tallies that feed the
+// discovery counters, so span structure is bit-identical at any worker
+// count. A nil span is the untraced path.
+func (e *IncrementalLSH) QueryTraced(query map[string]bool, threshold float64, sp *trace.Span) []ColumnMatch {
 	if len(e.refs) == 0 {
 		return nil
 	}
+	pspan := sp.Child("discovery.lsh_probe")
 	qsig := NewMinHash(query, e.k)
 	q := float64(len(query))
 	workers := e.Workers
@@ -387,6 +399,10 @@ func (e *IncrementalLSH) Query(query map[string]bool, threshold float64) []Colum
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	pspan.SetAttr("band_probes", int64(probes))
+	pspan.SetAttr("candidates", int64(len(ids)))
+	pspan.End()
+	vspan := sp.Child("discovery.lsh_verify")
 	scored := parallel.Map(workers, ids, func(_ int, id int) ColumnMatch {
 		return ColumnMatch{Ref: e.refs[id], Score: qsig.EstimateContainment(e.sigs[id])}
 	})
@@ -402,6 +418,9 @@ func (e *IncrementalLSH) Query(query map[string]bool, threshold float64) []Colum
 		}
 		return out[a].Ref.String() < out[b].Ref.String()
 	})
+	vspan.SetAttr("scored", int64(len(ids)))
+	vspan.SetAttr("verified", int64(len(out)))
+	vspan.End()
 	if reg := obs.Active(e.Obs); reg != nil {
 		reg.Counter("discovery.lsh_queries").Inc()
 		reg.Counter("discovery.minhash_sigs").Inc()

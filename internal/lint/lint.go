@@ -144,7 +144,7 @@ func (p *Pass) pkgNamePath(file *ast.File, id *ast.Ident) string {
 // All returns the full determinism-contract rule set in stable order: the
 // four syntactic rules from PR 2 plus the four CFG/dataflow rules.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, RandSource, WallTime, ParCapture, PoolCheck, ObsClass, HotAlloc, ErrDrop}
+	return []*Analyzer{MapOrder, RandSource, WallTime, ParCapture, PoolCheck, ObsClass, TraceClass, HotAlloc, ErrDrop}
 }
 
 // Run executes each analyzer over pkg and returns the surviving

@@ -196,6 +196,10 @@ func isRuntimeSourceCall(pass *Pass, call *ast.CallExpr, h *obsHandles) bool {
 		return true
 	case sel == "End" && isObsType(pass, recv, "Span"):
 		return true
+	case sel == "Duration" && isTraceType(pass, recv, "Span"):
+		// A trace span's wall-clock duration is runtime-class by
+		// construction; it may never feed a deterministic sink.
+		return true
 	case sel == "Quantile" && isObsType(pass, recv, "Histogram"):
 		// Quantile estimates are interpolated float reads meant for latency
 		// reporting — runtime-class by definition, whatever the handle's

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceClass enforces the deterministic/runtime class split inside request
+// traces (PR 10) the same way ObsClass enforces it for counters: every
+// trace span attribute is deterministic-class by contract — Det exports
+// must be bit-identical across runs and worker counts — so a value derived
+// from the runtime class (obs.Now(), Gauge.Value(), runtime counter reads,
+// histogram quantiles, or a span's own Duration()) must never flow into
+// Span.SetAttr or Span.AddDeltas. Timings already have a home: the span's
+// start/end fields, surfaced only through the Full and Chrome exports.
+//
+// Unlike ObsClass there is no handle classification for the sink side:
+// ALL trace spans are deterministic sinks, so every SetAttr value argument
+// and AddDeltas map argument is checked. The taint machinery (sources,
+// assignment fixpoint, closure scope) is shared with ObsClass, so the two
+// rules agree on what "runtime-class" means.
+var TraceClass = &Analyzer{
+	Name: "traceclass",
+	Doc:  "runtime-class values (obs.Now, gauges, runtime counters, span durations) must not flow into deterministic trace span attributes (Span.SetAttr/AddDeltas)",
+	Run:  runTraceClass,
+}
+
+func runTraceClass(pass *Pass) {
+	if !isInternalPkg(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkTraceFlow(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+func checkTraceFlow(pass *Pass, body *ast.BlockStmt) {
+	h := classifyHandles(pass, body)
+	tainted := taintFixpoint(pass, body, h)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, recv := obsMethod(pass, call)
+		if !isTraceType(pass, recv, "Span") {
+			return true
+		}
+		// SetAttr's key and AddDeltas' prefix are strings naming the
+		// attribute — only the value positions are deterministic payload.
+		var args []ast.Expr
+		switch sel {
+		case "SetAttr":
+			if len(call.Args) == 2 {
+				args = call.Args[1:]
+			}
+		case "AddDeltas":
+			if len(call.Args) == 2 {
+				args = call.Args[1:]
+			}
+		default:
+			return true
+		}
+		for _, arg := range args {
+			if exprRuntimeTainted(pass, arg, h, tainted) {
+				pass.Reportf(arg.Pos(), "runtime-class value flows into deterministic trace span attribute via %s; span attrs must stay bit-identical across runs and worker counts — timings live in the span's runtime class (Duration, full/chrome exports), never in attributes", sel)
+			}
+		}
+		return true
+	})
+}
+
+// isTraceType reports whether t is <module>/internal/trace.<name>.
+func isTraceType(pass *Pass, t types.Type, name string) bool {
+	return isModuleType(pass, t, "/internal/trace", name)
+}

@@ -1,0 +1,112 @@
+package lint
+
+import "testing"
+
+func TestTraceClassRuntimeIntoAttrs(t *testing.T) {
+	diags := runFixture(t, TraceClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"redi/internal/obs"
+	"redi/internal/trace"
+)
+
+func wallClockAttr(sp *trace.Span) {
+	start := obs.Now()
+	elapsed := obs.Now().Sub(start).Nanoseconds()
+	sp.SetAttr("elapsed_ns", elapsed) // wall-clock into a span attr
+}
+
+func gaugeAttr(r *obs.Registry, sp *trace.Span) {
+	g := r.Gauge("queue_depth")
+	sp.SetAttr("depth", int64(g.Value())) // runtime gauge into a span attr
+}
+
+func durationAttr(sp *trace.Span) {
+	child := sp.Child("phase")
+	child.End()
+	sp.SetAttr("phase_us", child.Duration().Microseconds()) // span timing into attr
+}
+`,
+	})
+	wantFindings(t, diags, 3, "runtime-class value flows into deterministic trace span attribute")
+}
+
+// AddDeltas' map argument is a sink too: a delta map enriched with a
+// wall-clock read would poison every prefixed attribute at once.
+func TestTraceClassAddDeltasSink(t *testing.T) {
+	diags := runFixture(t, TraceClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"redi/internal/obs"
+	"redi/internal/trace"
+)
+
+func deltasWithTiming(sp *trace.Span) {
+	start := obs.Now()
+	deltas := map[string]int64{"rows": 10}
+	deltas["elapsed_ns"] = obs.Now().Sub(start).Nanoseconds()
+	sp.AddDeltas("obs.", deltas)
+}
+`,
+	})
+	wantFindings(t, diags, 1, "runtime-class value flows into deterministic trace span attribute")
+}
+
+func TestTraceClassSuppressed(t *testing.T) {
+	diags := runFixture(t, TraceClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"redi/internal/obs"
+	"redi/internal/trace"
+)
+
+func suppressed(r *obs.Registry, sp *trace.Span) {
+	g := r.Gauge("queue_depth")
+	//redi:allow traceclass test-only fixture exercising the suppression path
+	sp.SetAttr("depth", int64(g.Value()))
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}
+
+func TestTraceClassCleanShapes(t *testing.T) {
+	diags := runFixture(t, TraceClass, "redi/internal/fixture", map[string]string{
+		"fix.go": `package fixture
+
+import (
+	"redi/internal/obs"
+	"redi/internal/trace"
+)
+
+// Deterministic tallies into span attrs: the intended use.
+func detAttrs(sp *trace.Span, rows []int, deltas map[string]int64) {
+	sp.SetAttr("rows", int64(len(rows)))
+	sp.AddDeltas("obs.", deltas)
+}
+
+// Duration feeding runtime-class consumers (thresholds, runtime
+// histograms) is fine — only span attributes are deterministic.
+func durationElsewhere(r *obs.Registry, sp *trace.Span) {
+	rh := r.RuntimeHistogram("lat", obs.ExpBounds(1, 8))
+	child := sp.Child("phase")
+	child.End()
+	if d := child.Duration(); d > 0 {
+		rh.Observe(d.Nanoseconds())
+	}
+}
+
+// Deterministic counter readbacks are not taint.
+func counterDelta(r *obs.Registry, sp *trace.Span) {
+	c := r.Counter("bitmap.and_ops")
+	before := c.Value()
+	c.Add(3)
+	sp.SetAttr("and_ops", c.Value()-before)
+}
+`,
+	})
+	wantFindings(t, diags, 0, "")
+}

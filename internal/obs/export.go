@@ -138,31 +138,60 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // aggregated into per-name sum/count series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	rep := r.Report()
+	nm := newPromNamer()
 	var sb strings.Builder
-	writePromValues(&sb, rep.Counters, "counter")
-	writePromValues(&sb, rep.RuntimeCounters, "counter")
-	writePromHists(&sb, rep.Histograms)
-	writePromHists(&sb, rep.RuntimeHistograms)
+	writePromValues(&sb, nm, rep.Counters, "counter")
+	writePromValues(&sb, nm, rep.RuntimeCounters, "counter")
+	writePromHists(&sb, nm, rep.Histograms)
+	writePromHists(&sb, nm, rep.RuntimeHistograms)
 	for _, name := range sortedNames(rep.Gauges) {
-		pn := promName(name)
+		pn := nm.name(name)
 		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(rep.Gauges[name]))
 	}
-	writePromSpans(&sb, rep.Spans)
+	writePromSpans(&sb, nm, rep.Spans)
 	_, err := io.WriteString(w, sb.String())
 	return err
 }
 
-func writePromValues(sb *strings.Builder, m map[string]int64, typ string) {
+// promNamer gives every exported family a unique Prometheus name.
+// Sanitization maps distinct dotted names onto one identifier ("a.b" and
+// "a_b" both become redi_a_b), and the same source name may be registered
+// in both the deterministic and runtime sections; duplicate families are
+// invalid exposition, so later claimants get a _2/_3 suffix. Sections are
+// written in a fixed order over sorted names, so the assignment is a
+// deterministic function of the registry's contents.
+type promNamer struct {
+	taken map[string]bool
+}
+
+func newPromNamer() *promNamer { return &promNamer{taken: map[string]bool{}} }
+
+func (n *promNamer) name(source string) string {
+	pn := promName(source)
+	if !n.taken[pn] {
+		n.taken[pn] = true
+		return pn
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s_%d", pn, i)
+		if !n.taken[cand] {
+			n.taken[cand] = true
+			return cand
+		}
+	}
+}
+
+func writePromValues(sb *strings.Builder, nm *promNamer, m map[string]int64, typ string) {
 	for _, name := range sortedNames(m) {
-		pn := promName(name)
+		pn := nm.name(name)
 		fmt.Fprintf(sb, "# TYPE %s %s\n%s %d\n", pn, typ, pn, m[name])
 	}
 }
 
-func writePromHists(sb *strings.Builder, m map[string]HistogramSnapshot) {
+func writePromHists(sb *strings.Builder, nm *promNamer, m map[string]HistogramSnapshot) {
 	for _, name := range sortedNames(m) {
 		h := m[name]
-		pn := promName(name)
+		pn := nm.name(name)
 		fmt.Fprintf(sb, "# TYPE %s histogram\n", pn)
 		cum := int64(0)
 		for _, b := range h.Buckets {
@@ -180,7 +209,7 @@ func writePromHists(sb *strings.Builder, m map[string]HistogramSnapshot) {
 	}
 }
 
-func writePromSpans(sb *strings.Builder, spans []SpanRecord) {
+func writePromSpans(sb *strings.Builder, nm *promNamer, spans []SpanRecord) {
 	if len(spans) == 0 {
 		return
 	}
@@ -196,13 +225,16 @@ func writePromSpans(sb *strings.Builder, spans []SpanRecord) {
 		byName[sp.Name] = a
 	}
 	names := sortedNames(byName)
-	fmt.Fprintf(sb, "# TYPE redi_span_seconds_sum counter\n")
+	// The fixed span-family names go through the namer too, so a metric
+	// literally named span_seconds_sum cannot produce a duplicate family.
+	sumName, countName := nm.name("span_seconds_sum"), nm.name("span_count")
+	fmt.Fprintf(sb, "# TYPE %s counter\n", sumName)
 	for _, name := range names {
-		fmt.Fprintf(sb, "redi_span_seconds_sum{span=%q} %s\n", name, promFloat(byName[name].sum.Seconds()))
+		fmt.Fprintf(sb, "%s{span=%q} %s\n", sumName, name, promFloat(byName[name].sum.Seconds()))
 	}
-	fmt.Fprintf(sb, "# TYPE redi_span_count counter\n")
+	fmt.Fprintf(sb, "# TYPE %s counter\n", countName)
 	for _, name := range names {
-		fmt.Fprintf(sb, "redi_span_count{span=%q} %d\n", name, byName[name].count)
+		fmt.Fprintf(sb, "%s{span=%q} %d\n", countName, name, byName[name].count)
 	}
 }
 

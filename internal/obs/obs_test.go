@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -265,6 +266,79 @@ func TestWritePrometheus(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWritePrometheusSanitizationContract pins the exposition-format
+// guarantees: every family name is a legal Prometheus identifier, no
+// family is declared twice — even when sanitization collapses distinct
+// source names onto one identifier or the same name is registered in
+// both metric classes — label values are quote-escaped, and the whole
+// output is a deterministic function of the registry contents.
+func TestWritePrometheusSanitizationContract(t *testing.T) {
+	r := NewRegistry()
+	// Three distinct source names that all sanitize to redi_a_b.
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
+	r.Counter("a-b").Add(3)
+	// The same name again in the runtime class.
+	r.RuntimeCounter("a.b").Add(4)
+	// Name-illegal bytes: multi-byte unicode, space, quote, leading digit.
+	r.Counter("söme metric\"x").Add(5)
+	r.Gauge("9lives").Set(1)
+	// A counter squatting on the fixed span-family name.
+	r.Counter("span_count").Add(6)
+	r.RecordSpan(`tailor"quoted\`, 1500*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	nameRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"\})? \S+$`)
+	families := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if !nameRE.MatchString(fields[2]) {
+				t.Fatalf("illegal family name %q in %q", fields[2], line)
+			}
+			if families[fields[2]] {
+				t.Fatalf("family %q declared twice:\n%s", fields[2], out)
+			}
+			families[fields[2]] = true
+			continue
+		}
+		if !sampleRE.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+
+	// Collision resolution is deterministic: det counters first in sorted
+	// order ("a-b" < "a.b" < "a_b" bytewise), then the runtime section.
+	for _, want := range []string{
+		"redi_a_b 3", "redi_a_b_2 1", "redi_a_b_3 2", "redi_a_b_4 4",
+		"redi_s__me_metric_x 5", // 'ö' is two UTF-8 bytes, two underscores
+		"redi_9lives 1",
+		"redi_span_count 6",              // the counter keeps the plain name
+		`redi_span_count_2{span="tailor`, // the span family is renamed away
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("WritePrometheus is not deterministic for a fixed registry state")
 	}
 }
 

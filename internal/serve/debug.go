@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"redi/internal/trace"
+)
+
+// /debug/requests: flight-recorder forensics. These endpoints bypass
+// the admission queue (like /metrics) so a saturated server can still
+// be inspected, and they are not themselves traced. Their default
+// projections are deterministic — span structure and attributes only,
+// no timings — so a replay log may fetch them and stay byte-identical
+// across runs; the full and chrome formats carry runtime timings for
+// live slow-request forensics.
+
+// debugEntry is one row of the trace listing. Everything here is
+// deterministic under sequential replay: IDs are assigned in arrival
+// order and span counts are a pure function of the request.
+type debugEntry struct {
+	ID     uint64 `json:"id"`
+	Name   string `json:"name"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Spans  int    `json:"spans"`
+}
+
+// slowEntry adds the runtime-class duration that qualified the trace.
+type slowEntry struct {
+	debugEntry
+	DurationUS int64 `json:"duration_us"`
+}
+
+func entryFor(t *trace.Trace) debugEntry {
+	return debugEntry{
+		ID:     t.ID,
+		Name:   t.Name,
+		Method: t.Method,
+		Path:   t.Path,
+		Spans:  t.Root().NumSpans(),
+	}
+}
+
+// handleDebugList serves GET /debug/requests: the retained traces in
+// ascending ID order.
+func (s *Service) handleDebugList(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false, "traces": []debugEntry{}})
+		return
+	}
+	entries := []debugEntry{}
+	for _, t := range s.rec.Traces() {
+		entries = append(entries, entryFor(t))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "traces": entries})
+}
+
+// handleDebugGet serves GET /debug/requests/<id> (single trace; format
+// det|full|chrome, default det) and GET /debug/requests/slow (the
+// slow-request log with durations).
+func (s *Service) handleDebugGet(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/requests/")
+	if rest == "slow" {
+		s.handleDebugSlow(w)
+		return
+	}
+	id, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad trace id " + strconv.Quote(rest)})
+		return
+	}
+	t := s.rec.Get(id)
+	if t == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "trace not retained"})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "det":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":     t.ID,
+			"name":   t.Name,
+			"method": t.Method,
+			"path":   t.Path,
+			"root":   t.Root().Det(),
+		})
+	case "full":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":     t.ID,
+			"name":   t.Name,
+			"method": t.Method,
+			"path":   t.Path,
+			"root":   t.Root().Full(),
+		})
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		// The trace ID becomes the Chrome pid so concatenated exports
+		// stay distinguishable in Perfetto.
+		if err := trace.WriteChrome(w, t.Root(), int64(t.ID)); err != nil {
+			s.reg.Counter("serve.http_5xx").Inc()
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad format " + strconv.Quote(format) + " (want det|full|chrome)"})
+	}
+}
+
+func (s *Service) handleDebugSlow(w http.ResponseWriter) {
+	entries := []slowEntry{}
+	for _, t := range s.rec.Slow() {
+		entries = append(entries, slowEntry{
+			debugEntry: entryFor(t),
+			DurationUS: t.Root().Duration().Microseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_us": s.cfg.SlowTraceThreshold.Microseconds(),
+		"traces":       entries,
+	})
+}

@@ -72,3 +72,13 @@ func (s *scheduler) admit() (release func(), ok bool) {
 }
 
 func (s *scheduler) close() { close(s.done) }
+
+// queueDepth is a point-in-time count of requests waiting for admission
+// (including one the dispatcher holds while it waits for a slot).
+// Runtime class: sampled into a gauge for /metrics, never into
+// deterministic state.
+func (s *scheduler) queueDepth() int { return len(s.queue) + int(s.pending.Load()) }
+
+// busySlots is a point-in-time count of requests holding an execution
+// slot. Runtime class, like queueDepth.
+func (s *scheduler) busySlots() int { return len(s.slots) }

@@ -3,14 +3,22 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"redi/internal/colfile"
 	"redi/internal/dataset"
 	"redi/internal/expr"
 	"redi/internal/obs"
+	"redi/internal/trace"
 )
+
+// Version identifies the serving API build in /metrics' redi_build_info
+// series; bump alongside breaking API or trace-schema changes.
+const Version = "0.10.0"
 
 // Config configures a Service.
 type Config struct {
@@ -25,6 +33,14 @@ type Config struct {
 	// QueueDepth is how many requests may wait for a slot before new
 	// arrivals get 429 (default 64).
 	QueueDepth int
+	// TraceBuffer is the flight recorder's capacity: the number of most
+	// recent request traces retained for /debug/requests (default 64;
+	// negative disables request tracing entirely).
+	TraceBuffer int
+	// SlowTraceThreshold additionally retains any request trace at least
+	// this slow in the slow-request log at /debug/requests/slow
+	// (0 disables slow retention).
+	SlowTraceThreshold time.Duration
 }
 
 // Service is the resident integration service: a http.Handler exposing the
@@ -37,6 +53,7 @@ type Service struct {
 	cfg   Config
 	reg   *obs.Registry
 	mux   *http.ServeMux
+	rec   *trace.Recorder
 }
 
 // NewService builds the store and its indexes from the seed dataset and
@@ -51,6 +68,9 @@ func NewService(d *dataset.Dataset, cfg Config) (*Service, error) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.TraceBuffer == 0 {
+		cfg.TraceBuffer = 64
+	}
 	if cfg.StoreConfig.Obs == nil {
 		cfg.StoreConfig.Obs = obs.NewRegistry()
 	}
@@ -64,6 +84,7 @@ func NewService(d *dataset.Dataset, cfg Config) (*Service, error) {
 		cfg:   cfg,
 		reg:   cfg.StoreConfig.Obs,
 		mux:   http.NewServeMux(),
+		rec:   trace.NewRecorder(cfg.TraceBuffer, cfg.SlowTraceThreshold),
 	}
 	// Create the counters eagerly so /metrics exposes them at zero before
 	// the first request (the CI smoke test asserts on the 5xx series).
@@ -78,8 +99,13 @@ func NewService(d *dataset.Dataset, cfg Config) (*Service, error) {
 	s.mux.Handle("/ingest", s.handle("ingest", s.handleIngest))
 	s.mux.Handle("/stats", s.handle("stats", s.handleStats))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugList)
+	s.mux.HandleFunc("/debug/requests/", s.handleDebugGet)
 	return s, nil
 }
+
+// Recorder returns the flight recorder (nil when tracing is disabled).
+func (s *Service) Recorder() *trace.Recorder { return s.rec }
 
 // Close stops the admission scheduler. In-flight requests finish; queued
 // requests are rejected.
@@ -107,28 +133,44 @@ func badRequest(format string, args ...any) error {
 	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// handle wraps a handler with admission, latency, and outcome accounting.
-func (s *Service) handle(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+// handle wraps a handler with admission, latency, outcome accounting,
+// and request tracing: the root span is the endpoint name, the wait for
+// an execution slot is an "admission.wait" child, and the handler gets
+// the root span to hang its phase spans under. With tracing disabled
+// the span is nil and every trace call is a no-op.
+func (s *Service) handle(name string, fn func(w http.ResponseWriter, r *http.Request, sp *trace.Span) error) http.Handler {
 	lat := s.reg.RuntimeHistogram("serve.latency."+name, obs.ExpBounds(1, 24))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := s.rec.Start(name, r.Method, r.URL.RequestURI())
+		wait := tr.Root().Child("admission.wait")
 		release, ok := s.sched.admit()
+		wait.End()
 		if !ok {
 			s.reg.RuntimeCounter("serve.rejected").Inc()
+			tr.Root().SetAttr("http.status", http.StatusTooManyRequests)
+			s.rec.Finish(tr)
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server at capacity"})
 			return
 		}
 		defer release()
 		start := obs.Now()
-		err := fn(w, r)
+		err := fn(w, r, tr.Root())
 		lat.Observe(obs.Now().Sub(start).Microseconds())
+		code := http.StatusOK
 		if err != nil {
-			code := http.StatusInternalServerError
+			code = http.StatusInternalServerError
 			if ae, ok := err.(*apiError); ok {
 				code = ae.code
 			}
 			if code >= 500 {
 				s.reg.Counter("serve.http_5xx").Inc()
 			}
+		}
+		// The status is a pure function of the request and resident rows
+		// (like the response body), so it is a deterministic attribute.
+		tr.Root().SetAttr("http.status", int64(code))
+		s.rec.Finish(tr)
+		if err != nil {
 			writeJSON(w, code, map[string]string{"error": err.Error()})
 			return
 		}
@@ -165,7 +207,7 @@ type auditResult struct {
 // handleAudit checks coverage and completeness against the resident
 // indexes. Query params: threshold (int), maxnull (float); defaults from
 // the service config.
-func (s *Service) handleAudit(w http.ResponseWriter, r *http.Request) error {
+func (s *Service) handleAudit(w http.ResponseWriter, r *http.Request, sp *trace.Span) error {
 	threshold := 0
 	if v := r.URL.Query().Get("threshold"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -182,7 +224,7 @@ func (s *Service) handleAudit(w http.ResponseWriter, r *http.Request) error {
 		}
 		maxNull = f
 	}
-	rep := s.store.Audit(threshold, maxNull, s.cfg.StoreConfig.Workers)
+	rep := s.store.Audit(threshold, maxNull, s.cfg.StoreConfig.Workers, sp)
 	resp := auditResponse{Satisfied: rep.Satisfied()}
 	for _, res := range rep.Results {
 		resp.Results = append(resp.Results, auditResult{
@@ -212,7 +254,7 @@ type tailorResponse struct {
 
 // handleTailor runs distribution tailoring against the resident dataset and
 // returns the collected rows as CSV inside the JSON response.
-func (s *Service) handleTailor(w http.ResponseWriter, r *http.Request) error {
+func (s *Service) handleTailor(w http.ResponseWriter, r *http.Request, sp *trace.Span) error {
 	var req tailorRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return badRequest("bad tailor request: %v", err)
@@ -231,7 +273,7 @@ func (s *Service) handleTailor(w http.ResponseWriter, r *http.Request) error {
 	if seed == 0 {
 		seed = 1
 	}
-	res, data, err := s.store.Tailor(need, seed, req.MaxDraws)
+	res, data, err := s.store.Tailor(need, seed, req.MaxDraws, sp)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -253,7 +295,7 @@ func (s *Service) handleTailor(w http.ResponseWriter, r *http.Request) error {
 // Params: e (expression), mode=count|select (default count). The snapshot
 // is captured once and evaluated lock-free, so long selects never block
 // ingest.
-func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) error {
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, sp *trace.Span) error {
 	src := r.URL.Query().Get("e")
 	if src == "" {
 		return badRequest("missing e parameter")
@@ -262,17 +304,21 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if mode == "" {
 		mode = "count"
 	}
+	acq := sp.Child("snapshot.acquire")
 	snap := s.store.View()
+	acq.End()
+	comp := sp.Child("query.compile")
 	cp, err := expr.Compile(src, snap)
+	comp.End()
 	if err != nil {
 		return badRequest("%v", err)
 	}
 	switch mode {
 	case "count":
-		writeJSON(w, http.StatusOK, map[string]int{"count": cp.CountFast()})
+		writeJSON(w, http.StatusOK, map[string]int{"count": cp.CountFastTraced(sp)})
 	case "select":
 		var csv strings.Builder
-		if err := cp.Select().WriteCSV(&csv); err != nil {
+		if err := cp.SelectTraced(sp).WriteCSV(&csv); err != nil {
 			return err
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"csv": csv.String()})
@@ -294,7 +340,7 @@ type discoveryMatch struct {
 
 // handleDiscovery probes the resident LSH index for columns containing the
 // posted value set.
-func (s *Service) handleDiscovery(w http.ResponseWriter, r *http.Request) error {
+func (s *Service) handleDiscovery(w http.ResponseWriter, r *http.Request, sp *trace.Span) error {
 	var req discoveryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return badRequest("bad discovery request: %v", err)
@@ -305,7 +351,7 @@ func (s *Service) handleDiscovery(w http.ResponseWriter, r *http.Request) error 
 	if req.Threshold <= 0 || req.Threshold > 1 {
 		return badRequest("threshold must be in (0, 1]")
 	}
-	matches := s.store.Discover(req.Values, req.Threshold)
+	matches := s.store.Discover(req.Values, req.Threshold, sp)
 	resp := struct {
 		Matches []discoveryMatch `json:"matches"`
 	}{Matches: []discoveryMatch{}}
@@ -322,16 +368,20 @@ type ingestRequest struct {
 
 // handleIngest appends the posted CSV rows (with header, matching the
 // resident schema) and advances every index incrementally.
-func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) error {
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request, sp *trace.Span) error {
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return badRequest("bad ingest request: %v", err)
 	}
+	dec := sp.Child("ingest.decode")
 	batch, err := dataset.ReadCSV(strings.NewReader(req.CSV), s.store.View().Schema())
 	if err != nil {
+		dec.End()
 		return badRequest("%v", err)
 	}
-	ingested, total, err := s.store.Ingest(batch)
+	dec.SetAttr("rows", int64(batch.NumRows()))
+	dec.End()
+	ingested, total, err := s.store.Ingest(batch, sp)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -339,16 +389,33 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) error {
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request, _ *trace.Span) error {
 	writeJSON(w, http.StatusOK, s.store.Stats())
 	return nil
 }
 
 // handleMetrics exposes the registry in the Prometheus text format,
 // including the runtime-class request latency histograms with their
-// p50/p90/p99 series. It bypasses the admission queue.
+// p50/p90/p99 series, a redi_build_info gauge carrying the build's
+// version and column-file format constants, and point-in-time admission
+// scheduler gauges. It bypasses the admission queue so the service
+// stays observable under overload.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Sample the scheduler right before export so the gauges reflect the
+	// queue at scrape time. Runtime class: they never enter snapshots.
+	s.reg.Gauge("serve.queue_depth").Set(float64(s.sched.queueDepth()))
+	s.reg.Gauge("serve.busy_slots").Set(float64(s.sched.busySlots()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	magic, fver := colfile.Format()
+	var b strings.Builder
+	b.WriteString("# HELP redi_build_info constant build metadata of the serving binary\n")
+	b.WriteString("# TYPE redi_build_info gauge\n")
+	fmt.Fprintf(&b, "redi_build_info{version=%q,colfile_magic=%q,colfile_format=\"%d\"} 1\n",
+		Version, magic, fver)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		s.reg.Counter("serve.http_5xx").Inc()
+		return
+	}
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.reg.Counter("serve.http_5xx").Inc()
 	}

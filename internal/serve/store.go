@@ -30,6 +30,7 @@ import (
 	"redi/internal/dataset"
 	"redi/internal/discovery"
 	"redi/internal/obs"
+	"redi/internal/trace"
 )
 
 // StoreConfig configures a resident store.
@@ -133,15 +134,28 @@ func (s *Store) warmGroups() {
 
 // Ingest appends a batch, advances every index incrementally, and refreshes
 // the snapshot. It returns the number of rows appended and the new total.
-func (s *Store) Ingest(batch *dataset.Dataset) (ingested, total int, err error) {
+// Each index-advance phase lands in its own child span under sp (nil =
+// untraced): append, groups_advance, space_advance, lsh_upsert,
+// snapshot_refresh.
+func (s *Store) Ingest(batch *dataset.Dataset, sp *trace.Span) (ingested, total int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	from := s.live.NumRows()
+	ap := sp.Child("ingest.append")
 	if err := s.live.AppendDataset(batch); err != nil {
+		ap.End()
 		return 0, from, err
 	}
+	ap.SetAttr("rows", int64(batch.NumRows()))
+	ap.End()
+	gp := sp.Child("ingest.groups_advance")
 	s.groups.Append(s.live, from)
+	gp.SetAttr("gids", int64(s.groups.NumGroups()))
+	gp.End()
+	cp := sp.Child("ingest.space_advance")
 	s.space.AppendRows(s.live, from)
+	cp.End()
+	lp := sp.Child("ingest.lsh_upsert")
 	increments := 2
 	for i, attr := range s.catAttrs {
 		_, dict := s.live.CodesRange(attr, 0, 0)
@@ -151,8 +165,13 @@ func (s *Store) Ingest(batch *dataset.Dataset) (ingested, total int, err error) 
 			increments++
 		}
 	}
+	lp.SetAttr("upserts", int64(increments-2))
+	lp.End()
+	rp := sp.Child("ingest.snapshot_refresh")
 	s.warmGroups()
 	s.snap = s.live.Snapshot()
+	rp.SetAttr("total_rows", int64(s.live.NumRows()))
+	rp.End()
 	s.reg.Counter("serve.rows_ingested").Add(int64(batch.NumRows()))
 	s.reg.Counter("serve.index_increments").Add(int64(increments))
 	return batch.NumRows(), s.live.NumRows(), nil
@@ -169,34 +188,59 @@ func (s *Store) View() *dataset.Dataset {
 // Audit checks coverage (on the resident incremental pattern space) and
 // completeness (on the current snapshot) at the given threshold and null
 // rate. threshold <= 0 and maxNull < 0 fall back to the store defaults.
-func (s *Store) Audit(threshold int, maxNull float64, workers int) *core.AuditReport {
+// Under a non-nil span it records snapshot.acquire, audit.coverage
+// (with the MUP walk's tallies nested), and audit.completeness phases.
+func (s *Store) Audit(threshold int, maxNull float64, workers int, sp *trace.Span) *core.AuditReport {
 	if threshold <= 0 {
 		threshold = s.cfg.Threshold
 	}
 	if maxNull < 0 {
 		maxNull = 0.05
 	}
+	acq := sp.Child("snapshot.acquire")
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	snap := s.snap
+	acq.End()
 	cov := core.CoverageRequirement{Attrs: s.cfg.Sensitive, Threshold: threshold}
 	comp := core.CompletenessRequirement{Sensitive: s.cfg.Sensitive, MaxNullRate: maxNull}
+	cs := sp.Child("audit.coverage")
 	s.walkMu.Lock()
-	covRes := cov.CheckSpace(s.space, workers)
+	covRes := cov.CheckSpaceTraced(s.space, workers, cs)
 	s.walkMu.Unlock()
-	return &core.AuditReport{Results: []core.CheckResult{covRes, comp.Check(snap)}}
+	cs.SetAttr("satisfied", boolAttr(covRes.Satisfied))
+	cs.End()
+	cc := sp.Child("audit.completeness")
+	var compRes core.CheckResult
+	if cc != nil {
+		compRes = comp.CheckTraced(snap, cc)
+	} else {
+		compRes = comp.Check(snap)
+	}
+	cc.SetAttr("satisfied", boolAttr(compRes.Satisfied))
+	cc.End()
+	return &core.AuditReport{Results: []core.CheckResult{covRes, compRes}}
 }
 
 // Discover probes the resident LSH index for columns whose estimated
-// containment of the query domain is at least threshold.
-func (s *Store) Discover(values []string, threshold float64) []discovery.ColumnMatch {
+// containment of the query domain is at least threshold. Under a
+// non-nil span the probe and verify phases land as child spans.
+func (s *Store) Discover(values []string, threshold float64, sp *trace.Span) []discovery.ColumnMatch {
 	query := make(map[string]bool, len(values))
 	for _, v := range values {
 		query[v] = true
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.lsh.Query(query, threshold)
+	return s.lsh.QueryTraced(query, threshold, sp)
+}
+
+// boolAttr converts a deterministic boolean outcome to a 0/1 attribute.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Stats is a point-in-time summary of the resident state.

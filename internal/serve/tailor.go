@@ -6,6 +6,7 @@ import (
 	"redi/internal/dataset"
 	"redi/internal/dt"
 	"redi/internal/rng"
+	"redi/internal/trace"
 )
 
 // Tailor runs distribution tailoring against the resident dataset as the
@@ -13,13 +14,19 @@ import (
 // materializes the collected rows from the current snapshot. The group
 // index is read in place (no per-request GroupBy), so the read lock is held
 // for the whole run and ingest waits behind it. Results are a pure function
-// of (resident rows, need, seed, maxDraws).
-func (s *Store) Tailor(need map[dataset.GroupKey]int, seed uint64, maxDraws int) (*dt.Result, *dataset.Dataset, error) {
+// of (resident rows, need, seed, maxDraws). Under a non-nil span the run
+// records snapshot.acquire plus a tailor.run span with the gids touched,
+// draws paid, and rows collected.
+func (s *Store) Tailor(need map[dataset.GroupKey]int, seed uint64, maxDraws int, sp *trace.Span) (*dt.Result, *dataset.Dataset, error) {
 	if len(need) == 0 {
 		return nil, nil, fmt.Errorf("serve: tailor needs at least one group count")
 	}
+	acq := sp.Child("snapshot.acquire")
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	acq.End()
+	tp := sp.Child("tailor.run")
+	defer tp.End()
 
 	// Global key order: resident groups first (gid order), then requested
 	// keys absent from the data, in sorted order.
@@ -66,5 +73,8 @@ func (s *Store) Tailor(need map[dataset.GroupKey]int, seed uint64, maxDraws int)
 	if data == nil {
 		data = dataset.New(s.snap.Schema())
 	}
+	tp.SetAttr("gids", int64(len(keys)))
+	tp.SetAttr("draws", int64(res.Draws))
+	tp.SetAttr("rows_collected", int64(data.NumRows()))
 	return res, data, nil
 }

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DetSpan is the deterministic projection of a span: name, ordered
+// attributes, children — and by construction nothing else. Marshaling
+// it is the byte-stable surface that determinism tests and replay logs
+// rely on.
+type DetSpan struct {
+	Name     string    `json:"name"`
+	Attrs    []DetAttr `json:"attrs,omitempty"`
+	Children []DetSpan `json:"children,omitempty"`
+}
+
+// DetAttr is a deterministic attribute in its serialized form.
+type DetAttr struct {
+	Key string `json:"k"`
+	Val int64  `json:"v"`
+}
+
+// Det returns the deterministic projection of the tree rooted at s.
+func (s *Span) Det() DetSpan {
+	if s == nil {
+		return DetSpan{}
+	}
+	d := DetSpan{Name: s.name}
+	for _, a := range s.attrs {
+		d.Attrs = append(d.Attrs, DetAttr{Key: a.Key, Val: a.Val})
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, c.Det())
+	}
+	return d
+}
+
+// DetJSON serializes the deterministic projection. The output is
+// bit-identical for structurally identical trees regardless of worker
+// count or wall-clock behaviour.
+func (s *Span) DetJSON() []byte {
+	b, err := json.Marshal(s.Det())
+	if err != nil {
+		// Strings and int64s cannot fail to marshal; keep the API
+		// infallible for call-site ergonomics.
+		panic(err)
+	}
+	return b
+}
+
+// DetString renders the deterministic projection as an indented text
+// tree, one span per line: "name key=val key=val".
+func (s *Span) DetString() string {
+	var b strings.Builder
+	detText(&b, s, 0)
+	return b.String()
+}
+
+func detText(b *strings.Builder, s *Span, depth int) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.name)
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, " %s=%d", a.Key, a.Val)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.children {
+		detText(b, c, depth+1)
+	}
+}
+
+// FullSpan is the forensic projection: the deterministic fields plus
+// runtime-class timings (microsecond offsets from the root start).
+type FullSpan struct {
+	Name     string     `json:"name"`
+	StartUS  int64      `json:"start_us"`
+	DurUS    int64      `json:"dur_us"`
+	Attrs    []DetAttr  `json:"attrs,omitempty"`
+	Children []FullSpan `json:"children,omitempty"`
+}
+
+// Full returns the forensic projection of the tree rooted at s, with
+// span starts expressed as offsets from the root's start time.
+func (s *Span) Full() FullSpan {
+	if s == nil {
+		return FullSpan{}
+	}
+	return fullTree(s, s)
+}
+
+func fullTree(root, s *Span) FullSpan {
+	f := FullSpan{
+		Name:    s.name,
+		StartUS: s.start.Sub(root.start).Microseconds(),
+		DurUS:   s.Duration().Microseconds(),
+	}
+	for _, a := range s.attrs {
+		f.Attrs = append(f.Attrs, DetAttr{Key: a.Key, Val: a.Val})
+	}
+	for _, c := range s.children {
+		f.Children = append(f.Children, fullTree(root, c))
+	}
+	return f
+}
+
+// chromeEvent is one Chrome Trace Event ("X" = complete event with an
+// explicit duration). The format is what chrome://tracing and Perfetto
+// load directly.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	TS   int64            `json:"ts"`
+	Dur  int64            `json:"dur"`
+	PID  int64            `json:"pid"`
+	TID  int64            `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChrome writes the tree rooted at s as Chrome Trace Event JSON
+// ({"traceEvents":[...]}). Timestamps are microsecond offsets from the
+// root start; pid distinguishes traces when several are concatenated.
+func WriteChrome(w io.Writer, s *Span, pid int64) error {
+	var events []chromeEvent
+	if s != nil {
+		events = chromeTree(s, s, pid, events)
+	}
+	b, err := json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+func chromeTree(root, s *Span, pid int64, events []chromeEvent) []chromeEvent {
+	ev := chromeEvent{
+		Name: s.name,
+		Ph:   "X",
+		TS:   s.start.Sub(root.start).Microseconds(),
+		Dur:  s.Duration().Microseconds(),
+		PID:  pid,
+		TID:  1,
+	}
+	if len(s.attrs) > 0 {
+		ev.Args = make(map[string]int64, len(s.attrs))
+		for _, a := range s.attrs {
+			ev.Args[a.Key] = a.Val
+		}
+	}
+	events = append(events, ev)
+	for _, c := range s.children {
+		events = chromeTree(root, c, pid, events)
+	}
+	return events
+}

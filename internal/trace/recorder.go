@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is one recorded request: a root span plus request metadata.
+// IDs are assigned sequentially at Start, so under sequential replay
+// (and in tests) they are a deterministic function of the request log.
+type Trace struct {
+	ID     uint64
+	Name   string
+	Method string
+	Path   string
+	root   *Span
+}
+
+// Root returns the root span (nil for a nil trace, so disabled
+// recording propagates nil spans through the whole request).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// slowCap bounds the slow-request log independently of the ring: slow
+// traces survive ring eviction but never grow without bound.
+const slowCap = 32
+
+// Recorder is the flight recorder: a fixed-size ring buffer holding
+// the last N request traces, plus a bounded slow-request log retaining
+// any trace whose wall-clock duration met the configured threshold.
+// A nil *Recorder is the disabled state; Start then returns nil traces
+// and every downstream span call is a no-op.
+type Recorder struct {
+	mu     sync.Mutex
+	nextID uint64
+	ring   []*Trace // fixed capacity, nil slots until warm
+	pos    int      // next write index
+	n      int      // occupied slots
+	slow   []*Trace // most recent slowCap slow traces, finish order
+	thresh time.Duration
+}
+
+// NewRecorder builds a flight recorder holding the last capacity
+// traces. A non-positive capacity disables recording (returns nil).
+// slowThreshold > 0 additionally retains traces at least that slow in
+// the slow-request log.
+func NewRecorder(capacity int, slowThreshold time.Duration) *Recorder {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Recorder{ring: make([]*Trace, capacity), thresh: slowThreshold}
+}
+
+// Start opens a trace for one request. The returned trace is private
+// to the request's goroutine until Finish publishes it.
+func (r *Recorder) Start(name, method, path string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+	return &Trace{ID: id, Name: name, Method: method, Path: path, root: New(name)}
+}
+
+// Finish ends the root span and publishes the trace into the ring
+// (and the slow log when it met the threshold).
+func (r *Recorder) Finish(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	t.root.End()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ring[r.pos] = t
+	r.pos = (r.pos + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	if r.thresh > 0 && t.root.Duration() >= r.thresh {
+		if len(r.slow) == slowCap {
+			copy(r.slow, r.slow[1:])
+			r.slow = r.slow[:slowCap-1]
+		}
+		r.slow = append(r.slow, t)
+	}
+}
+
+// Traces returns the retained traces in ascending ID order. Concurrent
+// requests may finish out of arrival order, so the ring is re-sorted
+// by ID to keep the listing stable.
+func (r *Recorder) Traces() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*Trace, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(r.pos-r.n+i+len(r.ring))%len(r.ring)])
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the retained trace with the given ID, or nil when it has
+// been evicted (or never existed).
+func (r *Recorder) Get(id uint64) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.n; i++ {
+		if t := r.ring[(r.pos-r.n+i+len(r.ring))%len(r.ring)]; t.ID == id {
+			return t
+		}
+	}
+	for _, t := range r.slow {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Slow returns the slow-request log, oldest first.
+func (r *Recorder) Slow() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, len(r.slow))
+	copy(out, r.slow)
+	return out
+}

@@ -1,0 +1,156 @@
+// Package trace provides request-scoped span trees with the same hard
+// class split as internal/obs: span *structure* — names, parent/child
+// nesting, and the ordered integer attributes attached to each span —
+// is deterministic (bit-identical at any worker count, safe to diff
+// across replays), while wall-clock timings are runtime class and are
+// excluded from deterministic snapshots by construction (DetJSON and
+// DetString never touch the clock fields).
+//
+// The split is enforced three ways:
+//
+//  1. By construction: the deterministic exports marshal only name,
+//     attrs, and children. Timings are reachable only through
+//     Duration(), a separate runtime-class accessor.
+//  2. By convention: attributes are int64 work tallies (rows scanned,
+//     partitions pruned, LSH candidates, obs counter deltas) computed
+//     on the serial control path from shard-order-merged statistics.
+//  3. By lint: the redilint traceclass rule rejects any flow from a
+//     runtime source (obs.Now, Gauge.Value, Span.Duration, runtime
+//     counters) into SetAttr.
+//
+// Every method is nil-safe so call sites need no guards: a nil *Span
+// is the disabled fast path and costs one predictable branch.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"redi/internal/obs"
+)
+
+// Attr is one deterministic span attribute. Attributes keep insertion
+// order (append-only), so the serialized form is a pure function of
+// the control path that produced the span.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Span is one node of a request's span tree. Spans are built on a
+// request's single serial control path and published to a Recorder
+// only after the request completes, so no lock is needed here; the
+// recorder's mutex provides the happens-before edge for readers.
+type Span struct {
+	name     string
+	attrs    []Attr
+	children []*Span
+	start    time.Time
+	end      time.Time
+}
+
+// New starts a root span. The clock read goes through the obs wall
+// clock seam so tests can pin it.
+func New(name string) *Span {
+	return &Span{name: name, start: obs.Now()}
+}
+
+// Child starts a nested span. Returns nil (a no-op span) when the
+// receiver is nil, so disabled tracing propagates for free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: obs.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// SetAttr appends a deterministic attribute. Values must be
+// deterministic work tallies; the traceclass lint rule rejects runtime
+// timing flows into this sink.
+func (s *Span) SetAttr(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}
+
+// AddDeltas appends one attribute per map entry in sorted key order,
+// each key prefixed. It is the bridge from obs.DeltaCounters (and
+// ProvenanceStep.Metrics) to span attributes: deterministic counters
+// merged in shard order stay deterministic as attrs.
+func (s *Span) AddDeltas(prefix string, deltas map[string]int64) {
+	if s == nil || len(deltas) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(deltas))
+	for k := range deltas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.attrs = append(s.attrs, Attr{Key: prefix + k, Val: deltas[k]})
+	}
+}
+
+// End closes the span. Ending twice keeps the first end time; ending a
+// nil span is a no-op.
+func (s *Span) End() {
+	if s == nil || !s.end.IsZero() {
+		return
+	}
+	s.end = obs.Now()
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Attrs returns the deterministic attributes in insertion order. The
+// slice is shared; callers must not mutate it.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs
+}
+
+// Children returns the nested spans in creation order. The slice is
+// shared; callers must not mutate it.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
+}
+
+// Duration is the runtime-class wall-clock width of the span (elapsed
+// so far when the span is still open). It never appears in
+// deterministic exports and must not flow into SetAttr.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	end := s.end
+	if end.IsZero() {
+		end = obs.Now()
+	}
+	return end.Sub(s.start)
+}
+
+// NumSpans counts the nodes of the tree rooted at s (0 for nil).
+func (s *Span) NumSpans() int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.children {
+		n += c.NumSpans()
+	}
+	return n
+}

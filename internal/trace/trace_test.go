@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"redi/internal/obs"
+)
+
+// fakeClock pins the obs clock seam to a deterministic stepper: each
+// read advances one millisecond.
+func fakeClock(t *testing.T) {
+	t.Helper()
+	base := time.Unix(1700000000, 0)
+	tick := 0
+	restore := obs.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Millisecond)
+	})
+	t.Cleanup(restore)
+}
+
+func buildTree() *Span {
+	root := New("audit")
+	root.SetAttr("http.status", 200)
+	wait := root.Child("admission.wait")
+	wait.End()
+	cov := root.Child("audit.coverage")
+	cov.SetAttr("mups", 3)
+	cov.AddDeltas("obs.", map[string]int64{"coverage.nodes": 40, "coverage.bitmap_ands": 12})
+	cov.End()
+	root.End()
+	return root
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	s.SetAttr("k", 1)
+	s.AddDeltas("p.", map[string]int64{"a": 1})
+	s.End()
+	if s.Name() != "" || s.Attrs() != nil || s.Children() != nil || s.Duration() != 0 || s.NumSpans() != 0 {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	if got := string(s.DetJSON()); got != `{"name":""}` {
+		t.Fatalf("nil DetJSON = %s", got)
+	}
+}
+
+func TestDetExportExcludesTimingsByConstruction(t *testing.T) {
+	fakeClock(t)
+	root := buildTree()
+	det := string(root.DetJSON())
+	want := `{"name":"audit","attrs":[{"k":"http.status","v":200}],` +
+		`"children":[{"name":"admission.wait"},` +
+		`{"name":"audit.coverage","attrs":[{"k":"mups","v":3},` +
+		`{"k":"obs.coverage.bitmap_ands","v":12},{"k":"obs.coverage.nodes","v":40}]}]}`
+	if det != want {
+		t.Fatalf("DetJSON:\n got %s\nwant %s", det, want)
+	}
+	for _, frag := range []string{"us", "dur", "start", "ts"} {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(det), &m); err != nil {
+			t.Fatal(err)
+		}
+		for k := range m {
+			if strings.Contains(k, frag) && k != "attrs" && k != "children" && k != "name" {
+				t.Fatalf("deterministic export leaked timing field %q", k)
+			}
+		}
+	}
+}
+
+// TestDetIndependentOfClock rebuilds the same structural tree under two
+// wildly different clocks and demands byte-identical deterministic
+// output: the class split holds by construction, not by luck.
+func TestDetIndependentOfClock(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	restore := obs.SetClock(func() time.Time { return base })
+	a := buildTree().DetJSON()
+	aTxt := buildTree().DetString()
+	restore()
+	tick := 0
+	restore = obs.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 17 * time.Minute)
+	})
+	b := buildTree().DetJSON()
+	bTxt := buildTree().DetString()
+	restore()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("DetJSON depends on the clock:\n%s\n%s", a, b)
+	}
+	if aTxt != bTxt {
+		t.Fatalf("DetString depends on the clock:\n%s\n%s", aTxt, bTxt)
+	}
+}
+
+func TestDetString(t *testing.T) {
+	fakeClock(t)
+	got := buildTree().DetString()
+	want := "audit http.status=200\n" +
+		"  admission.wait\n" +
+		"  audit.coverage mups=3 obs.coverage.bitmap_ands=12 obs.coverage.nodes=40\n"
+	if got != want {
+		t.Fatalf("DetString:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestFullAndDuration(t *testing.T) {
+	fakeClock(t)
+	root := buildTree()
+	if root.Duration() <= 0 {
+		t.Fatal("closed root must have positive duration")
+	}
+	f := root.Full()
+	if f.Name != "audit" || f.DurUS <= 0 {
+		t.Fatalf("Full root = %+v", f)
+	}
+	if len(f.Children) != 2 {
+		t.Fatalf("Full children = %d, want 2", len(f.Children))
+	}
+	if f.Children[1].StartUS <= f.Children[0].StartUS {
+		t.Fatalf("child starts not ordered: %+v", f.Children)
+	}
+	if n := root.NumSpans(); n != 3 {
+		t.Fatalf("NumSpans = %d, want 3", n)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	fakeClock(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, buildTree(), 7); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			TS   int64            `json:"ts"`
+			Dur  int64            `json:"dur"`
+			PID  int64            `json:"pid"`
+			TID  int64            `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 7 || ev.TID != 1 {
+			t.Fatalf("bad event envelope: %+v", ev)
+		}
+	}
+	if doc.TraceEvents[2].Args["mups"] != 3 {
+		t.Fatalf("coverage args = %v", doc.TraceEvents[2].Args)
+	}
+	// Empty tree still produces a loadable document.
+	buf.Reset()
+	if err := WriteChrome(&buf, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderRingAndSlowLog(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	tick := 0
+	// Every request spans two clock reads (Start, Finish). Alternate
+	// fast (1ms) and slow (50ms) requests via a widening step.
+	restore := obs.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick*tick) * time.Millisecond)
+	})
+	defer restore()
+
+	r := NewRecorder(4, 15*time.Millisecond)
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		tr := r.Start("query", "GET", "/query?e=x")
+		ids = append(ids, tr.ID)
+		r.Finish(tr)
+	}
+	for i, id := range ids {
+		if id != uint64(i+1) {
+			t.Fatalf("ids = %v, want sequential from 1", ids)
+		}
+	}
+	got := r.Traces()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d, want 4", len(got))
+	}
+	for i, tr := range got {
+		if tr.ID != uint64(i+3) {
+			t.Fatalf("ring kept ids %v, want [3 4 5 6]", got)
+		}
+	}
+	if r.Get(1) != nil && r.Get(1).ID != 1 {
+		t.Fatal("Get(1) returned a different trace")
+	}
+	if tr := r.Get(5); tr == nil || tr.Path != "/query?e=x" {
+		t.Fatalf("Get(5) = %+v", tr)
+	}
+	if r.Get(99) != nil {
+		t.Fatal("Get(99) must be nil")
+	}
+	// The quadratic clock makes later requests slower (3, 7, 11, 15,
+	// 19, 23ms); the slow log must hold exactly those crossing 15ms.
+	slow := r.Slow()
+	if len(slow) != 3 {
+		t.Fatalf("slow log = %d entries, want 3 (requests 4..6)", len(slow))
+	}
+	for _, tr := range slow {
+		if tr.Root().Duration() < 15*time.Millisecond {
+			t.Fatalf("trace %d in slow log with duration %v", tr.ID, tr.Root().Duration())
+		}
+	}
+	// Slow traces stay fetchable by ID even after ring eviction.
+	first := slow[0]
+	for i := 0; i < 10; i++ {
+		r.Finish(r.Start("stats", "GET", "/stats"))
+	}
+	if got := r.Get(first.ID); got != first {
+		t.Fatalf("slow trace %d evicted from Get after ring wrap", first.ID)
+	}
+}
+
+func TestRecorderDisabled(t *testing.T) {
+	var r *Recorder
+	if NewRecorder(0, 0) != nil || NewRecorder(-1, 0) != nil {
+		t.Fatal("non-positive capacity must disable the recorder")
+	}
+	tr := r.Start("x", "GET", "/")
+	if tr != nil {
+		t.Fatal("disabled recorder must return nil traces")
+	}
+	r.Finish(tr)
+	if r.Traces() != nil || r.Slow() != nil || r.Get(1) != nil {
+		t.Fatal("disabled recorder accessors must return nil")
+	}
+	if tr.Root() != nil {
+		t.Fatal("nil trace root must be nil")
+	}
+}
+
+func TestRecorderSlowCapBounded(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	tick := 0
+	restore := obs.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Hour)
+	})
+	defer restore()
+	r := NewRecorder(2, time.Millisecond)
+	for i := 0; i < slowCap+10; i++ {
+		r.Finish(r.Start("audit", "GET", "/audit"))
+	}
+	slow := r.Slow()
+	if len(slow) != slowCap {
+		t.Fatalf("slow log = %d entries, want %d", len(slow), slowCap)
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].ID <= slow[i-1].ID {
+			t.Fatalf("slow log out of order: %d then %d", slow[i-1].ID, slow[i].ID)
+		}
+	}
+	if slow[len(slow)-1].ID != uint64(slowCap+10) {
+		t.Fatalf("slow log tail = %d, want most recent %d", slow[len(slow)-1].ID, slowCap+10)
+	}
+}

@@ -70,7 +70,7 @@ func BenchmarkIngestIncremental(b *testing.B) {
 	batches := serveBenchBatches(b, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := store.Ingest(batches[i%len(batches)]); err != nil {
+		if _, _, err := store.Ingest(batches[i%len(batches)], nil); err != nil {
 			b.Fatal(err)
 		}
 	}
